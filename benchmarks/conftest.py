@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rendered artifact to ``benchmarks/output/`` (in addition to
+printing it), so results survive pytest's output capture.
+
+Environment knobs:
+
+* ``BIFROST_BENCH_SCALE`` — wall-clock compression factor for the paper's
+  phase durations (default 0.03 for the overhead experiment, 0.01 for the
+  scalability sweeps).  ``BIFROST_BENCH_SCALE=1.0`` reproduces the paper's
+  full 380 s / 280 s runs.
+* ``BIFROST_BENCH_FULL=1`` — use the paper's full x-axis sweeps
+  (strategy counts up to 130, check counts up to 1600).  Off by default:
+  the compressed sweeps already show the shapes.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_scale(default: float) -> float:
+    return float(os.environ.get("BIFROST_BENCH_SCALE", default))
+
+
+def full_sweeps() -> bool:
+    return os.environ.get("BIFROST_BENCH_FULL", "") not in ("", "0")
+
+
+def bench_repetitions(default: int = 1) -> int:
+    """How many times to repeat the overhead experiment (paper: 5)."""
+    return int(os.environ.get("BIFROST_BENCH_REPS", default))
+
+
+@pytest.fixture(scope="session")
+def artifact_writer():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUTPUT_DIR / name).write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return write

@@ -1,0 +1,106 @@
+"""Ablation A1: cookie-based vs header-based routing overhead.
+
+The paper notes its overhead numbers used cookie-based routing, "which is
+generally slower than a header-based routing would be" (section 5.1.2).
+This ablation measures per-request latency through one proxy in four
+modes: no proxy (direct), passthrough (no strategy), header routing, and
+cookie routing with sticky sessions.
+
+Expected shape: direct < passthrough ≤ header ≤ cookie, with all proxy
+modes within a few ms of each other.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core import FilterKind, RoutingConfig, TrafficSplit
+from repro.httpcore import HttpClient, HttpServer, Response
+from repro.loadgen import SummaryStats
+from repro.proxy import BifrostProxy
+
+REQUESTS = 400
+
+_CACHE: dict = {}
+
+
+async def _measure(mode: str) -> SummaryStats:
+    upstream = HttpServer(name="upstream")
+
+    async def handler(request):
+        await asyncio.sleep(0)  # a trivial service: parse + respond
+        return Response.from_json({"ok": True})
+
+    upstream.router.set_fallback(handler)
+    await upstream.start()
+    proxy = None
+    target = upstream.address
+    try:
+        if mode != "direct":
+            proxy = BifrostProxy("svc", default_upstream=upstream.address)
+            await proxy.start()
+            target = proxy.address
+            endpoints = {"v1": upstream.address, "v2": upstream.address}
+            if mode == "header":
+                proxy.apply_config(
+                    RoutingConfig(
+                        splits=[TrafficSplit("v1", 50.0), TrafficSplit("v2", 50.0)],
+                        filter_kind=FilterKind.HEADER,
+                    ),
+                    endpoints,
+                )
+            elif mode == "cookie":
+                proxy.apply_config(
+                    RoutingConfig(
+                        splits=[TrafficSplit("v1", 50.0), TrafficSplit("v2", 50.0)],
+                        sticky=True,
+                    ),
+                    endpoints,
+                )
+            elif mode != "passthrough":
+                raise ValueError(mode)
+
+        async with HttpClient() as client:
+            latencies = []
+            headers = {"X-Bifrost-Group": "v2"} if mode == "header" else None
+            for _ in range(50):  # warmup
+                await client.get(f"http://{target}/x", headers=headers)
+            for _ in range(REQUESTS):
+                started = time.monotonic()
+                response = await client.get(f"http://{target}/x", headers=headers)
+                latencies.append(time.monotonic() - started)
+                assert response.status == 200
+        return SummaryStats.of(latencies).scaled(1000.0)
+    finally:
+        if proxy is not None:
+            await proxy.stop()
+        await upstream.stop()
+
+
+def routing_mode_stats():
+    if "stats" not in _CACHE:
+
+        async def run_all():
+            return {
+                mode: await _measure(mode)
+                for mode in ("direct", "passthrough", "header", "cookie")
+            }
+
+        _CACHE["stats"] = asyncio.run(run_all())
+    return _CACHE["stats"]
+
+
+@pytest.mark.benchmark(group="ablation-routing")
+def test_ablation_routing_modes(benchmark, artifact_writer):
+    stats = benchmark.pedantic(routing_mode_stats, rounds=1, iterations=1)
+    lines = [f"{'mode':>12s}  {'mean ms':>8s}  {'median':>8s}  {'sd':>8s}"]
+    for mode, s in stats.items():
+        lines.append(f"{mode:>12s}  {s.mean:8.3f}  {s.median:8.3f}  {s.sd:8.3f}")
+    artifact_writer("ablation_routing_modes.txt", "\n".join(lines))
+
+    # Any proxy mode costs more than talking to the service directly.
+    assert stats["passthrough"].median > stats["direct"].median
+    assert stats["cookie"].median > stats["direct"].median
+    # All proxy modes stay within the same order of magnitude.
+    assert stats["cookie"].median < stats["direct"].median + 15.0

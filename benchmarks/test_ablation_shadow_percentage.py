@@ -1,0 +1,98 @@
+"""Ablation A2: dark-launch duplication factor vs response time.
+
+The paper attributes the dark launch's +18 ms to traffic duplication
+("three requests need to be shadowed").  This ablation varies the shadow
+percentage (0 / 50 / 100 / 2x100) and measures the primary request's
+latency through the proxy — showing that shadowing costs scale with the
+duplication factor even though shadow responses are discarded.
+
+Expected shape: latency grows with the shadow percentage; two full
+shadow targets (the paper's product A *and* B) cost more than one.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core import RoutingConfig, ShadowRoute, TrafficSplit
+from repro.httpcore import HttpClient, HttpServer, Response
+from repro.loadgen import SummaryStats
+from repro.proxy import BifrostProxy
+
+REQUESTS = 300
+
+_CACHE: dict = {}
+
+
+async def _measure(shadow_targets: int, percentage: float) -> SummaryStats:
+    async def handler(request):
+        await asyncio.sleep(0.001)  # every upstream does ~1 ms of work
+        return Response.from_json({"ok": True})
+
+    upstream = HttpServer(name="primary")
+    upstream.router.set_fallback(handler)
+    await upstream.start()
+    shadows = []
+    for index in range(shadow_targets):
+        server = HttpServer(name=f"shadow{index}")
+        server.router.set_fallback(handler)
+        await server.start()
+        shadows.append(server)
+    proxy = BifrostProxy("svc", default_upstream=upstream.address)
+    await proxy.start()
+    try:
+        endpoints = {"stable": upstream.address}
+        shadow_routes = []
+        for index, server in enumerate(shadows):
+            name = f"shadow{index}"
+            endpoints[name] = server.address
+            shadow_routes.append(ShadowRoute("stable", name, percentage))
+        proxy.apply_config(
+            RoutingConfig(
+                splits=[TrafficSplit("stable", 100.0)], shadows=shadow_routes
+            ),
+            endpoints,
+        )
+        async with HttpClient() as client:
+            for _ in range(30):
+                await client.get(f"http://{proxy.address}/x")
+            latencies = []
+            for _ in range(REQUESTS):
+                started = time.monotonic()
+                await client.get(f"http://{proxy.address}/x")
+                latencies.append(time.monotonic() - started)
+            await proxy.shadower.drain()
+        return SummaryStats.of(latencies).scaled(1000.0)
+    finally:
+        await proxy.stop()
+        await upstream.stop()
+        for server in shadows:
+            await server.stop()
+
+
+def shadow_stats():
+    if "stats" not in _CACHE:
+
+        async def run_all():
+            return {
+                "no shadow": await _measure(0, 0.0),
+                "1 target @ 50%": await _measure(1, 50.0),
+                "1 target @ 100%": await _measure(1, 100.0),
+                "2 targets @ 100%": await _measure(2, 100.0),
+            }
+
+        _CACHE["stats"] = asyncio.run(run_all())
+    return _CACHE["stats"]
+
+
+@pytest.mark.benchmark(group="ablation-shadow")
+def test_ablation_shadow_percentage(benchmark, artifact_writer):
+    stats = benchmark.pedantic(shadow_stats, rounds=1, iterations=1)
+    lines = [f"{'configuration':>18s}  {'mean ms':>8s}  {'median':>8s}  {'sd':>8s}"]
+    for name, s in stats.items():
+        lines.append(f"{name:>18s}  {s.mean:8.3f}  {s.median:8.3f}  {s.sd:8.3f}")
+    artifact_writer("ablation_shadow_percentage.txt", "\n".join(lines))
+
+    # Full duplication costs more than none (the paper's dark-launch tax).
+    assert stats["2 targets @ 100%"].mean > stats["no shadow"].mean

@@ -1,0 +1,64 @@
+"""E3 + E4: engine scalability over parallel strategies (Figures 7 and 8).
+
+Enacts an increasing number of simultaneous release strategies — all with
+identical configuration and start time, the paper's worst case — against
+one Bifrost proxy, and reports engine CPU utilization (Figure 7 boxplots)
+and enactment delay, i.e. measured minus specified duration (Figure 8
+error bars).
+
+Expected shape: CPU grows with the strategy count without saturating at
+moderate counts; delay grows slowly at first, then rises (with growing
+variance) once the single core becomes the bottleneck.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.analysis import (
+    format_cpu_figure,
+    format_delay_figure,
+    run_parallel_strategies_sweep,
+)
+
+from .conftest import bench_scale, full_sweeps
+
+_CACHE: dict = {}
+
+#: Compressed sweep (default) vs the paper's full x axis.
+COUNTS = [1, 5, 10, 20, 40]
+FULL_COUNTS = [1, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130]
+
+
+def strategy_points():
+    if "points" not in _CACHE:
+        counts = FULL_COUNTS if full_sweeps() else COUNTS
+        _CACHE["points"] = asyncio.run(
+            run_parallel_strategies_sweep(counts, scale=bench_scale(0.01))
+        )
+    return _CACHE["points"]
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_engine_cpu_vs_parallel_strategies(benchmark, artifact_writer):
+    points = benchmark.pedantic(strategy_points, rounds=1, iterations=1)
+    artifact_writer(
+        "figure7_parallel_strategies_cpu.txt",
+        format_cpu_figure(points, xlabel="strategies"),
+    )
+    assert all(point.failed == 0 for point in points)
+    # CPU demand grows with the number of parallel strategies.
+    assert points[-1].cpu.median > points[0].cpu.median
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_enactment_delay_vs_parallel_strategies(benchmark, artifact_writer):
+    points = benchmark.pedantic(strategy_points, rounds=1, iterations=1)
+    artifact_writer(
+        "figure8_parallel_strategies_delay.txt",
+        format_delay_figure(points, xlabel="strategies"),
+    )
+    # Delays are non-negative (an enactment can't finish early) and grow
+    # with contention.
+    assert all(point.delay.mean > -0.05 for point in points)
+    assert points[-1].delay.mean >= points[0].delay.mean

@@ -1,0 +1,61 @@
+"""E5 + E6: engine scalability over parallel checks (Figures 9 and 10).
+
+One strategy with two identical phases, each running 8·n parallel checks
+(per block of 8: three availability probes against the product service
+plus five Prometheus queries).  Reports engine CPU utilization (Figure 9)
+and enactment delay (Figure 10).
+
+Expected shape: CPU grows with the check count without hitting a hard
+ceiling in the tested range; delay grows monotonically and becomes a
+substantial fraction of the specified execution time at the top end.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.analysis import (
+    format_cpu_figure,
+    format_delay_figure,
+    run_many_checks_sweep,
+)
+
+from .conftest import bench_scale, full_sweeps
+
+_CACHE: dict = {}
+
+#: Check counts are 8 x replication: compressed 8..320 vs the paper's 8..1600.
+REPLICATIONS = [1, 5, 10, 20, 40]
+FULL_REPLICATIONS = [1, 10, 30, 50, 70, 100, 130, 160, 200]
+
+
+def check_points():
+    if "points" not in _CACHE:
+        replications = FULL_REPLICATIONS if full_sweeps() else REPLICATIONS
+        _CACHE["points"] = asyncio.run(
+            run_many_checks_sweep(replications, scale=bench_scale(0.01))
+        )
+    return _CACHE["points"]
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_engine_cpu_vs_parallel_checks(benchmark, artifact_writer):
+    points = benchmark.pedantic(check_points, rounds=1, iterations=1)
+    artifact_writer(
+        "figure9_parallel_checks_cpu.txt",
+        format_cpu_figure(points, xlabel="checks"),
+    )
+    assert all(point.failed == 0 for point in points)
+    assert points[-1].cpu.median > points[0].cpu.median
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_enactment_delay_vs_parallel_checks(benchmark, artifact_writer):
+    points = benchmark.pedantic(check_points, rounds=1, iterations=1)
+    artifact_writer(
+        "figure10_parallel_checks_delay.txt",
+        format_delay_figure(points, xlabel="checks"),
+    )
+    assert all(point.delay.mean > -0.05 for point in points)
+    # Monotone growth in the tested range (the paper's Figure 10 shape).
+    assert points[-1].delay.mean >= points[0].delay.mean

@@ -1,0 +1,80 @@
+"""E1 + E2: end-user overhead (paper Table 1 and Figure 6).
+
+Regenerates the overhead experiment: the four-request workload at a
+steady rate against the case-study application in three deployments —
+baseline (no middleware), inactive (proxies deployed, no strategy), and
+active (the four-phase release strategy running) — and prints the
+Table-1 statistics, the Figure-6 moving-average series, and the headline
+per-phase overhead deltas.
+
+Expected shape (paper section 5.1.2):
+
+* inactive ≈ baseline + a small constant (the extra proxy hop),
+* active ≈ inactive for canary and gradual rollout (enactment is cheap),
+* **dark launch** is the expensive phase (traffic duplication),
+* **A/B test** is *cheaper* than inactive (load-splitting effect).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.analysis import (
+    format_figure6,
+    format_phase_deltas,
+    format_table1,
+    run_overhead_experiment,
+)
+
+from .conftest import bench_repetitions, bench_scale
+
+_CACHE: dict = {}
+
+
+def overhead_runs():
+    if "runs" not in _CACHE:
+        _CACHE["runs"] = asyncio.run(
+            run_overhead_experiment(
+                scale=bench_scale(0.03),
+                rate=35.0,
+                repetitions=bench_repetitions(1),
+            )
+        )
+    return _CACHE["runs"]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_response_time_statistics(benchmark, artifact_writer):
+    runs = benchmark.pedantic(overhead_runs, rounds=1, iterations=1)
+    table = format_table1(runs)
+    deltas = format_phase_deltas(runs)
+    artifact_writer("table1_overhead.txt", table + "\n\n" + deltas)
+
+    # Shape assertions: the strategy completed and produced load samples
+    # in every phase for every variant.
+    for variant, variant_runs in runs.items():
+        for run in variant_runs:
+            stats = run.phase_stats_ms()
+            for phase in ("canary", "dark", "ab-test", "rollout"):
+                assert stats[phase].count > 0, (variant, phase)
+    active = runs["active"][0]
+    assert active.report is not None
+    assert active.report.status.value in ("completed",)
+
+    # Dark launch must be the most expensive active phase (duplication).
+    active_stats = active.phase_stats_ms()
+    assert active_stats["dark"].mean > active_stats["rollout"].mean
+    assert active_stats["dark"].mean > active_stats["ab-test"].mean
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_moving_average_series(benchmark, artifact_writer):
+    runs = benchmark.pedantic(overhead_runs, rounds=1, iterations=1)
+    artifact_writer("figure6_timeline.txt", format_figure6(runs))
+    # The series exists and is stable *within* phases: response times in
+    # the active run stay bounded (no runaway middleware-induced drift).
+    active = runs["active"][0]
+    series = active.series_ms()
+    assert len(series) >= 10
+    values = [ms for _, ms in series]
+    assert max(values) < 50 * (sum(values) / len(values))

@@ -1,0 +1,25 @@
+"""Root pytest configuration shared by tests/ and benchmarks/.
+
+No async pytest plugin is available offline, so ``async def`` test functions
+are executed via :func:`asyncio.run` through the ``pytest_pyfunc_call`` hook.
+Each async test gets a fresh event loop, which also guarantees isolation
+between tests that start servers.
+"""
+
+import asyncio
+import inspect
+
+import pytest
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    function = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(function):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(function(**kwargs))
+    return True

@@ -1,0 +1,125 @@
+"""A/B testing two product-service implementations with sticky sessions.
+
+Runs the paper's third live-testing phase in isolation: 50% of product
+traffic goes to ``product_a``, 50% to ``product_b``, sticky per user, and
+at the end of the experiment the business metric (items sold, including
+upsells) decides the winner.  Demonstrates:
+
+* sticky cookie routing — each simulated user keeps their variant,
+* business-metric checks — a custom predicate over two Prometheus
+  queries,
+* outcome-driven transitions — the winner's rollout state is entered.
+
+Run it:
+
+    python examples/ab_test_demo.py
+"""
+
+import asyncio
+import random
+
+from repro.casestudy import build_case_study
+from repro.core import (
+    BasicCheck,
+    Engine,
+    MetricCondition,
+    MetricQuery,
+    OutputMapping,
+    StrategyBuilder,
+    Timer,
+    ab_split,
+    single_version,
+)
+from repro.httpcore import HttpClient, parse_cookie_header
+from repro.metrics import HttpPrometheusProvider
+from repro.proxy import HttpProxyController
+
+TEST_SECONDS = 6.0
+
+
+def build_ab_strategy(endpoints: dict[str, str]):
+    sales_check = BasicCheck(
+        name="sales-comparison",
+        condition=MetricCondition(
+            queries=(
+                MetricQuery("a", 'sales_total{instance="product_a"}', "prometheus"),
+                MetricQuery("b", 'sales_total{instance="product_b"}', "prometheus"),
+            ),
+            predicate=lambda values: (values["a"] or 0) > (values["b"] or 0),
+        ),
+        timer=Timer(TEST_SECONDS, 1),  # evaluated once, at the end
+        output=OutputMapping.boolean(1.0),
+    )
+    builder = StrategyBuilder("product-ab-test")
+    builder.service("product", endpoints)
+    builder.state("ab-test").route("product", ab_split("product_a", "product_b")).check(
+        sales_check
+    ).transitions([0.5], ["rollout-b", "rollout-a"])
+    builder.state("rollout-a").route("product", single_version("product_a")).final()
+    builder.state("rollout-b").route("product", single_version("product_b")).final()
+    return builder.build()
+
+
+async def main() -> None:
+    print("starting the case-study application ...")
+    app = await build_case_study(scrape_interval=0.3)
+    rng = random.Random(11)
+
+    # 30 simulated users who browse and sometimes buy.  Each user carries
+    # their proxy-issued cookie, so sticky sessions keep them on one variant.
+    async def user(user_id: int, stop: asyncio.Event):
+        token = app.auth.issue_token(f"user{user_id % 20}@example.com")
+        headers = {"Authorization": f"Bearer {token}"}
+        cookie = None
+        async with HttpClient() as client:
+            while not stop.is_set():
+                sku = f"SKU-{rng.randrange(40):04d}"
+                path = (
+                    f"/products/{sku}/buy" if rng.random() < 0.4 else f"/products/{sku}"
+                )
+                request_headers = dict(headers)
+                if cookie:
+                    request_headers["Cookie"] = cookie
+                method = "POST" if path.endswith("/buy") else "GET"
+                response = await client.request(
+                    method, f"http://{app.entry_address}{path}",
+                    headers=request_headers,
+                )
+                set_cookie = response.headers.get("Set-Cookie")
+                if set_cookie and cookie is None:
+                    cookie = set_cookie.split(";")[0]
+                await asyncio.sleep(rng.uniform(0.02, 0.08))
+
+    stop = asyncio.Event()
+    users = [asyncio.ensure_future(user(i, stop)) for i in range(30)]
+
+    strategy = build_ab_strategy(app.endpoints("product"))
+    controller = HttpProxyController({"product": app.product_proxy.address})
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{app.metrics.address}")
+    )
+
+    print(f"running the A/B test for {TEST_SECONDS:.0f}s ...")
+    execution_id = engine.enact(strategy)
+    report = await engine.wait(execution_id)
+    stop.set()
+    await asyncio.gather(*users, return_exceptions=True)
+
+    a = app.product_versions["product_a"]
+    b = app.product_versions["product_b"]
+    print(f"\nsales: product_a={int(a.sales_total.value)} "
+          f"(buys {int(a.buys_total.value)}), "
+          f"product_b={int(b.sales_total.value)} "
+          f"(buys {int(b.buys_total.value)})")
+    winner = report.path[-1].removeprefix("rollout-")
+    print(f"winner: product_{winner}  (path: {' -> '.join(report.path)})")
+    print(f"sticky sessions held by the proxy: {len(app.product_proxy.sticky_store)}")
+
+    await engine.shutdown()
+    await controller.close()
+    await app.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

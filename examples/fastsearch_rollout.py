@@ -1,0 +1,215 @@
+"""The paper's running example: gradually rolling out ``fastSearch``.
+
+Reproduces the strategy of Figure 1 (section 2.3) against the full
+case-study application — a canary launch of the redesigned search service
+ramping 1% -> 5% -> 10% -> 20%, followed by a 50/50 A/B test, and a full
+rollout if the new implementation holds up.  The strategy is written in
+the Bifrost DSL, compiled, and enacted while simulated users browse and
+search the shop.
+
+The paper's phases span days; here each phase lasts a couple of seconds
+(``PHASE_SECONDS``) so the example finishes in under a minute.
+
+Run it:
+
+    python examples/fastsearch_rollout.py
+"""
+
+import asyncio
+
+from repro.casestudy import build_case_study
+from repro.core import Engine, EventKind
+from repro.dashboard import render_strategy
+from repro.dsl import compile_document
+from repro.httpcore import HttpClient
+from repro.metrics import HttpPrometheusProvider
+from repro.proxy import HttpProxyController
+
+PHASE_SECONDS = 2.0
+
+STRATEGY_DOC = """
+strategy:
+  name: fastsearch-rollout
+  phases:
+    - phase:
+        name: canary-1
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 1
+        checks:
+          - metric:
+              name: fastsearch-errors
+              provider: prometheus
+              query: increase(request_errors{{instance="fastSearch"}}[{window}s])
+              intervalTime: {interval}
+              intervalLimit: 4
+              threshold: 3
+              validator: "<5"
+        next: canary-5
+        onFailure: rollback
+    - phase:
+        name: canary-5
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 5
+        checks:
+          - metric:
+              name: fastsearch-errors
+              provider: prometheus
+              query: increase(request_errors{{instance="fastSearch"}}[{window}s])
+              intervalTime: {interval}
+              intervalLimit: 4
+              threshold: 3
+              validator: "<5"
+        next: canary-10
+        onFailure: rollback
+    - phase:
+        name: canary-10
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 10
+        duration: {phase}
+        next: canary-20
+    - phase:
+        name: canary-20
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 20
+        duration: {phase}
+        next: ab-test
+    - phase:
+        name: ab-test
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 50
+                    sticky: true
+        checks:
+          - metric:
+              name: fastsearch-throughput
+              provider: prometheus
+              query: search_requests_total{{instance="fastSearch"}}
+              intervalTime: {phase}
+              intervalLimit: 1
+              validator: ">0"
+        next: full-rollout
+        onFailure: rollback
+    - final:
+        name: full-rollout
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 100
+    - final:
+        name: rollback
+        rollback: true
+        routes:
+          - route:
+              from: search
+              to: search
+              filters:
+                - traffic:
+                    percentage: 100
+deployment:
+  services:
+    search:
+      proxy: {proxy}
+      stable: search
+      versions:
+        search: {search}
+        fastSearch: {fast_search}
+"""
+
+
+async def main() -> None:
+    print("starting the 7-service case-study application ...")
+    app = await build_case_study(scrape_interval=0.3)
+    token = await app.issue_token()
+
+    document = STRATEGY_DOC.format(
+        proxy=app.search_proxy.address,
+        search=app.search_versions["search"].address,
+        fast_search=app.search_versions["fastSearch"].address,
+        phase=PHASE_SECONDS,
+        interval=PHASE_SECONDS / 4,
+        window=PHASE_SECONDS,
+    )
+    compiled = compile_document(document)
+    print(render_strategy(compiled.strategy))
+    print()
+
+    # Simulated users searching the shop through the entry gateway.
+    async def browse():
+        async with HttpClient() as client:
+            headers = {"Authorization": f"Bearer {token}"}
+            queries = ["Laptop", "Tv", "Camera", "Phone"]
+            index = 0
+            while True:
+                query = queries[index % len(queries)]
+                index += 1
+                await client.get(
+                    f"http://{app.entry_address}/search?q={query}", headers=headers
+                )
+                await asyncio.sleep(0.05)
+
+    browse_task = asyncio.ensure_future(browse())
+
+    controller = HttpProxyController(compiled.deployment.proxies())
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{app.metrics.address}")
+    )
+
+    def narrate(event):
+        if event.kind is EventKind.STATE_ENTERED:
+            print(f"  phase: {event.data['state']}")
+        elif event.kind is EventKind.CHECK_COMPLETED:
+            print(
+                f"    check {event.data['check']}: "
+                f"{event.data['aggregated']} passing executions"
+            )
+
+    engine.bus.subscribe(narrate)
+
+    print("enacting fastsearch-rollout ...")
+    execution_id = engine.enact(compiled.strategy)
+    report = await engine.wait(execution_id)
+
+    print(f"\nresult: {report.status.value} via {' -> '.join(report.path)}")
+    fast = app.search_versions["fastSearch"]
+    slow = app.search_versions["search"]
+    print(
+        f"searches served: search={int(slow.searches_total.value)}, "
+        f"fastSearch={int(fast.searches_total.value)}"
+    )
+
+    browse_task.cancel()
+    await engine.shutdown()
+    await controller.close()
+    await app.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

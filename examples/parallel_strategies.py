@@ -1,0 +1,43 @@
+"""Many teams, many rollouts: parallel strategy enactment.
+
+Simulates "the case of a large organization with many teams, all
+independently releasing new versions" (paper section 5.2.1): N copies of
+the four-phase release strategy are enacted at the same instant against
+the same proxy, and the engine's CPU utilization and per-strategy
+enactment delay are reported — a miniature of the paper's Figures 7/8.
+
+Run it (optionally pass the strategy count, default 25):
+
+    python examples/parallel_strategies.py [count]
+"""
+
+import asyncio
+import sys
+
+from repro.analysis import run_parallel_strategies
+
+
+async def main(count: int) -> None:
+    print(f"enacting {count} identical release strategies in parallel ...")
+    point = await run_parallel_strategies(count, scale=0.02)
+    print(f"completed: {point.completed}, failed: {point.failed}")
+    print(f"wall time: {point.wall_time:.1f}s")
+    print(
+        "engine CPU utilization: "
+        f"median {point.cpu.median:.1f}%, "
+        f"q3 {point.cpu.q3:.1f}%, max {point.cpu.maximum:.1f}%"
+    )
+    print(
+        "enactment delay (measured - specified): "
+        f"mean {point.delay.mean * 1000:.0f} ms ± {point.delay.sd * 1000:.0f} ms"
+    )
+    print(
+        "\nThe paper's headline: >100 parallel strategies on a single core\n"
+        "with ~8 s mean delay.  Increase the count (and your patience) to\n"
+        "watch the delay curve bend."
+    )
+
+
+if __name__ == "__main__":
+    strategy_count = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    asyncio.run(main(strategy_count))

@@ -1,0 +1,126 @@
+"""Quickstart: canary-test a new service version in ~15 seconds.
+
+Builds the smallest possible Bifrost deployment:
+
+* two versions of one HTTP service (``stable`` and ``canary``),
+* a Bifrost proxy in front of them,
+* a metrics server scraping both,
+* an engine enacting a two-phase canary strategy: route 10% of traffic
+  to the canary while watching its error count, then either roll out
+  fully or fall back to stable.
+
+Run it:
+
+    python examples/quickstart.py
+"""
+
+import asyncio
+
+from repro.core import Engine, StrategyBuilder, canary_split, simple_basic_check, single_version
+from repro.httpcore import HttpClient, HttpServer, Response
+from repro.metrics import HttpPrometheusProvider, MetricsServer, Registry
+from repro.proxy import BifrostProxy, HttpProxyController
+
+
+def make_version(tag: str, healthy: bool = True) -> tuple[HttpServer, Registry]:
+    """A tiny service version exposing /metrics for the strategy's checks."""
+    server = HttpServer(name=tag)
+    registry = Registry()
+    requests = registry.counter("requests_total")
+    errors = registry.counter("request_errors")
+
+    @server.router.get("/hello")
+    async def hello(request):
+        requests.inc()
+        if not healthy:
+            errors.inc()
+            return Response.from_json({"error": "oops"}, status=500)
+        return Response.from_json({"hello": "world", "version": tag})
+
+    @server.router.get("/metrics")
+    async def metrics(request):
+        from repro.metrics import render_exposition
+
+        return Response.text(render_exposition(registry))
+
+    return server, registry
+
+
+async def main() -> None:
+    # 1. Two versions of the service, and a proxy in front of them.
+    stable, stable_registry = make_version("stable")
+    canary, canary_registry = make_version("canary")
+    await stable.start()
+    await canary.start()
+    proxy = BifrostProxy("hello", default_upstream=stable.address)
+    await proxy.start()
+
+    # 2. A metrics server ("Prometheus") scraping both versions.
+    metrics = MetricsServer(scrape_interval=0.5)
+    metrics.scraper.add_local("stable", stable_registry)
+    metrics.scraper.add_local("canary", canary_registry)
+    await metrics.start()
+
+    # 3. Background traffic from "users" through the proxy.
+    async def traffic():
+        async with HttpClient() as client:
+            while True:
+                await client.get(f"http://{proxy.address}/hello")
+                await asyncio.sleep(0.02)
+
+    traffic_task = asyncio.ensure_future(traffic())
+
+    # 4. The strategy: canary 10% for ~6 s with an error check, then 100%.
+    builder = StrategyBuilder("hello-canary")
+    builder.service(
+        "hello", {"stable": stable.address, "canary": canary.address}
+    )
+    builder.state("canary-10").route(
+        "hello", canary_split("stable", "canary", 10.0)
+    ).check(
+        simple_basic_check(
+            name="canary-errors",
+            query='increase(request_errors{instance="canary"}[5s])',
+            validator="<5",
+            interval=2.0,
+            repetitions=3,
+        )
+    ).transitions([0.5], ["fallback", "full-rollout"])
+    builder.state("full-rollout").route("hello", single_version("canary")).final()
+    builder.state("fallback").route("hello", single_version("stable")).final(
+        rollback=True
+    )
+    strategy = builder.build()
+
+    # 5. Enact it: the engine queries the metrics server and reconfigures
+    #    the proxy over its admin API on every state change.
+    controller = HttpProxyController({"hello": proxy.address})
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{metrics.address}")
+    )
+    engine.bus.subscribe(
+        lambda event: print(f"  [engine] {event.kind.value}: {event.data}")
+    )
+
+    print("enacting strategy 'hello-canary' ...")
+    execution_id = engine.enact(strategy)
+    report = await engine.wait(execution_id)
+    print(f"\nresult: {report.status.value}")
+    print(f"path:   {' -> '.join(report.path)}")
+    print(f"took:   {report.duration:.1f}s")
+
+    stats = proxy.forwarded
+    print(f"proxy forwarded per version: {stats}")
+
+    traffic_task.cancel()
+    await engine.shutdown()
+    await controller.close()
+    await metrics.stop()
+    await proxy.stop()
+    await canary.stop()
+    await stable.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

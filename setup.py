@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not ``wheel``, so PEP-517
+editable installs fail with "invalid command 'bdist_wheel'".  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on environments that resolve to the legacy path) work.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — a Python reproduction of Bifrost (Middleware 2016).
+
+Bifrost is a middleware for defining and automatically enacting multi-phase
+live testing strategies (canary releases, dark launches, A/B tests, gradual
+rollouts) over microservice applications.
+
+The package is layered bottom-up:
+
+* :mod:`repro.httpcore` — asyncio HTTP/1.1 substrate (server, client, router).
+* :mod:`repro.metrics` — Prometheus-like time-series store, query language,
+  instrumentation registry, and resource sampler (cAdvisor stand-in).
+* :mod:`repro.core` — the paper's formal model (strategies, automata, checks)
+  and the Bifrost engine that enacts strategies.
+* :mod:`repro.dsl` — the YAML-based strategy DSL, including a from-scratch
+  YAML-subset parser.
+* :mod:`repro.proxy` — the Bifrost proxy: traffic splitting, sticky sessions,
+  header/cookie routing, dark-launch traffic duplication.
+* :mod:`repro.cluster` — in-process deployment substrate (topology, nginx-like
+  entry point, service lifecycle).
+* :mod:`repro.casestudy` — the 7-service e-commerce case-study application.
+* :mod:`repro.loadgen` — JMeter-like constant-throughput load generator.
+* :mod:`repro.cli` / :mod:`repro.dashboard` — operator tooling.
+* :mod:`repro.analysis` — experiment harnesses and statistics for the paper's
+  tables and figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,56 @@
+"""Experiment harnesses and statistics for the paper's evaluation."""
+
+from .experiments import (
+    OVERHEAD_VARIANTS,
+    PHASES,
+    OverheadRun,
+    ScalabilityPoint,
+    run_many_checks,
+    run_many_checks_sweep,
+    run_overhead_experiment,
+    run_overhead_variant,
+    run_parallel_strategies,
+    run_parallel_strategies_sweep,
+)
+from .strategies import (
+    many_checks_strategy,
+    nominal_many_checks_duration,
+    nominal_release_duration,
+    nominal_scalability_duration,
+    release_strategy,
+    scalability_strategy,
+)
+from .tables import (
+    format_cpu_figure,
+    format_delay_figure,
+    format_figure6,
+    format_phase_deltas,
+    format_table1,
+)
+from .timeseries import BoxplotStats, MeanSd
+
+__all__ = [
+    "BoxplotStats",
+    "format_cpu_figure",
+    "format_delay_figure",
+    "format_figure6",
+    "format_phase_deltas",
+    "format_table1",
+    "many_checks_strategy",
+    "MeanSd",
+    "nominal_many_checks_duration",
+    "nominal_release_duration",
+    "nominal_scalability_duration",
+    "OVERHEAD_VARIANTS",
+    "OverheadRun",
+    "PHASES",
+    "release_strategy",
+    "run_many_checks",
+    "run_many_checks_sweep",
+    "run_overhead_experiment",
+    "run_overhead_variant",
+    "run_parallel_strategies",
+    "run_parallel_strategies_sweep",
+    "ScalabilityPoint",
+    "scalability_strategy",
+]

@@ -1,0 +1,445 @@
+"""Experiment harnesses reproducing the paper's evaluation (section 5).
+
+Three harnesses, each returning a result object the benchmarks print:
+
+* :func:`run_overhead_variant` — end-user overhead (Table 1 / Figure 6):
+  drives the case-study app with the four-request JMeter-style workload
+  while the four-phase release strategy runs (or doesn't, for the
+  baseline/inactive variants).
+* :func:`run_parallel_strategies` — engine scalability over parallel
+  strategies (Figures 7 and 8): N simultaneous enactments of the
+  modified strategy against one proxy, sampling engine CPU and recording
+  per-strategy enactment delay.
+* :func:`run_many_checks` — engine scalability over parallel checks
+  (Figures 9 and 10): one strategy with 8·n checks per phase.
+
+All harnesses take a ``scale`` compressing the paper's wall-clock phase
+durations; the shapes under study (who wins, where the knees are) are
+preserved because every variant of an experiment is compressed equally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..casestudy import (
+    AuthService,
+    CaseStudyApp,
+    MongoServer,
+    ProductService,
+    build_case_study,
+    product_variant,
+)
+from ..core.engine import Engine, ExecutionReport
+from ..core.events import EventKind
+from ..loadgen import LoadGenerator, PhaseTracker, SampleLog, SummaryStats, WorkloadMix
+from ..metrics import CpuMeter, HealthProvider, HttpPrometheusProvider, MetricsServer
+from ..proxy import BifrostProxy, HttpProxyController
+from .strategies import (
+    many_checks_strategy,
+    nominal_many_checks_duration,
+    nominal_release_duration,
+    nominal_scalability_duration,
+    release_strategy,
+    scalability_strategy,
+)
+from .timeseries import BoxplotStats, MeanSd
+
+OVERHEAD_VARIANTS = ("baseline", "inactive", "active")
+#: Phase labels in experiment order (paper Figure 6, left to right).
+PHASES = ("canary", "dark", "ab-test", "rollout")
+
+
+@dataclass
+class OverheadRun:
+    """One load-test run of the overhead experiment (E1/E2)."""
+
+    variant: str
+    scale: float
+    rate: float
+    log: SampleLog
+    phases: PhaseTracker
+    report: ExecutionReport | None = None
+
+    def phase_stats_ms(self) -> dict[str, SummaryStats]:
+        """Per-phase response-time statistics in milliseconds (Table 1)."""
+        return {
+            name: stats.scaled(1000.0)
+            for name, stats in self.phases.summarize(self.log).items()
+        }
+
+    def series_ms(self, window: float | None = None) -> list[tuple[float, float]]:
+        """Moving-average response-time series in ms (Figure 6).
+
+        The paper uses a 3 s window over a 380 s run; the default scales
+        that window with the experiment.
+        """
+        if window is None:
+            window = max(0.25, 3.0 * self.scale)
+        return [
+            (t, latency * 1000.0)
+            for t, latency in self.log.moving_average(window=window, step=window / 3)
+        ]
+
+
+def _map_state_to_phase(state: str) -> str | None:
+    if state == "canary":
+        return "canary"
+    if state == "dark":
+        return "dark"
+    if state == "ab-test":
+        return "ab-test"
+    if state.startswith("rollout-") and state.endswith("-5"):
+        return "rollout"
+    return None
+
+
+async def run_overhead_variant(
+    variant: str,
+    scale: float = 0.05,
+    rate: float = 35.0,
+    ramp_up: float | None = None,
+    db_delay: float = 0.0005,
+) -> OverheadRun:
+    """Run one Table-1 column group: baseline, inactive, or active."""
+    if variant not in OVERHEAD_VARIANTS:
+        raise ValueError(f"variant must be one of {OVERHEAD_VARIANTS}, got {variant!r}")
+    total = nominal_release_duration(scale)
+    if ramp_up is None:
+        ramp_up = max(0.5, 30.0 * scale)
+
+    app = await build_case_study(
+        proxies=variant != "baseline",
+        variants=True,
+        db_delay=db_delay,
+        scrape_interval=max(0.2, 6.0 * scale),
+    )
+    engine: Engine | None = None
+    controller: HttpProxyController | None = None
+    try:
+        token = await app.issue_token()
+        skus = [f"SKU-{i:04d}" for i in range(40)]
+        generator = LoadGenerator(
+            app.entry_address,
+            WorkloadMix(skus=skus),
+            rate=rate,
+            headers={"Authorization": f"Bearer {token}"},
+        )
+        phases = PhaseTracker()
+        # Slack so the load outlives the strategy's slightly-delayed end.
+        load_task = asyncio.ensure_future(
+            generator.run(duration=total * 1.15, ramp_up=ramp_up)
+        )
+        await asyncio.sleep(ramp_up)
+
+        report: ExecutionReport | None = None
+        if variant == "active":
+            controller = HttpProxyController(
+                {
+                    "product": app.product_proxy.address,
+                    "search": app.search_proxy.address,
+                }
+            )
+            engine = Engine(controller=controller)
+            engine.register_provider(
+                "prometheus", HttpPrometheusProvider(f"http://{app.metrics.address}")
+            )
+
+            def on_event(event) -> None:
+                if event.kind is EventKind.STATE_ENTERED:
+                    phase = _map_state_to_phase(event.data.get("state", ""))
+                    if phase is not None:
+                        phases.enter(phase, generator.elapsed)
+
+            engine.bus.subscribe(on_event)
+            strategy = release_strategy(app.endpoints("product"), scale=scale)
+            execution_id = engine.enact(strategy)
+            report = await engine.wait(execution_id)
+            phases.finish(generator.elapsed)
+        else:
+            # No strategy runs; mark the same nominal phase windows so the
+            # three variants are compared over identical intervals.
+            boundaries = (60.0, 60.0, 60.0, 200.0)
+            for name, span in zip(PHASES, boundaries):
+                phases.enter(name, generator.elapsed)
+                await asyncio.sleep(span * scale)
+            phases.finish(generator.elapsed)
+
+        await load_task
+        await generator.close()
+        return OverheadRun(
+            variant=variant,
+            scale=scale,
+            rate=rate,
+            log=generator.log,
+            phases=phases,
+            report=report,
+        )
+    finally:
+        if engine is not None:
+            await engine.shutdown()
+        if controller is not None:
+            await controller.close()
+        await app.stop()
+
+
+async def run_overhead_experiment(
+    scale: float = 0.05, rate: float = 35.0, repetitions: int = 1
+) -> dict[str, list[OverheadRun]]:
+    """All three variants, *repetitions* times each (the paper ran 5)."""
+    runs: dict[str, list[OverheadRun]] = {name: [] for name in OVERHEAD_VARIANTS}
+    for _ in range(repetitions):
+        for variant in OVERHEAD_VARIANTS:
+            runs[variant].append(await run_overhead_variant(variant, scale, rate))
+    return runs
+
+
+# -- scalability experiments -------------------------------------------------------
+
+
+@dataclass
+class ScalabilityPoint:
+    """One x-axis point of Figures 7-10."""
+
+    x: int  # number of parallel strategies, or parallel checks
+    cpu: BoxplotStats  # engine CPU utilization samples over the run
+    delay: MeanSd  # enactment delay: measured - specified duration
+    wall_time: float
+    completed: int
+    failed: int
+    cpu_samples: list[float] = field(default_factory=list)
+    delays: list[float] = field(default_factory=list)
+
+
+@dataclass
+class _EngineFixture:
+    """Minimal topology for the engine-scalability experiments.
+
+    product + product_a services, one Bifrost proxy, and a metrics server
+    scraping both — "we used the product and product A service of our
+    sample application running in their own containers as target of all
+    executed release strategies" (section 5.2.1).
+    """
+
+    mongo: MongoServer
+    auth: AuthService
+    product: ProductService
+    product_a: ProductService
+    proxy: BifrostProxy
+    metrics: MetricsServer
+
+    @property
+    def endpoints(self) -> dict[str, str]:
+        return {"product": self.product.address, "product_a": self.product_a.address}
+
+    async def stop(self) -> None:
+        await self.metrics.stop()
+        await self.proxy.stop()
+        await self.product_a.stop()
+        await self.product.stop()
+        await self.auth.stop()
+        await self.mongo.stop()
+
+
+async def _build_engine_fixture(scrape_interval: float) -> _EngineFixture:
+    mongo = MongoServer()
+    await mongo.start()
+    auth = AuthService(mongo_address=mongo.address)
+    await auth.start()
+    product = ProductService(mongo.address, auth.address)
+    await product.start()
+    product_a = product_variant("product_a", mongo.address, auth.address)
+    await product_a.start()
+    proxy = BifrostProxy("product", default_upstream=product.address)
+    await proxy.start()
+    metrics = MetricsServer(scrape_interval=scrape_interval)
+    metrics.scraper.add_local("product", product.registry)
+    metrics.scraper.add_local("product_a", product_a.registry)
+    await metrics.start(scrape=True)
+    return _EngineFixture(mongo, auth, product, product_a, proxy, metrics)
+
+
+async def _sample_cpu_until(done: asyncio.Event, interval: float) -> list[float]:
+    meter = CpuMeter()
+    samples: list[float] = []
+    while not done.is_set():
+        try:
+            await asyncio.wait_for(done.wait(), timeout=interval)
+        except asyncio.TimeoutError:
+            pass
+        samples.append(meter.sample())
+    return samples
+
+
+async def run_parallel_strategies(
+    count: int, scale: float = 0.02, with_checks: bool = True
+) -> ScalabilityPoint:
+    """One x-axis point of Figures 7 and 8: *count* parallel strategies."""
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    fixture = await _build_engine_fixture(
+        scrape_interval=max(0.2, 6.0 * scale)
+    )
+    controller = HttpProxyController({"product": fixture.proxy.address})
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{fixture.metrics.address}")
+    )
+    try:
+        strategies = [
+            scalability_strategy(
+                fixture.endpoints, scale=scale, name=f"s{i}", with_checks=with_checks
+            )
+            for i in range(count)
+        ]
+        done = asyncio.Event()
+        sampler = asyncio.ensure_future(
+            _sample_cpu_until(done, interval=max(0.25, 10.0 * scale))
+        )
+        started = time.monotonic()
+        # "All strategies in the experiment were executed at the same time
+        # and with identical configuration" — the worst case for the engine.
+        ids = [engine.enact(strategy) for strategy in strategies]
+        reports = await engine.wait_all()
+        wall = time.monotonic() - started
+        done.set()
+        cpu_samples = await sampler
+
+        nominal = nominal_scalability_duration(scale)
+        delays = [report.duration - nominal for report in reports if report.error is None]
+        failed = sum(1 for report in reports if report.error is not None)
+        return ScalabilityPoint(
+            x=count,
+            cpu=BoxplotStats.of(cpu_samples),
+            delay=MeanSd.of(delays),
+            wall_time=wall,
+            completed=len(reports) - failed,
+            failed=failed,
+            cpu_samples=cpu_samples,
+            delays=delays,
+        )
+    finally:
+        await engine.shutdown()
+        await controller.close()
+        await fixture.stop()
+
+
+async def run_many_checks(
+    replication: int, scale: float = 0.02
+) -> ScalabilityPoint:
+    """One x-axis point of Figures 9 and 10: 8·replication parallel checks."""
+    fixture = await _build_engine_fixture(scrape_interval=max(0.2, 6.0 * scale))
+    controller = HttpProxyController({"product": fixture.proxy.address})
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{fixture.metrics.address}")
+    )
+    health = HealthProvider()
+    engine.register_provider("health", health)
+    try:
+        strategy = many_checks_strategy(
+            fixture.endpoints, replication=replication, scale=scale
+        )
+        done = asyncio.Event()
+        sampler = asyncio.ensure_future(
+            _sample_cpu_until(done, interval=max(0.25, 10.0 * scale))
+        )
+        started = time.monotonic()
+        execution_id = engine.enact(strategy)
+        report = await engine.wait(execution_id)
+        wall = time.monotonic() - started
+        done.set()
+        cpu_samples = await sampler
+
+        nominal = nominal_many_checks_duration(scale)
+        delay = report.duration - nominal
+        return ScalabilityPoint(
+            x=8 * replication,
+            cpu=BoxplotStats.of(cpu_samples),
+            delay=MeanSd.of([delay]),
+            wall_time=wall,
+            completed=0 if report.error else 1,
+            failed=1 if report.error else 0,
+            cpu_samples=cpu_samples,
+            delays=[delay],
+        )
+    finally:
+        await engine.shutdown()
+        await controller.close()
+        await fixture.stop()
+
+
+async def run_parallel_strategies_sweep(
+    counts: list[int], scale: float = 0.02, repetitions: int = 1
+) -> list[ScalabilityPoint]:
+    """The Figure-7/8 x-axis sweep (the paper used 1, 5, 10, 20, ... 200).
+
+    A throwaway single-strategy run warms code paths and connection
+    machinery first, so the sweep's first real point isn't polluted by
+    cold-start costs.
+    """
+    await run_parallel_strategies(1, scale=min(scale, 0.005))
+    points = []
+    for count in counts:
+        merged_cpu: list[float] = []
+        merged_delays: list[float] = []
+        wall = 0.0
+        completed = failed = 0
+        for _ in range(repetitions):
+            point = await run_parallel_strategies(count, scale)
+            merged_cpu.extend(point.cpu_samples)
+            merged_delays.extend(point.delays)
+            wall += point.wall_time
+            completed += point.completed
+            failed += point.failed
+        points.append(
+            ScalabilityPoint(
+                x=count,
+                cpu=BoxplotStats.of(merged_cpu),
+                delay=MeanSd.of(merged_delays),
+                wall_time=wall,
+                completed=completed,
+                failed=failed,
+                cpu_samples=merged_cpu,
+                delays=merged_delays,
+            )
+        )
+    return points
+
+
+async def run_many_checks_sweep(
+    replications: list[int], scale: float = 0.02, repetitions: int = 1
+) -> list[ScalabilityPoint]:
+    """The Figure-9/10 x-axis sweep (the paper used 8·n up to 1600).
+
+    Warm-up as in :func:`run_parallel_strategies_sweep`.
+    """
+    await run_many_checks(1, scale=min(scale, 0.005))
+    points = []
+    for replication in replications:
+        merged_cpu: list[float] = []
+        merged_delays: list[float] = []
+        wall = 0.0
+        completed = failed = 0
+        for _ in range(repetitions):
+            point = await run_many_checks(replication, scale)
+            merged_cpu.extend(point.cpu_samples)
+            merged_delays.extend(point.delays)
+            wall += point.wall_time
+            completed += point.completed
+            failed += point.failed
+        points.append(
+            ScalabilityPoint(
+                x=8 * replication,
+                cpu=BoxplotStats.of(merged_cpu),
+                delay=MeanSd.of(merged_delays),
+                wall_time=wall,
+                completed=completed,
+                failed=failed,
+                cpu_samples=merged_cpu,
+                delays=merged_delays,
+            )
+        )
+    return points

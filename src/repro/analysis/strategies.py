@@ -1,0 +1,325 @@
+"""The release strategies used in the paper's evaluation (section 5).
+
+Three builders:
+
+* :func:`release_strategy` — the full four-phase strategy of the overhead
+  experiment (section 5.1.2): canary launch of product A and B, dark
+  launch, A/B test, gradual rollout of the winner.
+* :func:`scalability_strategy` — the "slightly modified" variant of the
+  parallel-strategies experiment (section 5.2.1): product A only, shorter
+  final phase.
+* :func:`many_checks_strategy` — the trivial two-phase strategy of the
+  parallel-checks experiment (section 5.2.2): 8·n checks per phase
+  (3 availability probes + 5 Prometheus queries, duplicated n times).
+
+Every builder takes a ``scale`` factor compressing the paper's wall-clock
+durations (scale=1.0 reproduces the original 380 s / 280 s / 120 s runs).
+"""
+
+from __future__ import annotations
+
+from ..core.builder import StrategyBuilder
+from ..core.checks import BasicCheck, Comparison, MetricCondition, MetricQuery, Timer
+from ..core.model import Strategy
+from ..core.outcome import OutputMapping
+from ..core.routing import (
+    RoutingConfig,
+    ShadowRoute,
+    TrafficSplit,
+    ab_split,
+    single_version,
+)
+
+#: Paper phase durations in seconds (section 5.1.2).
+CANARY_SECONDS = 60.0
+DARK_SECONDS = 60.0
+AB_SECONDS = 60.0
+ROLLOUT_STEP_SECONDS = 10.0
+ROLLOUT_STEPS = 20  # 5% steps to 100%
+
+
+def _error_check(name: str, instance: str, interval: float) -> BasicCheck:
+    """Canary check: the aggregated error count from Prometheus stays low.
+
+    An instant query of the cumulative error counter, exactly like the
+    paper's Listing 1 (``request_errors{instance="search:80"}`` with
+    ``validator: "<5"``).
+    """
+    query = f'request_errors{{instance="{instance}"}}'
+    repetitions = 5  # re-executed every 12 s over the 60 s phase
+    return BasicCheck(
+        name=name,
+        condition=MetricCondition.simple(query, "<5", provider="prometheus"),
+        timer=Timer(interval, repetitions),
+        # Lenient like the paper's setup: one noisy window is tolerated.
+        output=OutputMapping.boolean(float(repetitions - 1)),
+    )
+
+
+def _sales_comparison_check(duration: float) -> BasicCheck:
+    """The A/B test metric: does product A outsell product B?
+
+    A single evaluation at the end of the phase ("one check executed at
+    the end"), comparing the two variants' ``sales_total`` counters.
+    """
+    condition = MetricCondition(
+        queries=(
+            MetricQuery("sales_a", 'sales_total{instance="product_a"}', "prometheus"),
+            MetricQuery("sales_b", 'sales_total{instance="product_b"}', "prometheus"),
+        ),
+        comparison=Comparison("sales_a", ">", "sales_b"),
+    )
+    return BasicCheck(
+        name="sales-comparison",
+        condition=condition,
+        timer=Timer(duration, 1),
+        output=OutputMapping.boolean(1.0),
+    )
+
+
+def _add_gradual_rollout(
+    builder: StrategyBuilder,
+    prefix: str,
+    winner: str,
+    step_seconds: float,
+    steps: int,
+    final_state: str,
+) -> str:
+    """Append a 5%-per-step rollout chain; returns the first state name."""
+    percentages = [100.0 * (i + 1) / steps for i in range(steps)]
+    names = [f"{prefix}-{p:g}" for p in percentages]
+    for index, percentage in enumerate(percentages):
+        follower = names[index + 1] if index + 1 < len(names) else final_state
+        if percentage >= 100.0:
+            config = single_version(winner)
+        else:
+            config = RoutingConfig(
+                splits=[
+                    TrafficSplit("product", 100.0 - percentage),
+                    TrafficSplit(winner, percentage),
+                ]
+            )
+        builder.state(names[index]).route("product", config).dwell(step_seconds).goto(
+            follower
+        )
+    return names[0]
+
+
+def release_strategy(
+    endpoints: dict[str, str],
+    scale: float = 1.0,
+    name: str = "product-release",
+) -> Strategy:
+    """The four-phase strategy of the overhead experiment (section 5.1.2).
+
+    *endpoints* maps ``product``, ``product_a``, ``product_b`` to their
+    addresses (from ``CaseStudyApp.endpoints("product")``).
+    """
+    for required in ("product", "product_a", "product_b"):
+        if required not in endpoints:
+            raise ValueError(f"endpoints must include {required!r}")
+    canary_seconds = CANARY_SECONDS * scale
+    dark_seconds = DARK_SECONDS * scale
+    ab_seconds = AB_SECONDS * scale
+    step_seconds = ROLLOUT_STEP_SECONDS * scale
+
+    builder = StrategyBuilder(name)
+    builder.service("product", dict(endpoints))
+
+    # Phase 1 — canary launch: 5% to A, 5% to B, errors monitored.
+    check_interval = canary_seconds / 5
+    builder.state("canary").route(
+        "product",
+        RoutingConfig(
+            splits=[
+                TrafficSplit("product", 90.0),
+                TrafficSplit("product_a", 5.0),
+                TrafficSplit("product_b", 5.0),
+            ]
+        ),
+    ).check(
+        _error_check("errors-a", "product_a", check_interval)
+    ).check(
+        _error_check("errors-b", "product_b", check_interval)
+    ).transitions([1.5], ["abort", "dark"])
+
+    # Phase 2 — dark launch: A and B receive copies of all product traffic.
+    builder.state("dark").route(
+        "product",
+        RoutingConfig(
+            splits=[TrafficSplit("product", 100.0)],
+            shadows=[
+                ShadowRoute("product", "product_a", 100.0),
+                ShadowRoute("product", "product_b", 100.0),
+            ],
+        ),
+    ).dwell(dark_seconds).goto("ab-test")
+
+    # Phase 3 — A/B test: 50/50 sticky; sales compared once at the end.
+    builder.state("ab-test").route(
+        "product", ab_split("product_a", "product_b")
+    ).check(_sales_comparison_check(ab_seconds)).transitions(
+        [0.5], ["rollout-b-5", "rollout-a-5"]
+    )
+
+    # Phase 4 — gradual rollout of the winner (one chain per candidate).
+    _add_gradual_rollout(builder, "rollout-a", "product_a", step_seconds,
+                         ROLLOUT_STEPS, "done-a")
+    _add_gradual_rollout(builder, "rollout-b", "product_b", step_seconds,
+                         ROLLOUT_STEPS, "done-b")
+
+    builder.state("done-a").route("product", single_version("product_a")).final()
+    builder.state("done-b").route("product", single_version("product_b")).final()
+    builder.state("abort").route("product", single_version("product")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+def nominal_release_duration(scale: float = 1.0) -> float:
+    """Specified duration of the happy path through :func:`release_strategy`."""
+    return (
+        CANARY_SECONDS + DARK_SECONDS + AB_SECONDS
+        + ROLLOUT_STEP_SECONDS * ROLLOUT_STEPS
+    ) * scale
+
+
+def scalability_strategy(
+    endpoints: dict[str, str],
+    scale: float = 1.0,
+    name: str = "scalability",
+    with_checks: bool = True,
+) -> Strategy:
+    """The modified strategy of the parallel-strategies experiment.
+
+    Four phases, 280 s total at scale 1.0: canary (60 s), dark launch
+    (60 s), A/B test (60 s), gradual rollout shortened to 100 s.  Product
+    B's checks and routing are removed (section 5.2.1).
+    """
+    for required in ("product", "product_a"):
+        if required not in endpoints:
+            raise ValueError(f"endpoints must include {required!r}")
+    canary_seconds = CANARY_SECONDS * scale
+    builder = StrategyBuilder(name)
+    builder.service("product", dict(endpoints))
+
+    canary = builder.state("canary").route(
+        "product",
+        RoutingConfig(
+            splits=[TrafficSplit("product", 95.0), TrafficSplit("product_a", 5.0)]
+        ),
+    )
+    if with_checks:
+        canary.check(
+            _error_check("errors-a", "product_a", canary_seconds / 5)
+        ).transitions([0.5], ["abort", "dark"])
+    else:
+        canary.dwell(canary_seconds).goto("dark")
+
+    builder.state("dark").route(
+        "product",
+        RoutingConfig(
+            splits=[TrafficSplit("product", 100.0)],
+            shadows=[ShadowRoute("product", "product_a", 100.0)],
+        ),
+    ).dwell(DARK_SECONDS * scale).goto("ab-test")
+
+    builder.state("ab-test").route(
+        "product", ab_split("product", "product_a")
+    ).dwell(AB_SECONDS * scale).goto("rollout-10")
+
+    # Final phase shortened by 100 s: 10 steps of 10 s.
+    percentages = [10.0 * (i + 1) for i in range(10)]
+    for index, percentage in enumerate(percentages):
+        follower = (
+            f"rollout-{percentages[index + 1]:g}"
+            if index + 1 < len(percentages)
+            else "done"
+        )
+        config = (
+            single_version("product_a")
+            if percentage >= 100.0
+            else RoutingConfig(
+                splits=[
+                    TrafficSplit("product", 100.0 - percentage),
+                    TrafficSplit("product_a", percentage),
+                ]
+            )
+        )
+        builder.state(f"rollout-{percentage:g}").route("product", config).dwell(
+            ROLLOUT_STEP_SECONDS * scale
+        ).goto(follower)
+
+    builder.state("done").route("product", single_version("product_a")).final()
+    builder.state("abort").route("product", single_version("product")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+def nominal_scalability_duration(scale: float = 1.0) -> float:
+    """Specified duration of the happy path through :func:`scalability_strategy`."""
+    return (60.0 + 60.0 + 60.0 + 100.0) * scale
+
+
+def many_checks_strategy(
+    endpoints: dict[str, str],
+    replication: int,
+    scale: float = 1.0,
+    name: str = "many-checks",
+) -> Strategy:
+    """The parallel-checks stress strategy (section 5.2.2).
+
+    Two identical 60 s phases, each with ``8 * replication`` checks:
+    per block of 8, three availability probes of the product service and
+    five Prometheus queries.
+    """
+    if replication < 1:
+        raise ValueError("replication must be at least 1")
+    phase_seconds = 60.0 * scale
+    interval = phase_seconds / 5
+    builder = StrategyBuilder(name)
+    builder.service("product", dict(endpoints))
+
+    def populate(state, phase_index: int) -> None:
+        for block in range(replication):
+            for probe in range(3):
+                state.check(
+                    BasicCheck(
+                        name=f"p{phase_index}-avail-{block}-{probe}",
+                        condition=MetricCondition.simple(
+                            endpoints["product"], ">0.5", provider="health"
+                        ),
+                        timer=Timer(interval, 5),
+                        output=OutputMapping.boolean(4.0),
+                    ),
+                    weight=0.0,
+                )
+            for query_index in range(5):
+                state.check(
+                    BasicCheck(
+                        name=f"p{phase_index}-prom-{block}-{query_index}",
+                        condition=MetricCondition.simple(
+                            f'http_requests_total{{instance="product"}}',
+                            ">=0",
+                            provider="prometheus",
+                        ),
+                        timer=Timer(interval, 5),
+                        output=OutputMapping.boolean(4.0),
+                    ),
+                    weight=0.0,
+                )
+
+    first = builder.state("phase-1").route("product", single_version("product"))
+    populate(first, 1)
+    first.goto("phase-2")
+    second = builder.state("phase-2").route("product", single_version("product"))
+    populate(second, 2)
+    second.goto("done")
+    builder.state("done").final()
+    return builder.build()
+
+
+def nominal_many_checks_duration(scale: float = 1.0) -> float:
+    """Specified duration of :func:`many_checks_strategy` (two 60 s phases)."""
+    return 120.0 * scale

@@ -1,0 +1,144 @@
+"""Text rendering of the paper's tables and figures.
+
+Benchmarks print these so a run's output can be compared side by side
+with the paper: Table 1 (response-time statistics per phase), Figure 6
+(moving-average series), Figures 7/9 (CPU boxplots), Figures 8/10 (delay
+error bars).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..loadgen import SummaryStats
+from .experiments import OverheadRun, ScalabilityPoint
+
+_STATS_ROWS = ("mean", "min", "max", "sd", "median")
+
+
+def _stat(stats: SummaryStats, row: str) -> float:
+    return {
+        "mean": stats.mean,
+        "min": stats.minimum,
+        "max": stats.maximum,
+        "sd": stats.sd,
+        "median": stats.median,
+    }[row]
+
+
+def format_table1(runs: dict[str, list[OverheadRun]]) -> str:
+    """Table 1: response-time statistics (ms) per phase and variant.
+
+    When a variant has several repetitions, per-phase statistics are
+    computed over the union of its samples (the paper aggregated 5 runs).
+    """
+    phases = ["canary", "dark", "ab-test", "rollout"]
+    variants = [v for v in ("baseline", "inactive", "active") if runs.get(v)]
+    merged: dict[str, dict[str, SummaryStats]] = {}
+    for variant in variants:
+        per_phase: dict[str, list[float]] = {phase: [] for phase in phases}
+        for run in runs[variant]:
+            for phase in phases:
+                try:
+                    marker = run.phases.phase(phase)
+                except KeyError:
+                    continue
+                per_phase[phase].extend(
+                    latency * 1000.0
+                    for latency in run.log.latencies(marker.start, marker.end)
+                )
+        merged[variant] = {
+            phase: SummaryStats.of(values) for phase, values in per_phase.items()
+        }
+
+    width = 10
+    lines = []
+    header_cells = ["".ljust(8)]
+    subheader_cells = ["".ljust(8)]
+    for phase in phases:
+        header_cells.append(phase.center(width * len(variants)))
+        subheader_cells.extend(variant.rjust(width) for variant in variants)
+    lines.append("".join(header_cells))
+    lines.append("".join(subheader_cells))
+    for row in _STATS_ROWS:
+        cells = [row.ljust(8)]
+        for phase in phases:
+            for variant in variants:
+                value = _stat(merged[variant][phase], row)
+                cells.append(
+                    ("-" if math.isnan(value) else f"{value:.2f}").rjust(width)
+                )
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_figure6(runs: dict[str, list[OverheadRun]], points: int = 20) -> str:
+    """Figure 6: the moving-average response-time series per variant."""
+    lines = ["moving-average response time (ms) over the rollout:"]
+    for variant in ("baseline", "inactive", "active"):
+        for run in runs.get(variant, [])[:1]:
+            series = run.series_ms()
+            if not series:
+                continue
+            step = max(1, len(series) // points)
+            sampled = series[::step]
+            rendered = "  ".join(f"{t:6.1f}s:{ms:7.2f}" for t, ms in sampled)
+            lines.append(f"  {variant:9s} {rendered}")
+    return "\n".join(lines)
+
+
+def format_phase_deltas(runs: dict[str, list[OverheadRun]]) -> str:
+    """The headline claim: per-phase overhead of active/inactive vs baseline."""
+    table = format_table1(runs)  # ensures identical aggregation
+    del table
+    phases = ["canary", "dark", "ab-test", "rollout"]
+    lines = ["mean overhead vs baseline (ms):"]
+    means: dict[str, dict[str, float]] = {}
+    for variant, variant_runs in runs.items():
+        per_phase: dict[str, list[float]] = {phase: [] for phase in phases}
+        for run in variant_runs:
+            for phase in phases:
+                try:
+                    marker = run.phases.phase(phase)
+                except KeyError:
+                    continue
+                per_phase[phase].extend(
+                    latency * 1000.0
+                    for latency in run.log.latencies(marker.start, marker.end)
+                )
+        means[variant] = {
+            phase: (sum(v) / len(v) if v else math.nan)
+            for phase, v in per_phase.items()
+        }
+    for variant in ("inactive", "active"):
+        if variant not in means or "baseline" not in means:
+            continue
+        cells = []
+        for phase in phases:
+            delta = means[variant][phase] - means["baseline"][phase]
+            cells.append(f"{phase}={delta:+.2f}")
+        lines.append(f"  {variant:9s} " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_cpu_figure(points: list[ScalabilityPoint], xlabel: str) -> str:
+    """Figures 7/9: CPU-utilization boxplot summary per x-axis point."""
+    lines = [f"{xlabel:>10s}  {'min':>7s} {'q1':>7s} {'median':>7s} {'q3':>7s} {'max':>7s}  samples"]
+    for point in points:
+        cpu = point.cpu
+        lines.append(
+            f"{point.x:>10d}  {cpu.minimum:7.1f} {cpu.q1:7.1f} {cpu.median:7.1f} "
+            f"{cpu.q3:7.1f} {cpu.maximum:7.1f}  {cpu.count}"
+        )
+    return "\n".join(lines)
+
+
+def format_delay_figure(points: list[ScalabilityPoint], xlabel: str) -> str:
+    """Figures 8/10: enactment delay mean ± sd per x-axis point."""
+    lines = [f"{xlabel:>10s}  {'delay mean (s)':>15s} {'±sd':>8s}  {'n':>3s}  failures"]
+    for point in points:
+        lines.append(
+            f"{point.x:>10d}  {point.delay.mean:15.3f} {point.delay.sd:8.3f}  "
+            f"{point.delay.count:>3d}  {point.failed}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Small statistics helpers for experiment outputs.
+
+Boxplot summaries (Figures 7 and 9 are boxplots of CPU utilization) and
+mean ± standard deviation points (Figures 8 and 10 plot delays with error
+bars).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary (Tukey boxplot) of one sample set."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: list[float]) -> "BoxplotStats":
+        if not values:
+            nan = math.nan
+            return cls(nan, nan, nan, nan, nan, 0)
+        ordered = sorted(values)
+        # Interpolation can round outside [min, max] at subnormal floats;
+        # clamp so the five-number ordering always holds.
+        def clamp(value: float) -> float:
+            return min(max(value, ordered[0]), ordered[-1])
+
+        q1 = clamp(_quantile(ordered, 0.25))
+        median = clamp(_quantile(ordered, 0.5))
+        q3 = clamp(_quantile(ordered, 0.75))
+        return cls(
+            minimum=ordered[0],
+            q1=min(q1, median),
+            median=median,
+            q3=max(q3, median),
+            maximum=ordered[-1],
+            count=len(ordered),
+        )
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile over a pre-sorted list (R type 7)."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+@dataclass(frozen=True)
+class MeanSd:
+    """Mean ± standard deviation point (error-bar figures)."""
+
+    mean: float
+    sd: float
+    count: int
+
+    @classmethod
+    def of(cls, values: list[float]) -> "MeanSd":
+        if not values:
+            return cls(math.nan, math.nan, 0)
+        mean = sum(values) / len(values)
+        if len(values) > 1:
+            sd = math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+        else:
+            sd = 0.0
+        return cls(mean, sd, len(values))

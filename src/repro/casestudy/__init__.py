@@ -1,0 +1,36 @@
+"""The e-commerce case-study application (paper section 5.1.1).
+
+Seven services: gateway (nginx), frontend, product (three versions),
+search (two versions), auth, MongoDB stand-in, and Prometheus stand-in —
+assembled by :func:`build_case_study` into the Figure-5 topology with
+Bifrost proxies in front of product and search.
+"""
+
+from .app import CaseStudyApp, build_case_study
+from .auth import AuthService
+from .base import InstrumentedService
+from .documents import Collection, DocumentStore, MongoClient, MongoServer, QueryError
+from .fixtures import load_fixtures, product_catalog, user_accounts
+from .frontend import FrontendService
+from .product import ProductService, product_variant
+from .search import SearchService, fast_search
+
+__all__ = [
+    "AuthService",
+    "build_case_study",
+    "CaseStudyApp",
+    "Collection",
+    "DocumentStore",
+    "fast_search",
+    "FrontendService",
+    "InstrumentedService",
+    "load_fixtures",
+    "MongoClient",
+    "MongoServer",
+    "product_catalog",
+    "product_variant",
+    "ProductService",
+    "QueryError",
+    "SearchService",
+    "user_accounts",
+]

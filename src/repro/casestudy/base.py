@@ -1,0 +1,112 @@
+"""Shared machinery for the case-study microservices.
+
+Every service exposes Prometheus-style metrics on ``GET /metrics`` and
+instruments each handled request (request counter by path/status, error
+counter, latency histogram) — the monitoring surface the paper's checks
+query ("an aggregated error count from Prometheus is monitored").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+
+from ..httpcore import Handler, HttpClient, HttpServer, Request, Response
+from ..metrics import Registry, render_exposition
+
+
+class InstrumentedService(HttpServer):
+    """An HTTP service with a metrics registry and request instrumentation.
+
+    *processing_delay* simulates the service's computational work per
+    request (the knob that differentiates slow ``search`` from
+    ``fastSearch``).  *queue_factor* models queueing: each concurrent
+    in-flight request inflates the effective processing delay by that
+    fraction, the mechanism behind the paper's observation that an A/B
+    test's load splitting *reduces* per-request latency.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        processing_delay: float = 0.0,
+        queue_factor: float = 0.0,
+        client: HttpClient | None = None,
+    ):
+        super().__init__(host=host, port=port, name=name)
+        self.processing_delay = processing_delay
+        self.queue_factor = queue_factor
+        self.inflight = 0
+        self.registry = Registry()
+        self.http = client or HttpClient(pool_size=64)
+        self._owns_client = client is None
+        self.requests_total = self.registry.counter(
+            "http_requests_total", "Requests handled", label_names=("path", "code")
+        )
+        self.request_errors = self.registry.counter(
+            "request_errors", "Responses with status >= 500"
+        )
+        self.request_seconds = self.registry.histogram(
+            "http_request_seconds", "Request handling latency"
+        )
+        self.processing_seconds = self.registry.histogram(
+            "processing_seconds", "Business-logic processing time"
+        )
+        self.router.get("/metrics")(self._handle_metrics)
+        self.router.get("/healthz")(self._handle_health)
+        self.add_middleware(self._instrument)
+
+    async def _instrument(self, request: Request, handler: Handler) -> Response:
+        if request.path in ("/metrics", "/healthz"):
+            return await handler(request)
+        started = time.monotonic()
+        self.inflight += 1
+        try:
+            response = await handler(request)
+        except Exception:
+            # Handler crashes become instrumented 500s: the error counter
+            # and latency histogram must not miss exactly the requests
+            # that went wrong.
+            logging.getLogger(__name__).exception(
+                "handler error in %s for %s %s", self.name, request.method, request.path
+            )
+            response = Response.from_json({"error": "internal server error"}, 500)
+        finally:
+            self.inflight -= 1
+        elapsed = time.monotonic() - started
+        self.requests_total.labels(path=request.path, code=str(response.status)).inc()
+        self.request_seconds.observe(elapsed)
+        if response.status >= 500:
+            self.request_errors.inc()
+        return response
+
+    async def simulate_processing(self) -> None:
+        """Model the service's own compute time (monitored separately).
+
+        With a positive *queue_factor*, concurrent requests slow each
+        other down, so halving a service's traffic (A/B splitting) lowers
+        its per-request latency — the effect the paper observes in its
+        A/B phase.
+        """
+        started = time.monotonic()
+        if self.processing_delay > 0:
+            queued = max(0, self.inflight - 1)
+            delay = self.processing_delay * (1.0 + self.queue_factor * queued)
+            await asyncio.sleep(delay)
+        else:
+            await asyncio.sleep(0)
+        self.processing_seconds.observe(time.monotonic() - started)
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        return Response.text(render_exposition(self.registry))
+
+    async def _handle_health(self, request: Request) -> Response:
+        return Response.from_json({"status": "up", "service": self.name})
+
+    async def stop(self) -> None:
+        if self._owns_client:
+            await self.http.close()
+        await super().stop()

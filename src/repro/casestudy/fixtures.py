@@ -1,0 +1,53 @@
+"""Deterministic fixture data: the consumer-electronics catalog and users.
+
+The case-study shop "sells consumer electronics" (section 2.3).  Fixtures
+are deterministic so experiments and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_CATEGORIES = ["tv", "laptop", "phone", "camera", "headphones", "tablet", "monitor"]
+_BRANDS = ["Acme", "Globex", "Initech", "Umbrella", "Hooli", "Stark"]
+
+
+def product_catalog(count: int = 60) -> list[dict[str, Any]]:
+    """*count* products cycling through categories and brands."""
+    products = []
+    for index in range(count):
+        category = _CATEGORIES[index % len(_CATEGORIES)]
+        brand = _BRANDS[index % len(_BRANDS)]
+        products.append(
+            {
+                "sku": f"SKU-{index:04d}",
+                "name": f"{brand} {category.title()} {index}",
+                "category": category,
+                "brand": brand,
+                "price": round(49.0 + (index * 37) % 1500 + 0.99, 2),
+                "stock": 5 + (index * 13) % 100,
+                "buyers": [],
+            }
+        )
+    return products
+
+
+def user_accounts(count: int = 20) -> list[dict[str, Any]]:
+    """*count* user accounts with deterministic credentials."""
+    countries = ["US", "CH", "DE", "JP", "BR"]
+    return [
+        {
+            "email": f"user{index}@example.com",
+            "password": f"secret-{index}",
+            "country": countries[index % len(countries)],
+        }
+        for index in range(count)
+    ]
+
+
+async def load_fixtures(mongo_client, products: int = 60, users: int = 20) -> None:
+    """Insert the catalog and users through a MongoClient."""
+    for product in product_catalog(products):
+        await mongo_client.insert("products", product)
+    for user in user_accounts(users):
+        await mongo_client.insert("users", user)

@@ -1,0 +1,43 @@
+"""The HTML/JavaScript frontend service.
+
+The thinnest of the seven services: serves the shop's single page (the
+paper's frontend is a static HTML/JS bundle).  Kept minimal on purpose —
+it exists so the gateway has a "/" upstream and the topology matches
+Figure 5.
+"""
+
+from __future__ import annotations
+
+from ..httpcore import Request, Response
+from .base import InstrumentedService
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head><title>Bifrost Case Study Shop</title></head>
+<body>
+  <h1>Consumer Electronics Shop</h1>
+  <p>A microservice-based case study application for the Bifrost
+     middleware evaluation.</p>
+  <ul>
+    <li><code>POST /auth/login</code> — obtain a token</li>
+    <li><code>GET /products</code> — browse the catalog</li>
+    <li><code>GET /products/{sku}</code> — product details</li>
+    <li><code>POST /products/{sku}/buy</code> — place an order</li>
+    <li><code>GET /search?q=...</code> — product search</li>
+  </ul>
+</body>
+</html>
+"""
+
+
+class FrontendService(InstrumentedService):
+    """Serves the shop's HTML page."""
+
+    def __init__(self, **kwargs):
+        super().__init__(name="frontend", **kwargs)
+        self.router.get("/")(self._handle_index)
+        self.router.get("/index.html")(self._handle_index)
+
+    async def _handle_index(self, request: Request) -> Response:
+        await self.simulate_processing()
+        return Response.html(_PAGE)

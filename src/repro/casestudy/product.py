@@ -1,0 +1,162 @@
+"""The product service and its two replacement candidates.
+
+The overhead experiment (section 5.1.2) replaces ``product`` with the
+alternatives ``product A`` and ``product B``.  The service implements the
+four load-test request types:
+
+* **Buy** — ``POST /products/{sku}/buy``: writes to the database, returns
+  no body.
+* **Details** — ``GET /products/{sku}``: one read, small body.
+* **Products** — ``GET /products``: one read, large body (the full
+  catalog including buyers).
+* **Search** — ``GET /search?q=``: invokes the search service.
+
+Every request requires authorization via the auth service.  The variants
+differ in processing delay and in an ``upsell_rate`` — the probability
+that a buy sells an accessory too — giving the A/B test's business metric
+(``sales_total``) something to discriminate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..httpcore import Request, Response
+from .base import InstrumentedService
+from .documents import MongoClient
+
+
+class ProductService(InstrumentedService):
+    """Catalog browsing and purchases."""
+
+    def __init__(
+        self,
+        mongo_address: str,
+        auth_address: str,
+        search_address: str | None = None,
+        version: str = "product",
+        processing_delay: float = 0.002,
+        upsell_rate: float = 0.0,
+        rng: random.Random | None = None,
+        **kwargs,
+    ):
+        super().__init__(name=version, processing_delay=processing_delay, **kwargs)
+        self.version = version
+        self._mongo_address = mongo_address
+        self.auth_address = auth_address
+        self.search_address = search_address
+        self.upsell_rate = upsell_rate
+        self.rng = rng or random.Random()
+        self.sales_total = self.registry.counter(
+            "sales_total", "Items sold (the A/B business metric)"
+        )
+        self.buys_total = self.registry.counter("buys_total", "Buy requests accepted")
+        self.auth_failures = self.registry.counter(
+            "auth_failures_total", "Requests rejected by authorization"
+        )
+        self.router.get("/products")(self._handle_list)
+        self.router.get("/products/{sku}")(self._handle_details)
+        self.router.post("/products/{sku}/buy")(self._handle_buy)
+        self.router.get("/search")(self._handle_search)
+
+    @property
+    def mongo(self) -> MongoClient:
+        return MongoClient(self._mongo_address, self.http)
+
+    async def _authorize(self, request: Request) -> dict | None:
+        """Validate the caller's token with the auth service."""
+        token = request.headers.get("Authorization", "")
+        try:
+            response = await self.http.get(
+                f"http://{self.auth_address}/auth/validate",
+                headers={"Authorization": token},
+            )
+        except Exception:
+            self.auth_failures.inc()
+            return None
+        if response.status != 200:
+            self.auth_failures.inc()
+            return None
+        return response.json()
+
+    async def _handle_list(self, request: Request) -> Response:
+        # Products: large response body — all products including buyers.
+        if await self._authorize(request) is None:
+            return Response.from_json({"error": "unauthorized"}, 401)
+        await self.simulate_processing()
+        products = await self.mongo.find("products")
+        return Response.from_json({"version": self.version, "products": products})
+
+    async def _handle_details(self, request: Request) -> Response:
+        # Details: one read, small response body.
+        if await self._authorize(request) is None:
+            return Response.from_json({"error": "unauthorized"}, 401)
+        await self.simulate_processing()
+        sku = request.path_params["sku"]
+        product = await self.mongo.find_one("products", {"sku": sku})
+        if product is None:
+            return Response.from_json({"error": "no such product", "sku": sku}, 404)
+        product.pop("buyers", None)
+        return Response.from_json({"version": self.version, "product": product})
+
+    async def _handle_buy(self, request: Request) -> Response:
+        # Buy: a database write; no response body is sent back.
+        session = await self._authorize(request)
+        if session is None:
+            return Response.from_json({"error": "unauthorized"}, 401)
+        await self.simulate_processing()
+        sku = request.path_params["sku"]
+        product = await self.mongo.find_one("products", {"sku": sku})
+        if product is None:
+            return Response.from_json({"error": "no such product", "sku": sku}, 404)
+        buyers = product.get("buyers", []) + [session.get("email", "anonymous")]
+        await self.mongo.update("products", {"sku": sku}, {"buyers": buyers})
+        self.buys_total.inc()
+        self.sales_total.inc()
+        if self.upsell_rate > 0 and self.rng.random() < self.upsell_rate:
+            self.sales_total.inc()  # the accessory sale
+        return Response(status=204)
+
+    async def _handle_search(self, request: Request) -> Response:
+        # Search: delegates to the search service (through its proxy when
+        # the topology puts one in front).
+        if await self._authorize(request) is None:
+            return Response.from_json({"error": "unauthorized"}, 401)
+        if self.search_address is None:
+            return Response.from_json({"error": "search not configured"}, 503)
+        await self.simulate_processing()
+        try:
+            response = await self.http.get(
+                f"http://{self.search_address}{request.target}"
+            )
+        except Exception:
+            return Response.from_json({"error": "search unavailable"}, 502)
+        return response.copy()
+
+
+def product_variant(
+    name: str,
+    mongo_address: str,
+    auth_address: str,
+    search_address: str | None = None,
+    **kwargs,
+) -> ProductService:
+    """Build one of the replacement candidates (``product_a``/``product_b``).
+
+    Defaults model the experiment: variant A is slightly faster, variant B
+    upsells more — so technical checks prefer A while the business metric
+    prefers B, and the A/B test has a real decision to make.
+    """
+    presets = {
+        "product_a": {"processing_delay": 0.0015, "upsell_rate": 0.10},
+        "product_b": {"processing_delay": 0.0025, "upsell_rate": 0.30},
+    }
+    options = dict(presets.get(name, {}))
+    options.update(kwargs)
+    return ProductService(
+        mongo_address,
+        auth_address,
+        search_address,
+        version=name,
+        **options,
+    )

@@ -1,0 +1,90 @@
+"""The search service and its redesigned variant.
+
+The running example (section 2.3): the slow-but-working ``search`` service
+is being replaced by ``fastSearch``, "a new algorithm for delivering more
+accurate search results".  Both variants query the product collection; the
+fast variant models the better algorithm with a lower processing delay and
+a relevance ordering.  Monitored metrics match the paper's list: response
+time, processing time, 404 count, and searches per interval.
+"""
+
+from __future__ import annotations
+
+from ..httpcore import Request, Response
+from .base import InstrumentedService
+from .documents import MongoClient
+
+
+class SearchService(InstrumentedService):
+    """Text search over the product catalog."""
+
+    def __init__(
+        self,
+        mongo_address: str,
+        version: str = "search",
+        processing_delay: float = 0.004,
+        relevance_ranking: bool = False,
+        **kwargs,
+    ):
+        super().__init__(name=version, processing_delay=processing_delay, **kwargs)
+        self.version = version
+        self._mongo_address = mongo_address
+        self.relevance_ranking = relevance_ranking
+        self.searches_total = self.registry.counter(
+            "search_requests_total", "Search queries served"
+        )
+        self.not_found_total = self.registry.counter(
+            "search_not_found_total", "Queries with no results (404s)"
+        )
+        self.router.get("/search")(self._handle_search)
+
+    @property
+    def mongo(self) -> MongoClient:
+        return MongoClient(self._mongo_address, self.http)
+
+    async def _handle_search(self, request: Request) -> Response:
+        query = request.query.get("q", "").strip()
+        self.searches_total.inc()
+        if not query:
+            return Response.from_json({"error": "missing query parameter q"}, 400)
+        await self.simulate_processing()
+        matches = await self.mongo.find("products", {"name": {"$contains": query}})
+        if not matches:
+            matches = await self.mongo.find(
+                "products", {"category": {"$contains": query}}
+            )
+        if not matches:
+            self.not_found_total.inc()
+            return Response.from_json(
+                {"error": "no products found", "query": query}, 404
+            )
+        if self.relevance_ranking:
+            # The "more accurate" algorithm: exact-prefix hits first, then
+            # cheaper products — a deterministic stand-in for relevance.
+            matches.sort(
+                key=lambda p: (
+                    not p["name"].lower().startswith(query.lower()),
+                    p["price"],
+                )
+            )
+        return Response.from_json(
+            {
+                "query": query,
+                "version": self.version,
+                "results": [
+                    {"sku": p["sku"], "name": p["name"], "price": p["price"]}
+                    for p in matches
+                ],
+            }
+        )
+
+
+def fast_search(mongo_address: str, **kwargs) -> SearchService:
+    """The redesigned fastSearch variant (quicker, relevance-ranked)."""
+    kwargs.setdefault("processing_delay", 0.001)
+    return SearchService(
+        mongo_address,
+        version="fastSearch",
+        relevance_ranking=True,
+        **kwargs,
+    )

@@ -1,0 +1,303 @@
+"""The Bifrost command-line interface.
+
+Subcommands:
+
+* ``bifrost validate <file>`` — compile a strategy document and report
+  its structure (exit 1 on errors).
+* ``bifrost render <file>`` — print the automaton (``--mermaid`` emits a
+  Mermaid state diagram like the paper's Figure 2).
+* ``bifrost run <file>`` — enact a strategy locally: configures proxies
+  from the document's deployment section over HTTP and runs the engine
+  in-process until the strategy finishes.
+* ``bifrost serve`` — start an engine with its HTTP API (and optional
+  dashboard) for remote scheduling.
+* ``bifrost status`` / ``bifrost events`` / ``bifrost cancel`` — talk to
+  a remote engine API (``--engine host:port``), as release scripts do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+from ..core.engine import Engine, ExecutionStatus
+from ..dashboard import (
+    DashboardServer,
+    EngineApiServer,
+    render_event,
+    render_executions,
+    render_mermaid,
+    render_strategy,
+)
+from ..dsl import DslError, compile_document
+from ..dsl.yaml_lite import YamlError
+from ..httpcore import HttpClient
+from ..metrics.provider import HttpPrometheusProvider
+from ..proxy.admin import HttpProxyController
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bifrost",
+        description="Automated enactment of multi-phase live testing strategies",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate", help="check a strategy document")
+    validate.add_argument("file", type=Path)
+    validate.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run static verification rules (rollback reachability, ...)",
+    )
+    validate.add_argument(
+        "--forecast",
+        type=float,
+        metavar="P",
+        help="forecast expected rollout time assuming per-state success "
+        "probability P (e.g. 0.9)",
+    )
+
+    render = commands.add_parser("render", help="print a strategy's automaton")
+    render.add_argument("file", type=Path)
+    render.add_argument(
+        "--mermaid", action="store_true", help="emit a Mermaid state diagram"
+    )
+
+    run = commands.add_parser("run", help="enact a strategy locally")
+    run.add_argument("file", type=Path)
+    run.add_argument(
+        "--prometheus",
+        metavar="URL",
+        help="metrics provider base URL (e.g. http://127.0.0.1:9090)",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress the event stream"
+    )
+
+    serve = commands.add_parser("serve", help="start the engine API server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7878)
+    serve.add_argument(
+        "--dashboard-port", type=int, default=None, help="also serve the dashboard"
+    )
+    serve.add_argument("--prometheus", metavar="URL")
+
+    status = commands.add_parser("status", help="list executions on an engine")
+    status.add_argument("--engine", required=True, metavar="HOST:PORT")
+
+    events = commands.add_parser("events", help="print an engine's event log")
+    events.add_argument("--engine", required=True, metavar="HOST:PORT")
+    events.add_argument("--since", type=int, default=0)
+
+    cancel = commands.add_parser("cancel", help="cancel a running execution")
+    cancel.add_argument("--engine", required=True, metavar="HOST:PORT")
+    cancel.add_argument("execution")
+
+    pause = commands.add_parser(
+        "pause", help="hold an execution before its next phase"
+    )
+    pause.add_argument("--engine", required=True, metavar="HOST:PORT")
+    pause.add_argument("execution")
+
+    resume = commands.add_parser("resume", help="release a paused execution")
+    resume.add_argument("--engine", required=True, metavar="HOST:PORT")
+    resume.add_argument("execution")
+
+    return parser
+
+
+def _load_document(path: Path):
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    return compile_document(text)
+
+
+def cmd_validate(args) -> int:
+    try:
+        compiled = _load_document(args.file)
+    except (DslError, YamlError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    automaton = compiled.strategy.automaton
+    states = len(automaton.states)
+    finals = len(automaton.final_states)
+    checks = sum(len(state.checks) for state in automaton.states.values())
+    print(f"OK: strategy {compiled.name!r}")
+    print(f"  states: {states} ({finals} final), checks: {checks}")
+    print(f"  services: {', '.join(sorted(compiled.strategy.services))}")
+    exit_code = 0
+    if args.verify:
+        from ..core.verify import Severity, verify_strategy
+
+        findings = verify_strategy(compiled.strategy)
+        if not findings:
+            print("verification: no findings")
+        for finding in findings:
+            print(f"  {finding}")
+        if any(f.severity is Severity.ERROR for f in findings):
+            exit_code = 3
+    if args.forecast is not None:
+        from ..core.reasoning import forecast_rollout, optimistic_probabilities
+
+        probabilities = optimistic_probabilities(automaton, success=args.forecast)
+        forecast = forecast_rollout(compiled.strategy, probabilities)
+        print(
+            f"forecast (success probability {args.forecast:g}): expected "
+            f"rollout time {forecast.expected_duration:.1f}s, rollback "
+            f"probability {forecast.rollback_probability:.1%}"
+        )
+    return exit_code
+
+
+def cmd_render(args) -> int:
+    try:
+        compiled = _load_document(args.file)
+    except (DslError, YamlError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if args.mermaid:
+        print(render_mermaid(compiled.strategy.automaton))
+    else:
+        print(render_strategy(compiled.strategy))
+    return 0
+
+
+async def _run_local(args) -> int:
+    try:
+        compiled = _load_document(args.file)
+    except (DslError, YamlError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    controller = HttpProxyController(compiled.deployment.proxies())
+    engine = Engine(controller=controller)
+    if args.prometheus:
+        engine.register_provider(
+            "prometheus", HttpPrometheusProvider(args.prometheus)
+        )
+    if not args.quiet:
+        engine.bus.subscribe(
+            lambda event: print(
+                render_event(
+                    {
+                        "at": event.at,
+                        "strategy": event.strategy,
+                        "kind": event.kind.value,
+                        "data": event.data,
+                    }
+                )
+            )
+        )
+    execution_id = engine.enact(compiled.strategy)
+    report = await engine.wait(execution_id)
+    await engine.shutdown()
+    await controller.close()
+    print(
+        f"{report.strategy}: {report.status.value} after {report.duration:.3f}s, "
+        f"path {' -> '.join(report.path)}"
+    )
+    return 0 if report.status is ExecutionStatus.COMPLETED else 2
+
+
+async def _serve(args) -> int:
+    engine = Engine(controller=HttpProxyController({}))
+    if args.prometheus:
+        engine.register_provider(
+            "prometheus", HttpPrometheusProvider(args.prometheus)
+        )
+    api = EngineApiServer(engine, host=args.host, port=args.port)
+    await api.start()
+    print(f"bifrost engine API on http://{api.address}")
+    dashboard = None
+    if args.dashboard_port is not None:
+        dashboard = DashboardServer(engine, host=args.host, port=args.dashboard_port)
+        await dashboard.start()
+        print(f"bifrost dashboard on http://{dashboard.address}")
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        if dashboard is not None:
+            await dashboard.stop()
+        await api.stop()
+        await engine.shutdown()
+    return 0
+
+
+async def _status(args) -> int:
+    async with HttpClient() as client:
+        response = await client.get(f"http://{args.engine}/api/executions")
+        print(render_executions(response.json()["executions"]))
+    return 0
+
+
+async def _events(args) -> int:
+    async with HttpClient() as client:
+        response = await client.get(
+            f"http://{args.engine}/api/events?since={args.since}"
+        )
+        for event in response.json()["events"]:
+            print(render_event(event))
+    return 0
+
+
+async def _cancel(args) -> int:
+    from urllib.parse import quote
+
+    async with HttpClient() as client:
+        response = await client.delete(
+            f"http://{args.engine}/api/executions/{quote(args.execution, safe='')}"
+        )
+        if response.status != 200:
+            print(f"error: {response.json().get('error')}", file=sys.stderr)
+            return 1
+        print(f"cancelled {args.execution}")
+    return 0
+
+
+async def _pause_resume(args, action: str) -> int:
+    from urllib.parse import quote
+
+    async with HttpClient() as client:
+        response = await client.post(
+            f"http://{args.engine}/api/executions/"
+            f"{quote(args.execution, safe='')}/{action}"
+        )
+        if response.status != 200:
+            print(f"error: {response.json().get('error')}", file=sys.stderr)
+            return 1
+        print(f"{response.json()['status']} {args.execution}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "validate":
+        return cmd_validate(args)
+    if args.command == "render":
+        return cmd_render(args)
+    if args.command == "run":
+        return asyncio.run(_run_local(args))
+    if args.command == "serve":
+        return asyncio.run(_serve(args))
+    if args.command == "status":
+        return asyncio.run(_status(args))
+    if args.command == "events":
+        return asyncio.run(_events(args))
+    if args.command == "cancel":
+        return asyncio.run(_cancel(args))
+    if args.command == "pause":
+        return asyncio.run(_pause_resume(args, "pause"))
+    if args.command == "resume":
+        return asyncio.run(_pause_resume(args, "resume"))
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

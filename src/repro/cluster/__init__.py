@@ -1,0 +1,27 @@
+"""Deployment substrate: topology lifecycle, gateway, load balancer.
+
+Replaces the paper's Docker Swarm + nginx deployment with in-process
+components sharing one event loop — matching the single-core VM setting
+of the paper's scalability experiments.
+"""
+
+from .balancer import LoadBalancer
+from .provisioner import (
+    InProcessProvisioner,
+    Provisioner,
+    ProvisioningError,
+    provision_strategy_versions,
+)
+from .gateway import Gateway
+from .topology import Cluster, ClusterError
+
+__all__ = [
+    "Cluster",
+    "ClusterError",
+    "Gateway",
+    "InProcessProvisioner",
+    "LoadBalancer",
+    "Provisioner",
+    "ProvisioningError",
+    "provision_strategy_versions",
+]

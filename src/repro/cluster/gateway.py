@@ -1,0 +1,84 @@
+"""The nginx stand-in: a path-prefix reverse proxy.
+
+The case-study application uses nginx as "a central entry-point to the
+application for users.  It proxies incoming requests to either the
+frontend service or to the product service" (section 5.1.1).  This gateway
+implements that role: longest-prefix routing of paths to upstream
+addresses, with no live-testing logic of its own.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from ..httpcore import HttpClient, HttpError, HttpServer, Request, Response
+
+logger = logging.getLogger(__name__)
+
+_HOP_BY_HOP = ("connection", "keep-alive", "te", "transfer-encoding", "upgrade")
+
+
+class Gateway(HttpServer):
+    """A reverse proxy with longest-prefix path routing."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client: HttpClient | None = None,
+    ):
+        super().__init__(host=host, port=port, name="gateway")
+        self._routes: list[tuple[str, str]] = []  # (prefix, upstream address)
+        self._client = client or HttpClient(pool_size=64)
+        self._owns_client = client is None
+        self.router.set_fallback(self._handle)
+
+    def add_route(self, prefix: str, upstream: str) -> None:
+        """Route paths starting with *prefix* to *upstream* (host:port)."""
+        if not prefix.startswith("/"):
+            raise ValueError(f"prefix must start with '/': {prefix!r}")
+        self._routes.append((prefix, upstream))
+        # Longest prefix first, so "/products" wins over "/".
+        self._routes.sort(key=lambda item: len(item[0]), reverse=True)
+
+    def set_upstream(self, prefix: str, upstream: str) -> None:
+        """Re-point an existing prefix (service restarted elsewhere)."""
+        for index, (existing, _) in enumerate(self._routes):
+            if existing == prefix:
+                self._routes[index] = (prefix, upstream)
+                return
+        raise KeyError(f"no route with prefix {prefix!r}")
+
+    def upstream_for(self, path: str) -> str | None:
+        for prefix, upstream in self._routes:
+            if path.startswith(prefix):
+                return upstream
+        return None
+
+    async def _handle(self, request: Request) -> Response:
+        upstream = self.upstream_for(request.path)
+        if upstream is None:
+            return Response.from_json(
+                {"error": "no route", "path": request.path}, status=404
+            )
+        headers = request.headers.copy()
+        for name in _HOP_BY_HOP:
+            headers.remove(name)
+        headers.set("Host", upstream)
+        try:
+            return await self._client.request(
+                request.method,
+                f"http://{upstream}{request.target}",
+                headers=headers,
+                body=request.body,
+            )
+        except (HttpError, ConnectionError, OSError) as exc:
+            logger.warning("gateway upstream %s failed: %s", upstream, exc)
+            return Response.from_json(
+                {"error": "bad gateway", "upstream": upstream}, status=502
+            )
+
+    async def stop(self) -> None:
+        if self._owns_client:
+            await self._client.close()
+        await super().stop()

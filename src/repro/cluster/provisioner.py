@@ -1,0 +1,141 @@
+"""Version provisioning — the Infrastructure-as-Code integration point.
+
+The paper's future work: "Future versions of the tool will be able to
+instantiate versions themselves, by interfacing with Infrastructure-as-
+Code tools such as Vagrant or Chef" (section 7).  This module defines
+that seam and ships the in-process implementation our deployment
+substrate supports:
+
+* :class:`Provisioner` — the interface: provision a (service, version)
+  and get back its endpoint; decommission it when the strategy retires
+  the version.
+* :class:`InProcessProvisioner` — registers server factories per
+  (service, version) and starts/stops the servers on demand, with
+  reference counting so two strategies sharing a version don't tear it
+  down under each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from ..httpcore import HttpServer
+
+
+class ProvisioningError(Exception):
+    """A version cannot be provisioned or decommissioned."""
+
+
+#: A factory builds a *not yet started* server for one service version.
+ServerFactory = Callable[[], HttpServer | Awaitable[HttpServer]]
+
+
+class Provisioner:
+    """Interface to whatever instantiates service versions."""
+
+    async def provision(self, service: str, version: str) -> str:
+        """Ensure an instance of (service, version) runs; return host:port."""
+        raise NotImplementedError
+
+    async def decommission(self, service: str, version: str) -> None:
+        """Release one claim on (service, version); stop it at zero."""
+        raise NotImplementedError
+
+    async def shutdown(self) -> None:
+        """Stop everything this provisioner started."""
+        raise NotImplementedError
+
+
+@dataclass
+class _Provisioned:
+    server: HttpServer
+    claims: int = 1
+
+
+class InProcessProvisioner(Provisioner):
+    """Starts registered server factories inside this process."""
+
+    def __init__(self) -> None:
+        self._factories: dict[tuple[str, str], ServerFactory] = {}
+        self._running: dict[tuple[str, str], _Provisioned] = {}
+
+    def register(self, service: str, version: str, factory: ServerFactory) -> None:
+        """Teach the provisioner how to build one service version."""
+        key = (service, version)
+        if key in self._factories:
+            raise ProvisioningError(
+                f"factory for {service}/{version} already registered"
+            )
+        self._factories[key] = factory
+
+    @property
+    def running(self) -> list[tuple[str, str]]:
+        return sorted(self._running)
+
+    def endpoint(self, service: str, version: str) -> str | None:
+        """The endpoint of a provisioned version, if running."""
+        entry = self._running.get((service, version))
+        return entry.server.address if entry else None
+
+    async def provision(self, service: str, version: str) -> str:
+        key = (service, version)
+        entry = self._running.get(key)
+        if entry is not None:
+            entry.claims += 1
+            return entry.server.address
+        factory = self._factories.get(key)
+        if factory is None:
+            raise ProvisioningError(
+                f"no factory registered for {service}/{version}; known: "
+                f"{sorted('/'.join(k) for k in self._factories)}"
+            )
+        produced = factory()
+        if hasattr(produced, "__await__"):
+            produced = await produced  # type: ignore[assignment]
+        server: HttpServer = produced  # type: ignore[assignment]
+        try:
+            await server.start()
+        except Exception as exc:
+            raise ProvisioningError(
+                f"failed to start {service}/{version}: {exc}"
+            ) from exc
+        self._running[key] = _Provisioned(server)
+        return server.address
+
+    async def decommission(self, service: str, version: str) -> None:
+        key = (service, version)
+        entry = self._running.get(key)
+        if entry is None:
+            raise ProvisioningError(f"{service}/{version} is not provisioned")
+        entry.claims -= 1
+        if entry.claims <= 0:
+            del self._running[key]
+            await entry.server.stop()
+
+    async def shutdown(self) -> None:
+        for entry in self._running.values():
+            await entry.server.stop()
+        self._running.clear()
+
+
+async def provision_strategy_versions(
+    provisioner: Provisioner, service: str, versions: list[str]
+) -> dict[str, str]:
+    """Provision every version a strategy needs; returns endpoints.
+
+    On partial failure, already-provisioned versions are decommissioned
+    before the error propagates, so nothing leaks.
+    """
+    endpoints: dict[str, str] = {}
+    try:
+        for version in versions:
+            endpoints[version] = await provisioner.provision(service, version)
+    except Exception:
+        for version in endpoints:
+            try:
+                await provisioner.decommission(service, version)
+            except ProvisioningError:
+                pass
+        raise
+    return endpoints

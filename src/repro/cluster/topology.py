@@ -1,0 +1,97 @@
+"""In-process deployment topology — the Docker Swarm stand-in.
+
+A :class:`Cluster` owns a set of named servers (services, proxies, the
+gateway, the metrics server) and starts/stops them together, in
+registration order and reverse, like ``docker-compose up``/``down``.  It
+doubles as the address book: components are registered before ports are
+known (port 0) and resolved after :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TypeVar
+
+from ..httpcore import HttpServer
+
+logger = logging.getLogger(__name__)
+
+ServerT = TypeVar("ServerT", bound=HttpServer)
+
+
+class ClusterError(Exception):
+    """Topology misuse: duplicate names, lookups before start, ..."""
+
+
+class Cluster:
+    """A named collection of servers with shared lifecycle."""
+
+    def __init__(self, name: str = "cluster"):
+        self.name = name
+        self._servers: dict[str, HttpServer] = {}
+        self._started = False
+
+    def add(self, name: str, server: ServerT) -> ServerT:
+        """Register *server* under *name*; returns it for chaining."""
+        if name in self._servers:
+            raise ClusterError(f"cluster already has a component {name!r}")
+        if self._started:
+            raise ClusterError("cannot add components to a started cluster")
+        self._servers[name] = server
+        return server
+
+    def get(self, name: str) -> HttpServer:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise ClusterError(
+                f"no component {name!r}; known: {sorted(self._servers)}"
+            ) from None
+
+    def address(self, name: str) -> str:
+        """The bound host:port of a component (only valid after start)."""
+        server = self.get(name)
+        if not server.running:
+            raise ClusterError(f"component {name!r} is not running")
+        return server.address
+
+    def addresses(self) -> dict[str, str]:
+        return {
+            name: server.address
+            for name, server in self._servers.items()
+            if server.running
+        }
+
+    @property
+    def components(self) -> list[str]:
+        return list(self._servers)
+
+    async def start(self) -> None:
+        """Start every component in registration order."""
+        if self._started:
+            raise ClusterError("cluster already started")
+        started: list[HttpServer] = []
+        try:
+            for name, server in self._servers.items():
+                await server.start()
+                started.append(server)
+                logger.debug("cluster %s: %s up at %s", self.name, name, server.address)
+        except Exception:
+            for server in reversed(started):
+                await server.stop()
+            raise
+        self._started = True
+
+    async def stop(self) -> None:
+        """Stop every component in reverse registration order."""
+        for server in reversed(list(self._servers.values())):
+            if server.running:
+                await server.stop()
+        self._started = False
+
+    async def __aenter__(self) -> "Cluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()

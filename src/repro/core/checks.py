@@ -1,0 +1,326 @@
+"""Checks: timed evaluation of monitoring data.
+
+A check c_i is the model's unit of data-driven decision making:
+
+* a metric evaluating function f_ci : Ω_i → {0, 1},
+* monitoring data Ω_i (provider queries),
+* a timer τ controlling when and how often the function re-executes.
+
+Basic checks ⟨f, Ω, τ, T, Out⟩ aggregate their execution results and map
+the sum through an output mapping at the end of the state.  Exception
+checks ⟨f, Ω, τ, s_j⟩ trigger an immediate transition to a fallback state
+the moment a single execution fails (paper Figure 3: state changes possible
+at t0..t3).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from ..clock import Clock
+from ..metrics.provider import MetricsProvider, ProviderError
+from .outcome import OutcomeError, OutputMapping, Validator
+
+logger = logging.getLogger(__name__)
+
+
+class CheckError(Exception):
+    """A check definition is invalid."""
+
+
+@dataclass(frozen=True)
+class Timer:
+    """τ — re-execution control: run every *interval* s, *repetitions* times."""
+
+    interval: float
+    repetitions: int
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise CheckError(f"timer interval must be positive, got {self.interval}")
+        if self.repetitions < 1:
+            raise CheckError(
+                f"timer needs at least one repetition, got {self.repetitions}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Nominal wall time the timed executions span."""
+        return self.interval * self.repetitions
+
+
+@dataclass(frozen=True)
+class MetricQuery:
+    """One named retrieval from a metrics provider (DSL ``metric`` element)."""
+
+    name: str  # alias usable by the condition, e.g. "search_error"
+    query: str  # provider query, e.g. 'request_errors{instance="search:80"}'
+    provider: str = "prometheus"
+
+
+#: A custom predicate over the fetched values; None values mean "no data".
+Predicate = Callable[[dict[str, float | None]], bool]
+
+_COMPARISON_OPS: dict[str, Callable[[float, float], bool]] = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Cross-metric rule: compare two named metrics of the condition.
+
+    The A/B-test pattern — "comparing the number of sold items on both
+    variants" (paper section 2.3) — as declarative data, so the DSL can
+    express it and the serializer can round-trip it.
+    """
+
+    left: str
+    op: str
+    right: str
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise CheckError(
+                f"unknown comparison operator {self.op!r}; "
+                f"expected one of {sorted(_COMPARISON_OPS)}"
+            )
+
+    def check(self, left: float | None, right: float | None) -> int:
+        if left is None or right is None:
+            return 0  # no data on either side: the comparison cannot pass
+        return 1 if _COMPARISON_OPS[self.op](left, right) else 0
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass
+class MetricCondition:
+    """f_ci — fetch Ω_i from providers and decide pass/fail.
+
+    Exactly one decision rule applies to the fetched values:
+
+    * a :class:`Validator` over one named metric (*subject*, defaulting to
+      the only query),
+    * a :class:`Comparison` between two named metrics, or
+    * a custom *predicate* seeing all fetched values.
+
+    Provider errors count as failed executions — a check must not pass
+    while its monitoring data is unavailable.
+    """
+
+    queries: tuple[MetricQuery, ...]
+    validator: Validator | None = None
+    predicate: Predicate | None = None
+    comparison: Comparison | None = None
+    subject: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise CheckError("a condition needs at least one metric query")
+        names = [query.name for query in self.queries]
+        if len(set(names)) != len(names):
+            raise CheckError(f"duplicate metric names in condition: {names}")
+        rules = [
+            rule
+            for rule in (self.validator, self.predicate, self.comparison)
+            if rule is not None
+        ]
+        if len(rules) != 1:
+            raise CheckError(
+                "provide exactly one of validator, predicate, or comparison"
+            )
+        if self.validator is not None:
+            subject = self.subject or self.queries[0].name
+            if subject not in names:
+                raise CheckError(
+                    f"validator subject {subject!r} is not a query name: {names}"
+                )
+        if self.comparison is not None:
+            for side in (self.comparison.left, self.comparison.right):
+                if side not in names:
+                    raise CheckError(
+                        f"comparison side {side!r} is not a query name: {names}"
+                    )
+
+    @classmethod
+    def simple(
+        cls, query: str, validator: str, provider: str = "prometheus", name: str = "value"
+    ) -> "MetricCondition":
+        """The common single-metric case: one query plus ``"<5"``-style rule."""
+        return cls(
+            queries=(MetricQuery(name, query, provider),),
+            validator=Validator.parse(validator),
+        )
+
+    async def evaluate(self, providers: dict[str, MetricsProvider]) -> int:
+        """One execution of f_ci: fetch every query, then decide 0 or 1."""
+        values: dict[str, float | None] = {}
+        for query in self.queries:
+            provider = providers.get(query.provider)
+            if provider is None:
+                raise CheckError(
+                    f"no provider named {query.provider!r} configured; "
+                    f"known: {sorted(providers)}"
+                )
+            try:
+                values[query.name] = await provider.query(query.query)
+            except ProviderError as exc:
+                logger.warning("query %r failed: %s", query.query, exc)
+                values[query.name] = None
+        if self.validator is not None:
+            subject = self.subject or self.queries[0].name
+            return self.validator.check(values[subject])
+        if self.comparison is not None:
+            return self.comparison.check(
+                values[self.comparison.left], values[self.comparison.right]
+            )
+        assert self.predicate is not None
+        try:
+            return 1 if self.predicate(values) else 0
+        except Exception:
+            logger.exception("check predicate raised; counting as failure")
+            return 0
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One recorded execution of a check's function, for observability."""
+
+    at: float
+    result: int
+
+
+@dataclass
+class BasicCheck:
+    """⟨f_ci, Ω_i, τ, T_ci, Out_ci⟩ — evaluated at the end of the state."""
+
+    name: str
+    condition: MetricCondition
+    timer: Timer
+    output: OutputMapping
+
+
+@dataclass
+class ExceptionCheck:
+    """⟨f_ci, Ω_i, τ, s_j⟩ — any failed execution jumps to *fallback_state*."""
+
+    name: str
+    condition: MetricCondition
+    timer: Timer
+    fallback_state: str
+
+
+Check = BasicCheck | ExceptionCheck
+
+
+class ExceptionTriggered(Exception):
+    """Raised inside a check task when an exception check fails."""
+
+    def __init__(self, check: ExceptionCheck, at: float):
+        super().__init__(f"exception check {check.name!r} triggered at t={at:.3f}")
+        self.check = check
+        self.at = at
+
+
+@dataclass
+class CheckResult:
+    """Final result of one check's timed run within a state."""
+
+    check: Check
+    aggregated: int  # Σ of 0/1 execution results
+    mapped: int  # Out_ci(e) for basic checks; aggregated for exception checks
+    executions: list[Execution] = field(default_factory=list)
+
+
+#: Observer invoked after every single execution (dashboard/event feed).
+ExecutionObserver = Callable[[Check, Execution], Awaitable[None] | None]
+
+
+class CheckRunner:
+    """Executes one check's timed loop.
+
+    For a basic check, runs f_ci *repetitions* times spaced by *interval*,
+    sums the 0/1 results, and maps them through Out_ci.  For an exception
+    check, the first failing execution raises :class:`ExceptionTriggered`,
+    which the state executor turns into an immediate fallback transition.
+    """
+
+    def __init__(
+        self,
+        check: Check,
+        providers: dict[str, MetricsProvider],
+        clock: Clock,
+        observer: ExecutionObserver | None = None,
+    ):
+        self.check = check
+        self.providers = providers
+        self.clock = clock
+        self.observer = observer
+
+    async def run(self) -> CheckResult:
+        executions: list[Execution] = []
+        total = 0
+        timer = self.check.timer
+        for _ in range(timer.repetitions):
+            await self.clock.sleep(timer.interval)
+            result = await self.check.condition.evaluate(self.providers)
+            execution = Execution(at=self.clock.now(), result=result)
+            executions.append(execution)
+            total += result
+            await self._notify(execution)
+            if isinstance(self.check, ExceptionCheck) and result == 0:
+                raise ExceptionTriggered(self.check, execution.at)
+        if isinstance(self.check, BasicCheck):
+            mapped = self.check.output.map(total)
+        else:
+            # All n executions of an exception check succeeded: the
+            # aggregated outcome equals n (paper section 3.2).
+            mapped = total
+        return CheckResult(self.check, aggregated=total, mapped=mapped, executions=executions)
+
+    async def _notify(self, execution: Execution) -> None:
+        if self.observer is None:
+            return
+        outcome = self.observer(self.check, execution)
+        if asyncio.iscoroutine(outcome):
+            await outcome
+
+
+def simple_basic_check(
+    name: str,
+    query: str,
+    validator: str,
+    interval: float,
+    repetitions: int,
+    threshold: int | None = None,
+    provider: str = "prometheus",
+) -> BasicCheck:
+    """Build a simplified-DSL basic check (paper section 4.2.2).
+
+    Each DSL check has exactly one threshold; the aggregation maps to
+    success (1) only when at least *threshold* executions pass.  The DSL
+    default — ``threshold`` equal to ``intervalLimit`` — demands that every
+    execution passes.
+    """
+    if threshold is None:
+        threshold = repetitions
+    if not 1 <= threshold <= repetitions:
+        raise OutcomeError(
+            f"threshold must be within [1, {repetitions}], got {threshold}"
+        )
+    return BasicCheck(
+        name=name,
+        condition=MetricCondition.simple(query, validator, provider),
+        timer=Timer(interval, repetitions),
+        output=OutputMapping.boolean(float(threshold)),
+    )

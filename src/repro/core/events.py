@@ -1,0 +1,155 @@
+"""Event stream from the engine to CLI, dashboard, and tests.
+
+The paper's engine pushes "status updates" to the Bifrost CLI and
+dashboard over Socket.IO.  Here, an :class:`EventBus` carries typed
+:class:`Event` records to any number of subscribers: in-process callbacks
+(tests, the dashboard's feed) and bounded queues (long-polling HTTP
+clients).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+
+class EventKind(enum.Enum):
+    STRATEGY_STARTED = "strategy_started"
+    STATE_ENTERED = "state_entered"
+    ROUTING_APPLIED = "routing_applied"
+    CHECK_EXECUTED = "check_executed"
+    CHECK_COMPLETED = "check_completed"
+    EXCEPTION_TRIGGERED = "exception_triggered"
+    STATE_COMPLETED = "state_completed"
+    STRATEGY_PAUSED = "strategy_paused"
+    STRATEGY_RESUMED = "strategy_resumed"
+    STRATEGY_COMPLETED = "strategy_completed"
+    STRATEGY_FAILED = "strategy_failed"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One engine occurrence, timestamped with the engine's clock."""
+
+    kind: EventKind
+    strategy: str
+    at: float
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind.value,
+                "strategy": self.strategy,
+                "at": self.at,
+                "data": self.data,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, raw: str) -> "Event":
+        payload = json.loads(raw)
+        return cls(
+            kind=EventKind(payload["kind"]),
+            strategy=payload["strategy"],
+            at=float(payload["at"]),
+            data=payload.get("data", {}),
+        )
+
+
+Subscriber = Callable[[Event], Awaitable[None] | None]
+
+
+class EventBus:
+    """Fan-out of engine events to callbacks and queues.
+
+    Subscriber exceptions are swallowed (a broken dashboard must never
+    stall a rollout); queues are bounded and drop the oldest event when
+    full, favoring liveness over completeness for UI consumers.
+    """
+
+    def __init__(self, queue_size: int = 1000):
+        self._queue_size = queue_size
+        self._subscribers: list[Subscriber] = []
+        self._queues: list[asyncio.Queue[Event]] = []
+        #: Full in-memory history; experiments read this after a run.
+        self.history: list[Event] = []
+
+    def subscribe(self, callback: Subscriber) -> None:
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Subscriber) -> None:
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
+    def queue(self) -> asyncio.Queue[Event]:
+        """A bounded queue receiving every future event."""
+        queue: asyncio.Queue[Event] = asyncio.Queue(self._queue_size)
+        self._queues.append(queue)
+        return queue
+
+    def drop_queue(self, queue: asyncio.Queue[Event]) -> None:
+        if queue in self._queues:
+            self._queues.remove(queue)
+
+    async def publish(self, event: Event) -> None:
+        self.history.append(event)
+        for callback in list(self._subscribers):
+            try:
+                outcome = callback(event)
+                if asyncio.iscoroutine(outcome):
+                    await outcome
+            except Exception:
+                # Observability must not break enactment.
+                import logging
+
+                logging.getLogger(__name__).exception("event subscriber failed")
+        for queue in self._queues:
+            if queue.full():
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+            queue.put_nowait(event)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """History filter used heavily by tests and experiment analysis."""
+        return [event for event in self.history if event.kind == kind]
+
+
+class JsonlEventWriter:
+    """Persists every event as one JSON line — the enactment journal.
+
+    Release engineering wants an audit trail ("which rollout changed the
+    routing at 03:12, and why?"); subscribe a writer to the engine's bus
+    and every state change, check execution, and transition lands in an
+    append-only file that :meth:`read` can replay.
+    """
+
+    def __init__(self, path):
+        from pathlib import Path
+
+        self.path = Path(path)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def __call__(self, event: Event) -> None:
+        self._handle.write(event.to_json() + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @classmethod
+    def read(cls, path) -> list[Event]:
+        """Replay a journal file back into events."""
+        from pathlib import Path
+
+        events = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                events.append(Event.from_json(line))
+        return events

@@ -1,0 +1,21 @@
+"""Operator surfaces: the engine HTTP API and the dashboard."""
+
+from .api import EngineApiServer
+from .render import (
+    render_event,
+    render_executions,
+    render_mermaid,
+    render_state,
+    render_strategy,
+)
+from .web import DashboardServer
+
+__all__ = [
+    "DashboardServer",
+    "EngineApiServer",
+    "render_event",
+    "render_executions",
+    "render_mermaid",
+    "render_state",
+    "render_strategy",
+]

@@ -1,0 +1,128 @@
+"""Text rendering of strategies and execution state.
+
+Used by the CLI (`bifrost render`, `bifrost status`) and the HTML
+dashboard.  Rendering is pure string building so it is trivially
+testable.
+"""
+
+from __future__ import annotations
+
+from ..core.automaton import Automaton, State
+from ..core.checks import BasicCheck, ExceptionCheck
+from ..core.model import Strategy
+
+
+def render_state(state: State) -> list[str]:
+    lines = [f"state {state.name}"]
+    marks = []
+    if state.final:
+        marks.append("rollback target" if state.rollback else "final")
+    if state.duration is not None:
+        marks.append(f"dwell {state.duration:g}s")
+    if marks:
+        lines[0] += f"  [{', '.join(marks)}]"
+    for service, config in sorted(state.routing.items()):
+        shares = " / ".join(
+            f"{split.version} {split.percentage:g}%" for split in config.splits
+        )
+        extras = []
+        if config.sticky:
+            extras.append("sticky")
+        extras.append(config.filter_kind.value)
+        lines.append(f"  route {service}: {shares}  ({', '.join(extras)})")
+        for shadow in config.shadows:
+            lines.append(
+                f"  shadow {service}: {shadow.source_version} -> "
+                f"{shadow.target_version} ({shadow.percentage:g}%)"
+            )
+    for check, weight in zip(state.checks, state.weights):
+        if isinstance(check, ExceptionCheck):
+            lines.append(
+                f"  exception check {check.name}: every {check.timer.interval:g}s "
+                f"x{check.timer.repetitions} -> fallback {check.fallback_state}"
+            )
+        elif isinstance(check, BasicCheck):
+            lines.append(
+                f"  check {check.name} (w={weight:g}): every "
+                f"{check.timer.interval:g}s x{check.timer.repetitions}"
+            )
+    if state.transitions is not None:
+        ranges = state.transitions.ranges
+        for index, target in enumerate(state.transitions.targets):
+            lines.append(f"  on outcome {ranges.describe(index)} -> {target}")
+    return lines
+
+
+def render_strategy(strategy: Strategy) -> str:
+    """Multi-line description of a whole strategy."""
+    automaton = strategy.automaton
+    assert automaton is not None
+    lines = [f"strategy {strategy.name}"]
+    for service in strategy.services.values():
+        versions = ", ".join(
+            f"{v.name}@{v.endpoint}" for v in service.versions.values()
+        )
+        lines.append(f"  service {service.name}: {versions}")
+    lines.append(f"  start: {automaton.start}")
+    for name in _ordered_states(automaton):
+        for line in render_state(automaton.states[name]):
+            lines.append("  " + line)
+    return "\n".join(lines)
+
+
+def render_mermaid(automaton: Automaton) -> str:
+    """The automaton as a Mermaid state diagram (Figure-2 style)."""
+    lines = ["stateDiagram-v2", f"    [*] --> {automaton.start}"]
+    for name in _ordered_states(automaton):
+        state = automaton.states[name]
+        if state.transitions is not None:
+            for index, target in enumerate(state.transitions.targets):
+                label = state.transitions.ranges.describe(index)
+                lines.append(f"    {name} --> {target}: {label}")
+        for check in state.checks:
+            fallback = getattr(check, "fallback_state", None)
+            if fallback is not None:
+                lines.append(f"    {name} --> {fallback}: exception {check.name}")
+        if state.final:
+            lines.append(f"    {name} --> [*]")
+    return "\n".join(lines)
+
+
+def render_executions(executions: list[dict]) -> str:
+    """Tabular view of the engine API's execution list."""
+    if not executions:
+        return "no executions"
+    headers = ["execution", "strategy", "status", "current state", "visits"]
+    rows = [
+        [
+            str(e.get("execution", "")),
+            str(e.get("strategy", "")),
+            str(e.get("status", "")),
+            str(e.get("current_state") or "-"),
+            str(e.get("visits", 0)),
+        ]
+        for e in executions
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_event(event: dict) -> str:
+    """One-line view of an engine event (CLI event stream)."""
+    at = event.get("at", 0.0)
+    data = event.get("data", {})
+    details = " ".join(f"{k}={v}" for k, v in data.items() if not isinstance(v, dict))
+    return f"[{at:10.3f}] {event.get('strategy')}: {event.get('kind')} {details}".rstrip()
+
+
+def _ordered_states(automaton: Automaton) -> list[str]:
+    names = [automaton.start]
+    names.extend(name for name in automaton.states if name != automaton.start)
+    return names

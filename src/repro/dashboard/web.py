@@ -1,0 +1,98 @@
+"""The Bifrost dashboard.
+
+"The Bifrost dashboard visualizes the current execution state of release
+strategies providing detailed information such as the outcome of executed
+checks" (section 4.1).  The original used Socket.IO pushes; this one
+serves a self-refreshing HTML page plus the JSON endpoints the page (and
+tests) read.  Real-time delivery is approximated by polling
+``/api/events`` on the engine API — same data, simpler transport.
+"""
+
+from __future__ import annotations
+
+import html
+
+from ..core.engine import Engine, ExecutionStatus
+from ..httpcore import HttpServer, Request, Response
+
+_STATUS_COLORS = {
+    ExecutionStatus.PENDING: "#888888",
+    ExecutionStatus.RUNNING: "#1565c0",
+    ExecutionStatus.COMPLETED: "#2e7d32",
+    ExecutionStatus.ROLLED_BACK: "#e65100",
+    ExecutionStatus.FAILED: "#b71c1c",
+}
+
+
+class DashboardServer(HttpServer):
+    """HTML + JSON view over a running engine."""
+
+    def __init__(self, engine: Engine, host: str = "127.0.0.1", port: int = 0):
+        super().__init__(host=host, port=port, name="bifrost-dashboard")
+        self.engine = engine
+        self.router.get("/")(self._handle_index)
+        self.router.get("/status.json")(self._handle_status)
+
+    async def _handle_status(self, request: Request) -> Response:
+        executions = []
+        for execution_id, execution in self.engine.executions.items():
+            checks: dict[str, int] = {}
+            for event in reversed(self.engine.bus.history):
+                if (
+                    event.strategy == execution.strategy.name
+                    and event.kind.value == "check_completed"
+                    and event.data.get("check") not in checks
+                ):
+                    checks[event.data["check"]] = event.data.get("mapped", 0)
+                if len(checks) >= 10:
+                    break
+            executions.append(
+                {
+                    "execution": execution_id,
+                    "strategy": execution.strategy.name,
+                    "status": execution.status.value,
+                    "current_state": execution.current_state,
+                    "path": [visit.state for visit in execution.visits],
+                    "recent_checks": checks,
+                }
+            )
+        return Response.from_json({"executions": executions})
+
+    async def _handle_index(self, request: Request) -> Response:
+        rows = []
+        for execution_id, execution in self.engine.executions.items():
+            color = _STATUS_COLORS.get(execution.status, "#000")
+            path = " → ".join(visit.state for visit in execution.visits) or "—"
+            rows.append(
+                "<tr>"
+                f"<td><code>{html.escape(execution_id)}</code></td>"
+                f"<td>{html.escape(execution.strategy.name)}</td>"
+                f'<td style="color:{color};font-weight:bold">'
+                f"{html.escape(execution.status.value)}</td>"
+                f"<td>{html.escape(execution.current_state or '—')}</td>"
+                f"<td>{html.escape(path)}</td>"
+                "</tr>"
+            )
+        page = f"""<!DOCTYPE html>
+<html>
+<head>
+  <title>Bifrost Dashboard</title>
+  <meta http-equiv="refresh" content="2">
+  <style>
+    body {{ font-family: sans-serif; margin: 2rem; }}
+    table {{ border-collapse: collapse; width: 100%; }}
+    th, td {{ border: 1px solid #ccc; padding: 0.4rem 0.8rem; text-align: left; }}
+    th {{ background: #f0f0f0; }}
+  </style>
+</head>
+<body>
+  <h1>Bifrost — release strategy enactment</h1>
+  <p>{len(rows)} execution(s); page refreshes every 2 seconds.</p>
+  <table>
+    <tr><th>execution</th><th>strategy</th><th>status</th>
+        <th>current state</th><th>path</th></tr>
+    {''.join(rows)}
+  </table>
+</body>
+</html>"""
+        return Response.html(page)

@@ -1,0 +1,671 @@
+"""Compiles DSL documents into the formal model.
+
+A strategy document has two parts (paper section 4.2.2): the ``strategy``
+part — phases with routes, checks, and transitions — and the
+``deployment`` part mapping services to proxies and version endpoints.
+
+Phase kinds:
+
+* ``phase`` — one state: ``routes`` (route directives with traffic
+  filters, Listing 2), ``checks`` (metric elements, Listing 1), and either
+  ``next``/``onFailure`` or an explicit ``transitions`` block.
+* ``rollout`` — sugar for a gradual rollout: expands into one state per
+  percentage step (the paper's experiment phase 4 corresponds to 20
+  states in the model).
+* ``final`` — a final state (complete rollout or rollback target).
+
+The compiler implements the *simplified* DSL semantics the paper's
+prototype uses — each check has one threshold and a boolean outcome —
+while explicit ``transitions``/``weight`` fields expose the full model.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.automaton import Automaton, State, Transitions
+from ..core.checks import (
+    BasicCheck,
+    Check,
+    Comparison,
+    ExceptionCheck,
+    MetricCondition,
+    MetricQuery,
+    Timer,
+)
+from ..core.model import Service, ServiceVersion, Strategy
+from ..core.outcome import OutputMapping, Validator
+from ..core.routing import FilterKind, RoutingConfig, ShadowRoute, TrafficSplit
+from .deployment import Deployment, parse_deployment
+from .errors import DslError
+from .schema import (
+    bool_field,
+    expect_int,
+    expect_list,
+    expect_map,
+    expect_number,
+    expect_str,
+    get_required,
+    int_field,
+    number_field,
+    reject_unknown_keys,
+    str_field,
+)
+from .yaml_lite import loads
+
+_PHASE_KEYS = {
+    "name",
+    "duration",
+    "routes",
+    "checks",
+    "next",
+    "onFailure",
+    "transitions",
+}
+_ROLLOUT_KEYS = {
+    "name",
+    "from",
+    "to",
+    "startPercentage",
+    "stepPercentage",
+    "targetPercentage",
+    "intervalTime",
+    "next",
+    "onFailure",
+    "checks",
+}
+_FINAL_KEYS = {"name", "routes", "rollback"}
+_ROUTE_KEYS = {"from", "to", "filters", "filter_type", "header"}
+_TRAFFIC_KEYS = {"percentage", "shadow", "sticky", "intervalTime"}
+_METRIC_KEYS = {
+    "name",
+    "provider",
+    "providers",
+    "query",
+    "subject",
+    "compare",
+    "intervalTime",
+    "intervalLimit",
+    "threshold",
+    "thresholds",
+    "outcomes",
+    "validator",
+    "weight",
+    "type",
+    "fallback",
+}
+
+
+_COMPARE = re.compile(
+    r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(<=|>=|==|!=|<|>)\s*([A-Za-z_][A-Za-z0-9_]*)\s*$"
+)
+
+
+def _parse_comparison(expression: str, path: str) -> Comparison:
+    match = _COMPARE.match(expression)
+    if match is None:
+        raise DslError(
+            f"bad compare expression {expression!r}; expected "
+            "'<metric> <op> <metric>'",
+            path,
+        )
+    return Comparison(match.group(1), match.group(2), match.group(3))
+
+
+@dataclass
+class CompiledStrategy:
+    """The compiler's output: the model plus deployment facts."""
+
+    strategy: Strategy
+    deployment: Deployment
+
+    @property
+    def name(self) -> str:
+        return self.strategy.name
+
+
+def compile_document(source: str | dict[str, Any]) -> CompiledStrategy:
+    """Compile DSL text (or an already-parsed document) into the model."""
+    document = loads(source) if isinstance(source, str) else source
+    root = expect_map(document, "document")
+    reject_unknown_keys(root, {"strategy", "deployment"}, "document")
+    deployment = parse_deployment(get_required(root, "deployment", "document"))
+    strategy_raw = expect_map(get_required(root, "strategy", "document"), "strategy")
+    reject_unknown_keys(strategy_raw, {"name", "phases"}, "strategy")
+    name = str_field(strategy_raw, "name", "strategy")
+    phases = expect_list(get_required(strategy_raw, "phases", "strategy"), "strategy.phases")
+    if not phases:
+        raise DslError("needs at least one phase", "strategy.phases")
+
+    compiler = _Compiler(name, deployment)
+    for index, phase_raw in enumerate(phases):
+        compiler.add_phase(phase_raw, f"strategy.phases[{index}]")
+    return compiler.finish()
+
+
+class _Compiler:
+    def __init__(self, name: str, deployment: Deployment):
+        self.deployment = deployment
+        self.strategy = Strategy(name)
+        self.automaton = Automaton()
+        #: rollout phase name -> its first expanded state, so other phases
+        #: can say ``next: <rollout-name>`` without knowing the expansion.
+        self._aliases: dict[str, str] = {}
+        for deployed in deployment.services.values():
+            service = Service(deployed.name)
+            for version_name, endpoint in deployed.versions.items():
+                service.add_version(ServiceVersion(version_name, endpoint))
+            self.strategy.add_service(service)
+
+    def add_phase(self, raw: Any, path: str) -> None:
+        mapping = expect_map(raw, path)
+        if len(mapping) != 1:
+            raise DslError(
+                f"a phase item must have exactly one kind key "
+                f"(phase/rollout/final), got {sorted(mapping)}",
+                path,
+            )
+        kind, body = next(iter(mapping.items()))
+        body_path = f"{path}.{kind}"
+        body_map = expect_map(body, body_path)
+        if kind == "phase":
+            self._add_plain_phase(body_map, body_path)
+        elif kind == "rollout":
+            self._add_rollout(body_map, body_path)
+        elif kind == "final":
+            self._add_final(body_map, body_path)
+        else:
+            raise DslError(
+                f"unknown phase kind {kind!r}; expected phase, rollout, or final",
+                path,
+            )
+
+    def finish(self) -> CompiledStrategy:
+        self._resolve_aliases()
+        self.strategy.automaton = self.automaton
+        try:
+            self.strategy.validate()
+        except Exception as exc:
+            raise DslError(f"compiled strategy is invalid: {exc}", "strategy") from exc
+        return CompiledStrategy(self.strategy, self.deployment)
+
+    def _resolve_aliases(self) -> None:
+        """Rewrite transition targets that name a rollout phase."""
+        if not self._aliases:
+            return
+        for state in self.automaton.states.values():
+            if state.transitions is not None:
+                targets = tuple(
+                    self._aliases.get(target, target)
+                    for target in state.transitions.targets
+                )
+                if targets != state.transitions.targets:
+                    state.transitions = Transitions(state.transitions.ranges, targets)
+            for check in state.checks:
+                fallback = getattr(check, "fallback_state", None)
+                if fallback in self._aliases:
+                    check.fallback_state = self._aliases[fallback]
+
+    # -- plain phases -----------------------------------------------------
+
+    def _add_plain_phase(self, body: dict[str, Any], path: str) -> None:
+        reject_unknown_keys(body, _PHASE_KEYS, path)
+        name = str_field(body, "name", path)
+        routing, route_duration = self._parse_routes(body.get("routes"), f"{path}.routes")
+        checks, weights = self._parse_checks(body.get("checks"), f"{path}.checks")
+        transitions = self._parse_transitions(body, checks, weights, path)
+        duration = None
+        if "duration" in body:
+            duration = number_field(body, "duration", path)
+        elif route_duration is not None:
+            duration = route_duration
+        state = State(
+            name=name,
+            checks=checks,
+            weights=weights,
+            routing=routing,
+            transitions=transitions,
+            duration=duration,
+        )
+        self.automaton.add_state(state)
+
+    def _parse_transitions(
+        self,
+        body: dict[str, Any],
+        checks: list[Check],
+        weights: list[float],
+        path: str,
+    ) -> Transitions:
+        explicit = body.get("transitions")
+        has_next = "next" in body
+        if explicit is not None and has_next:
+            raise DslError("give either 'transitions' or 'next', not both", path)
+        if explicit is not None:
+            mapping = expect_map(explicit, f"{path}.transitions")
+            reject_unknown_keys(mapping, {"thresholds", "targets"}, f"{path}.transitions")
+            thresholds = [
+                expect_number(item, f"{path}.transitions.thresholds[{i}]")
+                for i, item in enumerate(
+                    expect_list(
+                        get_required(mapping, "thresholds", f"{path}.transitions"),
+                        f"{path}.transitions.thresholds",
+                    )
+                )
+            ]
+            targets = [
+                expect_str(item, f"{path}.transitions.targets[{i}]")
+                for i, item in enumerate(
+                    expect_list(
+                        get_required(mapping, "targets", f"{path}.transitions"),
+                        f"{path}.transitions.targets",
+                    )
+                )
+            ]
+            try:
+                return Transitions.build(thresholds, targets)
+            except Exception as exc:
+                raise DslError(str(exc), f"{path}.transitions") from exc
+        if not has_next:
+            raise DslError("needs 'next' or a 'transitions' block", path)
+        for check in checks:
+            if isinstance(check, BasicCheck) and check.output.results != (0, 1):
+                raise DslError(
+                    f"check {check.name!r} uses a full-model outcome mapping; "
+                    "give an explicit 'transitions' block instead of 'next'",
+                    path,
+                )
+        next_state = str_field(body, "next", path)
+        basic_weight = sum(
+            weight
+            for check, weight in zip(checks, weights)
+            if isinstance(check, BasicCheck)
+        )
+        if basic_weight > 0:
+            on_failure = str_field(body, "onFailure", path)
+            # All basic checks passing scores exactly basic_weight; anything
+            # less falls below the threshold and routes to onFailure.
+            return Transitions.build([basic_weight - 0.5], [on_failure, next_state])
+        if "onFailure" in body and not checks:
+            raise DslError("'onFailure' without checks has no effect", path)
+        return Transitions.always(next_state)
+
+    # -- routes -------------------------------------------------------------
+
+    def _parse_routes(
+        self, raw: Any, path: str
+    ) -> tuple[dict[str, RoutingConfig], float | None]:
+        """Group route directives by service into RoutingConfigs.
+
+        Returns the configs and the longest filter ``intervalTime`` (used
+        as the phase duration when no checks pin it down).
+        """
+        if raw is None:
+            return {}, None
+        routes = expect_list(raw, path)
+        per_service: dict[str, dict[str, Any]] = {}
+        max_interval: float | None = None
+        for index, item in enumerate(routes):
+            item_path = f"{path}[{index}]"
+            wrapper = expect_map(item, item_path)
+            if set(wrapper) != {"route"}:
+                raise DslError("expected a 'route' element", item_path)
+            route = expect_map(wrapper["route"], f"{item_path}.route")
+            reject_unknown_keys(route, _ROUTE_KEYS, f"{item_path}.route")
+            service_name = str_field(route, "from", f"{item_path}.route")
+            target_version = str_field(route, "to", f"{item_path}.route")
+            deployed = self.deployment.service(service_name)
+            if target_version not in deployed.versions:
+                raise DslError(
+                    f"service {service_name!r} has no version {target_version!r}",
+                    f"{item_path}.route.to",
+                )
+            bucket = per_service.setdefault(
+                service_name,
+                {
+                    "shares": {},
+                    "shadows": [],
+                    "sticky": False,
+                    "filter": FilterKind.COOKIE,
+                    "header": "X-Bifrost-Group",
+                },
+            )
+            filter_type = str_field(route, "filter_type", f"{item_path}.route", "cookie")
+            try:
+                bucket["filter"] = FilterKind(filter_type)
+            except ValueError:
+                raise DslError(
+                    f"unknown filter_type {filter_type!r}; expected cookie or header",
+                    f"{item_path}.route.filter_type",
+                ) from None
+            bucket["header"] = str_field(
+                route, "header", f"{item_path}.route", "X-Bifrost-Group"
+            )
+            filters = expect_list(
+                route.get("filters", []), f"{item_path}.route.filters"
+            )
+            if not filters:
+                raise DslError("route needs at least one filter", f"{item_path}.route")
+            for filter_index, filter_item in enumerate(filters):
+                filter_path = f"{item_path}.route.filters[{filter_index}]"
+                filter_wrapper = expect_map(filter_item, filter_path)
+                if set(filter_wrapper) != {"traffic"}:
+                    raise DslError("expected a 'traffic' element", filter_path)
+                traffic = expect_map(filter_wrapper["traffic"], f"{filter_path}.traffic")
+                reject_unknown_keys(traffic, _TRAFFIC_KEYS, f"{filter_path}.traffic")
+                percentage = number_field(
+                    traffic, "percentage", f"{filter_path}.traffic", 100.0
+                )
+                shadow = bool_field(traffic, "shadow", f"{filter_path}.traffic")
+                bucket["sticky"] = bucket["sticky"] or bool_field(
+                    traffic, "sticky", f"{filter_path}.traffic"
+                )
+                if "intervalTime" in traffic:
+                    interval = number_field(traffic, "intervalTime", f"{filter_path}.traffic")
+                    max_interval = max(max_interval or 0.0, interval)
+                if shadow:
+                    bucket["shadows"].append(
+                        ShadowRoute(deployed.stable, target_version, percentage)
+                    )
+                else:
+                    shares = bucket["shares"]
+                    shares[target_version] = shares.get(target_version, 0.0) + percentage
+
+        configs: dict[str, RoutingConfig] = {}
+        for service_name, bucket in per_service.items():
+            deployed = self.deployment.service(service_name)
+            shares: dict[str, float] = dict(bucket["shares"])
+            routed = sum(shares.values())
+            if routed > 100.0 + 1e-9:
+                raise DslError(
+                    f"service {service_name!r} routes {routed}% of traffic "
+                    "(more than 100%)",
+                    path,
+                )
+            remainder = max(0.0, 100.0 - routed)
+            stable_share = shares.pop(deployed.stable, 0.0) + remainder
+            splits = []
+            if stable_share > 0 or not shares:
+                splits.append(TrafficSplit(deployed.stable, stable_share))
+            splits.extend(
+                TrafficSplit(version, share) for version, share in shares.items()
+            )
+            config = RoutingConfig(
+                splits=splits,
+                shadows=list(bucket["shadows"]),
+                sticky=bucket["sticky"],
+                filter_kind=bucket["filter"],
+                header_name=bucket["header"],
+            )
+            try:
+                config.validate()
+            except Exception as exc:
+                raise DslError(str(exc), f"{path} (service {service_name!r})") from exc
+            configs[service_name] = config
+        return configs, max_interval
+
+    # -- checks ---------------------------------------------------------------
+
+    def _parse_checks(
+        self, raw: Any, path: str
+    ) -> tuple[list[Check], list[float]]:
+        if raw is None:
+            return [], []
+        checks: list[Check] = []
+        weights: list[float] = []
+        for index, item in enumerate(expect_list(raw, path)):
+            item_path = f"{path}[{index}]"
+            wrapper = expect_map(item, item_path)
+            if set(wrapper) != {"metric"}:
+                raise DslError("expected a 'metric' element", item_path)
+            metric = expect_map(wrapper["metric"], f"{item_path}.metric")
+            metric_path = f"{item_path}.metric"
+            reject_unknown_keys(metric, _METRIC_KEYS, metric_path)
+            name = str_field(metric, "name", metric_path)
+            interval = number_field(metric, "intervalTime", metric_path)
+            repetitions = int_field(metric, "intervalLimit", metric_path)
+            check_type = str_field(metric, "type", metric_path, "basic")
+            try:
+                condition = self._parse_condition(metric, name, metric_path)
+                timer = Timer(interval, repetitions)
+                if check_type == "basic":
+                    output = self._parse_output_mapping(metric, repetitions, metric_path)
+                    checks.append(
+                        BasicCheck(
+                            name=name,
+                            condition=condition,
+                            timer=timer,
+                            output=output,
+                        )
+                    )
+                    weights.append(number_field(metric, "weight", metric_path, 1.0))
+                elif check_type == "exception":
+                    fallback = str_field(metric, "fallback", metric_path)
+                    checks.append(
+                        ExceptionCheck(
+                            name=name,
+                            condition=condition,
+                            timer=timer,
+                            fallback_state=fallback,
+                        )
+                    )
+                    # An exception check's success count must not shift the
+                    # simplified boolean outcome scale.
+                    weights.append(number_field(metric, "weight", metric_path, 0.0))
+                else:
+                    raise DslError(
+                        f"unknown check type {check_type!r}; expected basic or exception",
+                        f"{metric_path}.type",
+                    )
+            except DslError:
+                raise
+            except Exception as exc:
+                raise DslError(str(exc), metric_path) from exc
+        return checks, weights
+
+    def _parse_condition(
+        self, metric: dict[str, Any], name: str, metric_path: str
+    ) -> MetricCondition:
+        """Either the flat ``query``/``provider`` form, or Listing 1's
+        ``providers:`` list form with named retrievals.  The decision rule
+        is a ``validator`` over one metric (``subject`` names it) or a
+        ``compare`` expression between two named metrics ("sales_a >
+        sales_b" — the A/B-test business comparison)."""
+        has_validator = "validator" in metric
+        has_compare = "compare" in metric
+        if has_validator == has_compare:
+            raise DslError(
+                "give exactly one of 'validator' or 'compare'", metric_path
+            )
+        has_flat = "query" in metric
+        has_list = "providers" in metric
+        if has_flat == has_list:
+            raise DslError(
+                "give exactly one of 'query' or 'providers'", metric_path
+            )
+        if has_compare and has_flat:
+            raise DslError(
+                "'compare' needs the 'providers' list (two named metrics)",
+                metric_path,
+            )
+        if has_flat:
+            validator = str_field(metric, "validator", metric_path)
+            query = str_field(metric, "query", metric_path)
+            provider = str_field(metric, "provider", metric_path, "prometheus")
+            return MetricCondition.simple(query, validator, provider, name)
+        if "provider" in metric:
+            raise DslError(
+                "'provider' conflicts with the 'providers' list", metric_path
+            )
+        queries = []
+        providers_raw = expect_list(metric["providers"], f"{metric_path}.providers")
+        if not providers_raw:
+            raise DslError("needs at least one provider", f"{metric_path}.providers")
+        for index, item in enumerate(providers_raw):
+            item_path = f"{metric_path}.providers[{index}]"
+            wrapper = expect_map(item, item_path)
+            if len(wrapper) != 1:
+                raise DslError(
+                    "each providers item must be a single "
+                    "'<provider-name>:' mapping",
+                    item_path,
+                )
+            provider_name, body = next(iter(wrapper.items()))
+            body_map = expect_map(body, f"{item_path}.{provider_name}")
+            reject_unknown_keys(
+                body_map, {"name", "query"}, f"{item_path}.{provider_name}"
+            )
+            queries.append(
+                MetricQuery(
+                    name=str_field(body_map, "name", f"{item_path}.{provider_name}"),
+                    query=str_field(body_map, "query", f"{item_path}.{provider_name}"),
+                    provider=str(provider_name),
+                )
+            )
+        if has_compare:
+            expression = str_field(metric, "compare", metric_path)
+            comparison = _parse_comparison(expression, f"{metric_path}.compare")
+            return MetricCondition(queries=tuple(queries), comparison=comparison)
+        validator = str_field(metric, "validator", metric_path)
+        subject = metric.get("subject")
+        if subject is not None:
+            subject = expect_str(subject, f"{metric_path}.subject")
+        return MetricCondition(
+            queries=tuple(queries),
+            validator=Validator.parse(validator),
+            subject=subject,
+        )
+
+    def _parse_output_mapping(
+        self, metric: dict[str, Any], repetitions: int, metric_path: str
+    ) -> OutputMapping:
+        """Either the simplified single ``threshold`` (boolean outcome) or
+        the full model's ``thresholds``/``outcomes`` range mapping."""
+        has_full = "thresholds" in metric or "outcomes" in metric
+        if has_full:
+            if "threshold" in metric:
+                raise DslError(
+                    "'threshold' conflicts with 'thresholds'/'outcomes'",
+                    metric_path,
+                )
+            if "thresholds" not in metric or "outcomes" not in metric:
+                raise DslError(
+                    "'thresholds' and 'outcomes' must be given together",
+                    metric_path,
+                )
+            thresholds = [
+                expect_number(item, f"{metric_path}.thresholds[{i}]")
+                for i, item in enumerate(
+                    expect_list(metric["thresholds"], f"{metric_path}.thresholds")
+                )
+            ]
+            outcomes = [
+                expect_int(item, f"{metric_path}.outcomes[{i}]")
+                for i, item in enumerate(
+                    expect_list(metric["outcomes"], f"{metric_path}.outcomes")
+                )
+            ]
+            try:
+                return OutputMapping.from_pairs(thresholds, outcomes)
+            except Exception as exc:
+                raise DslError(str(exc), metric_path) from exc
+        threshold = int_field(metric, "threshold", metric_path, repetitions)
+        if not 1 <= threshold <= repetitions:
+            raise DslError(
+                f"threshold {threshold} outside [1, {repetitions}]",
+                f"{metric_path}.threshold",
+            )
+        return OutputMapping.boolean(float(threshold))
+
+    # -- rollout sugar -----------------------------------------------------------
+
+    def _add_rollout(self, body: dict[str, Any], path: str) -> None:
+        reject_unknown_keys(body, _ROLLOUT_KEYS, path)
+        name = str_field(body, "name", path)
+        service_name = str_field(body, "from", path)
+        target_version = str_field(body, "to", path)
+        deployed = self.deployment.service(service_name)
+        if target_version not in deployed.versions:
+            raise DslError(
+                f"service {service_name!r} has no version {target_version!r}",
+                f"{path}.to",
+            )
+        start = number_field(body, "startPercentage", path, 5.0)
+        step = number_field(body, "stepPercentage", path, 5.0)
+        target = number_field(body, "targetPercentage", path, 100.0)
+        interval = number_field(body, "intervalTime", path)
+        next_state = str_field(body, "next", path)
+        if step <= 0:
+            raise DslError("stepPercentage must be positive", f"{path}.stepPercentage")
+        if not 0 < start <= target <= 100.0:
+            raise DslError(
+                f"need 0 < startPercentage <= targetPercentage <= 100, "
+                f"got {start}..{target}",
+                path,
+            )
+        checks_raw = body.get("checks")
+        step_count = math.floor((target - start) / step + 1e-9) + 1
+        percentages = [min(start + i * step, target) for i in range(step_count)]
+        if percentages[-1] < target - 1e-9:
+            percentages.append(target)
+        self._aliases[name] = f"{name}-{percentages[0]:g}"
+        for index, percentage in enumerate(percentages):
+            state_name = f"{name}-{percentage:g}"
+            follower = (
+                next_state
+                if index == len(percentages) - 1
+                else f"{name}-{percentages[index + 1]:g}"
+            )
+            checks, weights = self._parse_checks(checks_raw, f"{path}.checks")
+            # Uniquify check names per step for readable event streams.
+            for check in checks:
+                check.name = f"{check.name}@{percentage:g}"
+            routing = {
+                service_name: RoutingConfig(
+                    splits=[
+                        TrafficSplit(deployed.stable, 100.0 - percentage),
+                        TrafficSplit(target_version, percentage),
+                    ]
+                    if percentage < 100.0
+                    else [TrafficSplit(target_version, 100.0)]
+                )
+            }
+            if checks and any(isinstance(check, BasicCheck) for check in checks):
+                on_failure = str_field(body, "onFailure", path)
+                basic_weight = sum(
+                    weight
+                    for check, weight in zip(checks, weights)
+                    if isinstance(check, BasicCheck)
+                )
+                transitions = Transitions.build(
+                    [basic_weight - 0.5], [on_failure, follower]
+                )
+            else:
+                transitions = Transitions.always(follower)
+            self.automaton.add_state(
+                State(
+                    name=state_name,
+                    checks=checks,
+                    weights=weights,
+                    routing=routing,
+                    transitions=transitions,
+                    duration=interval,
+                )
+            )
+
+    # -- final states ---------------------------------------------------------------
+
+    def _add_final(self, body: dict[str, Any], path: str) -> None:
+        reject_unknown_keys(body, _FINAL_KEYS, path)
+        name = str_field(body, "name", path)
+        routing, _ = self._parse_routes(body.get("routes"), f"{path}.routes")
+        self.automaton.add_state(
+            State(
+                name=name,
+                routing=routing,
+                final=True,
+                rollback=bool_field(body, "rollback", path),
+            )
+        )

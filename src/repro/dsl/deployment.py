@@ -1,0 +1,94 @@
+"""The DSL's deployment part.
+
+"The former takes a list of key-value pairs mapping host names of services
+to host names of corresponding Bifrost proxy instances" (section 4.2.2).
+We extend that mapping with the version endpoints (the model's static
+configuration sc_i) and each service's designated *stable* version, which
+route directives split traffic away from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import DslError
+from .schema import expect_map, expect_str, reject_unknown_keys, str_field
+
+
+@dataclass
+class DeployedService:
+    """One service's deployment facts: proxy address, versions, stable."""
+
+    name: str
+    proxy: str  # host:port of the Bifrost proxy fronting this service
+    stable: str  # version name receiving unrouted traffic
+    versions: dict[str, str] = field(default_factory=dict)  # name -> host:port
+
+    def endpoint(self, version: str) -> str:
+        try:
+            return self.versions[version]
+        except KeyError:
+            raise DslError(
+                f"service {self.name!r} has no version {version!r}; "
+                f"known: {sorted(self.versions)}"
+            ) from None
+
+
+@dataclass
+class Deployment:
+    """All deployment facts referenced by a strategy document."""
+
+    services: dict[str, DeployedService] = field(default_factory=dict)
+
+    def service(self, name: str) -> DeployedService:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise DslError(
+                f"deployment does not declare service {name!r}; "
+                f"known: {sorted(self.services)}"
+            ) from None
+
+    def proxies(self) -> dict[str, str]:
+        """service name → proxy address, for the engine's controller."""
+        return {name: service.proxy for name, service in self.services.items()}
+
+
+def parse_deployment(raw: Any, path: str = "deployment") -> Deployment:
+    """Parse the document's ``deployment`` mapping."""
+    mapping = expect_map(raw, path)
+    reject_unknown_keys(mapping, {"services"}, path)
+    services_raw = expect_map(mapping.get("services", {}), f"{path}.services")
+    if not services_raw:
+        raise DslError("needs at least one service", f"{path}.services")
+    deployment = Deployment()
+    for name, service_raw in services_raw.items():
+        service_path = f"{path}.services.{name}"
+        service_map = expect_map(service_raw, service_path)
+        reject_unknown_keys(service_map, {"proxy", "stable", "versions"}, service_path)
+        versions_raw = expect_map(
+            service_map.get("versions", {}), f"{service_path}.versions"
+        )
+        if not versions_raw:
+            raise DslError("needs at least one version", f"{service_path}.versions")
+        versions = {
+            version: expect_str(endpoint, f"{service_path}.versions.{version}")
+            for version, endpoint in versions_raw.items()
+        }
+        stable = str_field(
+            service_map, "stable", service_path, default=next(iter(versions))
+        )
+        if stable not in versions:
+            raise DslError(
+                f"stable version {stable!r} is not among versions "
+                f"{sorted(versions)}",
+                service_path,
+            )
+        deployment.services[name] = DeployedService(
+            name=name,
+            proxy=str_field(service_map, "proxy", service_path),
+            stable=stable,
+            versions=versions,
+        )
+    return deployment

@@ -1,0 +1,17 @@
+"""DSL error type with document-path context."""
+
+from __future__ import annotations
+
+
+class DslError(Exception):
+    """A strategy document is invalid.
+
+    Carries the path into the document (``strategy.phases[2].route``) so a
+    release engineer can find the offending element without reading a
+    stack trace.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        self.path = path
+        prefix = f"{path}: " if path else ""
+        super().__init__(f"{prefix}{message}")

@@ -1,0 +1,100 @@
+"""Typed access to parsed DSL documents.
+
+The YAML parser produces plain dicts/lists/scalars; these helpers convert
+them into validated values with precise error paths.  Every accessor takes
+the *path* of the node it inspects so errors read like
+``strategy.phases[0].metric.intervalTime: expected a number, got 'fast'``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import DslError
+
+
+def expect_map(value: Any, path: str) -> dict[str, Any]:
+    if not isinstance(value, dict):
+        raise DslError(f"expected a mapping, got {type(value).__name__}", path)
+    return value
+
+
+def expect_list(value: Any, path: str) -> list[Any]:
+    if not isinstance(value, list):
+        raise DslError(f"expected a list, got {type(value).__name__}", path)
+    return value
+
+
+def expect_str(value: Any, path: str) -> str:
+    if not isinstance(value, str):
+        raise DslError(f"expected a string, got {value!r}", path)
+    return value
+
+
+def expect_number(value: Any, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise DslError(f"expected a number, got {value!r}", path)
+    return float(value)
+
+
+def expect_int(value: Any, path: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise DslError(f"expected an integer, got {value!r}", path)
+    return value
+
+
+def expect_bool(value: Any, path: str) -> bool:
+    if not isinstance(value, bool):
+        raise DslError(f"expected true/false, got {value!r}", path)
+    return value
+
+
+def get_required(mapping: dict[str, Any], key: str, path: str) -> Any:
+    if key not in mapping:
+        raise DslError(f"missing required key {key!r}", path)
+    return mapping[key]
+
+
+def reject_unknown_keys(
+    mapping: dict[str, Any], allowed: set[str], path: str
+) -> None:
+    """Catch typos early: unknown keys are errors, not silent no-ops."""
+    unknown = set(mapping) - allowed
+    if unknown:
+        raise DslError(
+            f"unknown keys {sorted(unknown)}; allowed: {sorted(allowed)}", path
+        )
+
+
+def str_field(mapping: dict[str, Any], key: str, path: str, default: str | None = None) -> str:
+    if key not in mapping:
+        if default is None:
+            raise DslError(f"missing required key {key!r}", path)
+        return default
+    return expect_str(mapping[key], f"{path}.{key}")
+
+
+def number_field(
+    mapping: dict[str, Any], key: str, path: str, default: float | None = None
+) -> float:
+    if key not in mapping:
+        if default is None:
+            raise DslError(f"missing required key {key!r}", path)
+        return default
+    return expect_number(mapping[key], f"{path}.{key}")
+
+
+def int_field(
+    mapping: dict[str, Any], key: str, path: str, default: int | None = None
+) -> int:
+    if key not in mapping:
+        if default is None:
+            raise DslError(f"missing required key {key!r}", path)
+        return default
+    return expect_int(mapping[key], f"{path}.{key}")
+
+
+def bool_field(mapping: dict[str, Any], key: str, path: str, default: bool = False) -> bool:
+    if key not in mapping:
+        return default
+    return expect_bool(mapping[key], f"{path}.{key}")

@@ -1,0 +1,196 @@
+"""Serializes compiled strategies back to DSL documents.
+
+The DSL "aims to be version-controlled, thus supporting transparency and
+traceability" (section 4.2.2): being able to render a programmatically
+built strategy back to text closes that loop — builders and the DSL stay
+interchangeable representations of the same model.
+
+The serializer emits one ``phase`` per state (rollout sugar is not
+reconstructed; the expansion is the ground truth) and reproduces checks,
+routes, and transitions.  ``compile(serialize(s))`` yields a strategy with
+the same automaton structure, which the round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.automaton import State
+from ..core.checks import BasicCheck, ExceptionCheck
+from ..core.model import Strategy
+from ..core.routing import RoutingConfig
+from .deployment import Deployment
+from .errors import DslError
+from .yaml_lite import dumps
+
+
+def serialize(strategy: Strategy, deployment: Deployment) -> str:
+    """Render a strategy + deployment as DSL text."""
+    return dumps(to_document(strategy, deployment))
+
+
+def to_document(strategy: Strategy, deployment: Deployment) -> dict[str, Any]:
+    """Build the document structure (useful for tests and tooling)."""
+    if strategy.automaton is None:
+        raise DslError("strategy has no automaton to serialize")
+    automaton = strategy.automaton
+    phases: list[dict[str, Any]] = []
+    ordering = [automaton.start] + [
+        name for name in automaton.states if name != automaton.start
+    ]
+    for name in ordering:
+        state = automaton.states[name]
+        if state.final:
+            phases.append({"final": _final_body(state, deployment)})
+        else:
+            phases.append({"phase": _phase_body(state, deployment)})
+    return {
+        "strategy": {"name": strategy.name, "phases": phases},
+        "deployment": _deployment_body(deployment),
+    }
+
+
+def _phase_body(state: State, deployment: Deployment) -> dict[str, Any]:
+    body: dict[str, Any] = {"name": state.name}
+    if state.duration is not None:
+        body["duration"] = state.duration
+    routes = _routes_body(state.routing, deployment)
+    if routes:
+        body["routes"] = routes
+    checks = [_check_body(check, weight) for check, weight in zip(state.checks, state.weights)]
+    if checks:
+        body["checks"] = checks
+    assert state.transitions is not None
+    body["transitions"] = {
+        "thresholds": list(state.transitions.ranges.thresholds),
+        "targets": list(state.transitions.targets),
+    }
+    return body
+
+
+def _final_body(state: State, deployment: Deployment) -> dict[str, Any]:
+    body: dict[str, Any] = {"name": state.name}
+    routes = _routes_body(state.routing, deployment)
+    if routes:
+        body["routes"] = routes
+    if state.rollback:
+        body["rollback"] = True
+    return body
+
+
+def _routes_body(
+    routing: dict[str, RoutingConfig], deployment: Deployment
+) -> list[dict[str, Any]]:
+    routes = []
+    for service_name, config in routing.items():
+        stable = deployment.service(service_name).stable
+        for split in config.splits:
+            if split.version == stable:
+                continue  # the stable share is implicit (the remainder)
+            traffic: dict[str, Any] = {"percentage": split.percentage}
+            if config.sticky:
+                traffic["sticky"] = True
+            routes.append(
+                {
+                    "route": {
+                        "from": service_name,
+                        "to": split.version,
+                        "filter_type": config.filter_kind.value,
+                        "header": config.header_name,
+                        "filters": [{"traffic": traffic}],
+                    }
+                }
+            )
+        for shadow in config.shadows:
+            routes.append(
+                {
+                    "route": {
+                        "from": service_name,
+                        "to": shadow.target_version,
+                        "filter_type": config.filter_kind.value,
+                        "header": config.header_name,
+                        "filters": [
+                            {
+                                "traffic": {
+                                    "percentage": shadow.percentage,
+                                    "shadow": True,
+                                }
+                            }
+                        ],
+                    }
+                }
+            )
+        if not routes and config.splits:
+            # 100% to stable: still record the route so the phase shows it.
+            routes.append(
+                {
+                    "route": {
+                        "from": service_name,
+                        "to": stable,
+                        "filter_type": config.filter_kind.value,
+                        "header": config.header_name,
+                        "filters": [{"traffic": {"percentage": 100.0}}],
+                    }
+                }
+            )
+    return routes
+
+
+def _check_body(check, weight: float) -> dict[str, Any]:
+    condition = check.condition
+    if condition.validator is None and condition.comparison is None:
+        raise DslError(
+            f"check {check.name!r} uses a custom predicate; only validator "
+            "and comparison checks serialize to the DSL"
+        )
+    metric: dict[str, Any] = {
+        "name": check.name,
+        "intervalTime": check.timer.interval,
+        "intervalLimit": check.timer.repetitions,
+    }
+    if condition.validator is not None:
+        metric["validator"] = str(condition.validator)
+    else:
+        metric["compare"] = str(condition.comparison)
+    if len(condition.queries) == 1:
+        query = condition.queries[0]
+        metric["provider"] = query.provider
+        metric["query"] = query.query
+    else:
+        # Listing 1's providers-list form for multi-query conditions.
+        metric["providers"] = [
+            {query.provider: {"name": query.name, "query": query.query}}
+            for query in condition.queries
+        ]
+        if condition.subject is not None:
+            metric["subject"] = condition.subject
+    if isinstance(check, ExceptionCheck):
+        metric["type"] = "exception"
+        metric["fallback"] = check.fallback_state
+        if weight:
+            metric["weight"] = weight
+    else:
+        assert isinstance(check, BasicCheck)
+        thresholds = check.output.ranges.thresholds
+        if check.output.results == (0, 1) and len(thresholds) == 1:
+            metric["threshold"] = int(thresholds[0] + 1)
+        else:
+            # Full-model range mapping.
+            metric["thresholds"] = list(thresholds)
+            metric["outcomes"] = list(check.output.results)
+        if weight != 1.0:
+            metric["weight"] = weight
+    return {"metric": metric}
+
+
+def _deployment_body(deployment: Deployment) -> dict[str, Any]:
+    return {
+        "services": {
+            name: {
+                "proxy": service.proxy,
+                "stable": service.stable,
+                "versions": dict(service.versions),
+            }
+            for name, service in deployment.services.items()
+        }
+    }

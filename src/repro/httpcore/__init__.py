@@ -1,0 +1,48 @@
+"""Minimal asyncio HTTP/1.1 substrate.
+
+Stands in for the Node.js ``http`` module / ExpressJS stack the Bifrost
+prototype was built on.  Provides message types, a routing server, a pooled
+client, and cookie helpers.
+"""
+
+from .client import HttpClient
+from .cookies import SetCookie, format_cookie_header, parse_cookie_header
+from .errors import (
+    BodyTooLarge,
+    ConnectionClosed,
+    HeaderTooLarge,
+    HttpError,
+    IncompleteMessage,
+    ProtocolError,
+    RequestTimeout,
+    RouteNotFound,
+)
+from .headers import Headers
+from .message import Request, Response, read_request, read_response
+from .router import Handler, Router, compile_pattern
+from .server import HttpServer, Middleware
+
+__all__ = [
+    "BodyTooLarge",
+    "ConnectionClosed",
+    "compile_pattern",
+    "format_cookie_header",
+    "Handler",
+    "HeaderTooLarge",
+    "Headers",
+    "HttpClient",
+    "HttpError",
+    "HttpServer",
+    "IncompleteMessage",
+    "Middleware",
+    "parse_cookie_header",
+    "ProtocolError",
+    "read_request",
+    "read_response",
+    "Request",
+    "RequestTimeout",
+    "Response",
+    "RouteNotFound",
+    "Router",
+    "SetCookie",
+]

@@ -1,0 +1,182 @@
+"""Asyncio HTTP/1.1 client with per-host connection pooling.
+
+Used by the Bifrost proxies to talk to upstream service versions, by the
+engine to configure proxies and query metric providers, and by the load
+generator to drive the case-study application.  Keep-alive pooling matters
+here: the paper's overhead numbers assume warm connections between proxy
+and services, and a connect-per-request client would dominate the measured
+overhead with TCP setup cost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from .errors import ConnectionClosed, HttpError, RequestTimeout
+from .headers import Headers
+from .message import Request, Response, read_response
+
+
+class _Pool:
+    """Idle keep-alive connections for one ``host:port``."""
+
+    __slots__ = ("connections",)
+
+    def __init__(self) -> None:
+        self.connections: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+
+class HttpClient:
+    """A pooled HTTP client.
+
+    One instance can talk to many hosts; idle connections are kept per
+    ``host:port`` up to *pool_size*.  The client is safe for concurrent use
+    from many tasks (each in-flight request owns its connection).
+    """
+
+    def __init__(self, pool_size: int = 32, timeout: float = 30.0):
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self._pools: dict[str, _Pool] = {}
+        self._closed = False
+
+    async def request(
+        self,
+        method: str,
+        url: str,
+        headers: Headers | dict[str, str] | None = None,
+        body: bytes = b"",
+        json_body: Any = None,
+        timeout: float | None = None,
+    ) -> Response:
+        """Issue one request to an ``http://host:port/path`` URL.
+
+        A request that fails on a reused (possibly stale) connection is
+        retried once on a fresh connection; a failure there propagates.
+        """
+        if self._closed:
+            raise ConnectionClosed("client is closed")
+        host, port, target = _split_url(url)
+        request_headers = headers.copy() if isinstance(headers, Headers) else Headers(headers)
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+            request_headers.setdefault("Content-Type", "application/json")
+        request_headers.setdefault("Host", f"{host}:{port}")
+        request = Request(method=method.upper(), target=target, headers=request_headers, body=body)
+
+        deadline = self.timeout if timeout is None else timeout
+        key = f"{host}:{port}"
+        reused, connection = await self._acquire(key, host, port)
+        try:
+            return await self._round_trip(key, connection, request, deadline)
+        except (HttpError, ConnectionError, OSError) as exc:
+            _close_now(connection[1])
+            if not reused or isinstance(exc, RequestTimeout):
+                raise
+            # Stale pooled connection: retry once on a fresh one.
+            _, fresh = await self._acquire(key, host, port, force_new=True)
+            try:
+                return await self._round_trip(key, fresh, request, deadline)
+            except (HttpError, ConnectionError, OSError):
+                _close_now(fresh[1])
+                raise
+
+    async def _round_trip(
+        self,
+        key: str,
+        connection: tuple[asyncio.StreamReader, asyncio.StreamWriter],
+        request: Request,
+        deadline: float,
+    ) -> Response:
+        reader, writer = connection
+        writer.write(request.serialize())
+        try:
+            await asyncio.wait_for(writer.drain(), deadline)
+            response = await asyncio.wait_for(read_response(reader), deadline)
+        except asyncio.TimeoutError as exc:
+            raise RequestTimeout(f"{request.method} {request.target}") from exc
+        if response.headers.get("Connection", "").lower() == "close":
+            _close_now(writer)
+        else:
+            self._release(key, connection)
+        return response
+
+    async def get(self, url: str, **kwargs: Any) -> Response:
+        return await self.request("GET", url, **kwargs)
+
+    async def post(self, url: str, **kwargs: Any) -> Response:
+        return await self.request("POST", url, **kwargs)
+
+    async def put(self, url: str, **kwargs: Any) -> Response:
+        return await self.request("PUT", url, **kwargs)
+
+    async def delete(self, url: str, **kwargs: Any) -> Response:
+        return await self.request("DELETE", url, **kwargs)
+
+    async def _acquire(
+        self, key: str, host: str, port: int, force_new: bool = False
+    ) -> tuple[bool, tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        """Return ``(reused, connection)``; *reused* drives retry policy."""
+        if not force_new:
+            pool = self._pools.get(key)
+            while pool and pool.connections:
+                reader, writer = pool.connections.pop()
+                if not writer.is_closing() and not reader.at_eof():
+                    return True, (reader, writer)
+                _close_now(writer)
+        reader, writer = await asyncio.open_connection(host, port)
+        return False, (reader, writer)
+
+    def _release(
+        self, key: str, connection: tuple[asyncio.StreamReader, asyncio.StreamWriter]
+    ) -> None:
+        if self._closed:
+            _close_now(connection[1])
+            return
+        pool = self._pools.setdefault(key, _Pool())
+        if len(pool.connections) >= self.pool_size:
+            _close_now(connection[1])
+        else:
+            pool.connections.append(connection)
+
+    async def close(self) -> None:
+        """Close all idle pooled connections and reject further use."""
+        self._closed = True
+        for pool in self._pools.values():
+            for _, writer in pool.connections:
+                _close_now(writer)
+            pool.connections.clear()
+        self._pools.clear()
+
+    async def __aenter__(self) -> "HttpClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+
+def _split_url(url: str) -> tuple[str, int, str]:
+    """Split ``http://host:port/path?q`` into (host, port, target)."""
+    if url.startswith("http://"):
+        url = url[len("http://") :]
+    elif "://" in url:
+        raise ValueError(f"only http:// URLs are supported: {url!r}")
+    slash = url.find("/")
+    if slash == -1:
+        authority, target = url, "/"
+    else:
+        authority, target = url[:slash], url[slash:]
+    host, _, raw_port = authority.partition(":")
+    if not host:
+        raise ValueError(f"URL has no host: {url!r}")
+    port = int(raw_port) if raw_port else 80
+    return host, port, target
+
+
+def _close_now(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+    except (ConnectionError, OSError):
+        pass

@@ -1,0 +1,40 @@
+"""Errors raised by the HTTP substrate.
+
+The hierarchy is deliberately small: callers either retry (transport
+problems), reject the peer's input (protocol problems), or surface a
+configuration mistake (usage problems).
+"""
+
+from __future__ import annotations
+
+
+class HttpError(Exception):
+    """Base class for all errors raised by :mod:`repro.httpcore`."""
+
+
+class ProtocolError(HttpError):
+    """The peer sent bytes that do not form a valid HTTP/1.1 message."""
+
+
+class IncompleteMessage(ProtocolError):
+    """The connection closed before a full message was received."""
+
+
+class HeaderTooLarge(ProtocolError):
+    """The header section exceeded the configured size limit."""
+
+
+class BodyTooLarge(ProtocolError):
+    """The message body exceeded the configured size limit."""
+
+
+class ConnectionClosed(HttpError):
+    """The underlying connection closed while a request was in flight."""
+
+
+class RequestTimeout(HttpError):
+    """A client request did not complete within its deadline."""
+
+
+class RouteNotFound(HttpError):
+    """No registered route matches the request (internal to the router)."""

@@ -1,0 +1,102 @@
+"""Case-insensitive multi-valued HTTP headers.
+
+HTTP header field names are case-insensitive (RFC 7230 section 3.2) and a
+field may appear several times (most importantly ``Set-Cookie``).  This
+module provides a small mapping type that preserves insertion order and the
+original casing for serialization while comparing names case-insensitively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Headers:
+    """An ordered, case-insensitive multimap of header fields."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[tuple[str, str]] | dict[str, str] | None = None):
+        self._items: list[tuple[str, str]] = []
+        if items is None:
+            return
+        pairs = items.items() if isinstance(items, dict) else items
+        for name, value in pairs:
+            self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a field without touching existing fields of the same name."""
+        self._items.append((str(name), str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace every field called *name* with a single field."""
+        self.remove(name)
+        self.add(name, value)
+
+    def setdefault(self, name: str, value: str) -> str:
+        """Add *name* only if absent; return the effective value."""
+        existing = self.get(name)
+        if existing is not None:
+            return existing
+        self.add(name, value)
+        return value
+
+    def remove(self, name: str) -> None:
+        """Drop every field called *name*; silently ignore absent names."""
+        lowered = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != lowered]
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return the first value for *name*, or *default*."""
+        lowered = name.lower()
+        for n, v in self._items:
+            if n.lower() == lowered:
+                return v
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        """Return every value for *name*, in insertion order."""
+        lowered = name.lower()
+        return [v for n, v in self._items if n.lower() == lowered]
+
+    def items(self) -> list[tuple[str, str]]:
+        """All fields in insertion order, with original casing."""
+        return list(self._items)
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = list(self._items)
+        return clone
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.get(name) is not None
+
+    def __getitem__(self, name: str) -> str:
+        value = self.get(name)
+        if value is None:
+            raise KeyError(name)
+        return value
+
+    def __setitem__(self, name: str, value: str) -> None:
+        self.set(name, value)
+
+    def __delitem__(self, name: str) -> None:
+        if name not in self:
+            raise KeyError(name)
+        self.remove(name)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        ours = [(n.lower(), v) for n, v in self._items]
+        theirs = [(n.lower(), v) for n, v in other._items]
+        return ours == theirs
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"

@@ -1,0 +1,281 @@
+"""HTTP/1.1 request and response messages.
+
+This is the wire-level substrate under the Bifrost proxies and the case-study
+microservices.  It implements the subset of RFC 7230 that the paper's stack
+(Node.js ``http`` + node-http-proxy) exercises:
+
+* request line / status line parsing,
+* case-insensitive, repeatable headers (see :mod:`repro.httpcore.headers`),
+* ``Content-Length``-framed bodies (the only framing our services emit),
+* JSON convenience accessors, since every case-study service speaks JSON.
+
+Chunked transfer encoding is intentionally out of scope: every component we
+control emits explicit lengths, and a proxy that normalizes framing is both
+simpler and closer to what node-http-proxy does when buffering is enabled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from .cookies import parse_cookie_header
+from .errors import BodyTooLarge, HeaderTooLarge, IncompleteMessage, ProtocolError
+from .headers import Headers
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Minimal status-code reason phrases; unknown codes render as "Unknown".
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class Request:
+    """An HTTP request as seen by servers and produced by clients."""
+
+    method: str
+    target: str
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+    #: Path parameters extracted by the router (e.g. ``{"id": "42"}``).
+    path_params: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        """The path component of the request target (no query string)."""
+        return urlsplit(self.target).path or "/"
+
+    @property
+    def query(self) -> dict[str, str]:
+        """Query-string parameters; later duplicates win."""
+        return dict(parse_qsl(urlsplit(self.target).query))
+
+    @property
+    def cookies(self) -> dict[str, str]:
+        """Cookies sent by the client via the ``Cookie`` header."""
+        return parse_cookie_header(self.headers.get("Cookie"))
+
+    def json(self) -> Any:
+        """Decode the body as JSON; raises :class:`ProtocolError` if invalid."""
+        try:
+            return json.loads(self.body.decode("utf-8") or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from exc
+
+    def copy(self) -> "Request":
+        """Deep-enough copy for shadowing: headers list and body are copied."""
+        return Request(
+            method=self.method,
+            target=self.target,
+            headers=self.headers.copy(),
+            body=self.body,
+            http_version=self.http_version,
+            path_params=dict(self.path_params),
+        )
+
+    def serialize(self) -> bytes:
+        """Render the request as HTTP/1.1 wire bytes."""
+        headers = self.headers.copy()
+        headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.method} {self.target} {self.http_version}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+        return head + self.body
+
+
+@dataclass
+class Response:
+    """An HTTP response as produced by servers and consumed by clients."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    @property
+    def ok(self) -> bool:
+        """True for any 2xx status."""
+        return 200 <= self.status < 300
+
+    def json(self) -> Any:
+        """Decode the body as JSON; raises :class:`ProtocolError` if invalid."""
+        try:
+            return json.loads(self.body.decode("utf-8") or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from exc
+
+    @classmethod
+    def from_json(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Headers | None = None,
+    ) -> "Response":
+        """Build a JSON response with the right ``Content-Type``."""
+        response = cls(
+            status=status,
+            headers=headers.copy() if headers is not None else Headers(),
+            body=json.dumps(payload).encode("utf-8"),
+        )
+        response.headers.setdefault("Content-Type", "application/json")
+        return response
+
+    @classmethod
+    def text(cls, text: str, status: int = 200) -> "Response":
+        """Build a plain-text response."""
+        response = cls(status=status, body=text.encode("utf-8"))
+        response.headers.set("Content-Type", "text/plain; charset=utf-8")
+        return response
+
+    @classmethod
+    def html(cls, markup: str, status: int = 200) -> "Response":
+        """Build an HTML response."""
+        response = cls(status=status, body=markup.encode("utf-8"))
+        response.headers.set("Content-Type", "text/html; charset=utf-8")
+        return response
+
+    def copy(self) -> "Response":
+        return Response(
+            status=self.status,
+            headers=self.headers.copy(),
+            body=self.body,
+            http_version=self.http_version,
+        )
+
+    def serialize(self) -> bytes:
+        """Render the response as HTTP/1.1 wire bytes."""
+        headers = self.headers.copy()
+        headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.http_version} {self.status} {self.reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+        return head + self.body
+
+
+async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
+    """Read up to the blank line ending the header section.
+
+    Returns ``None`` on a clean EOF before any bytes (idle keep-alive close).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise IncompleteMessage("connection closed mid-header") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HeaderTooLarge("header section exceeds stream limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HeaderTooLarge(f"header section of {len(head)} bytes")
+    return head
+
+
+def _parse_headers(lines: list[str]) -> Headers:
+    headers = Headers()
+    for line in lines:
+        if ":" not in line:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        name, _, value = line.partition(":")
+        if not name or name != name.strip():
+            # RFC 7230: no whitespace between field name and colon.
+            raise ProtocolError(f"malformed header name: {name!r}")
+        headers.add(name, value.strip())
+    return headers
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: Headers) -> bytes:
+    raw_length = headers.get("Content-Length")
+    if raw_length is None:
+        return b""
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise ProtocolError(f"bad Content-Length: {raw_length!r}") from exc
+    if length < 0:
+        raise ProtocolError(f"negative Content-Length: {length}")
+    if length > MAX_BODY_BYTES:
+        raise BodyTooLarge(f"declared body of {length} bytes")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise IncompleteMessage("connection closed mid-body") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request from *reader*; ``None`` on clean EOF between requests."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/"):
+        raise ProtocolError(f"bad HTTP version: {version!r}")
+    headers = _parse_headers([line for line in lines[1:] if line])
+    body = await _read_body(reader, headers)
+    return Request(
+        method=method.upper(),
+        target=target,
+        headers=headers,
+        body=body,
+        http_version=version,
+    )
+
+
+async def read_response(reader: asyncio.StreamReader) -> Response:
+    """Parse one response from *reader*; raises on EOF (a reply was owed)."""
+    head = await _read_head(reader)
+    if head is None:
+        raise IncompleteMessage("connection closed before response")
+    lines = head.decode("latin-1").split("\r\n")
+    status_line = lines[0]
+    parts = status_line.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ProtocolError(f"malformed status line: {status_line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise ProtocolError(f"bad status code: {parts[1]!r}") from exc
+    headers = _parse_headers([line for line in lines[1:] if line])
+    body = await _read_body(reader, headers)
+    return Response(
+        status=status,
+        headers=headers,
+        body=body,
+        http_version=parts[0],
+    )

@@ -1,0 +1,165 @@
+"""Asyncio HTTP/1.1 server with keep-alive.
+
+``HttpServer`` is the base for every service in the reproduction: the
+case-study microservices, the Bifrost proxies, the engine's API, and the
+dashboard all subclass or embed it.  It plays the role Node.js' ``http``
+module plays in the original prototype: an event-driven, single-threaded
+server handling concurrent connections cooperatively.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Awaitable, Callable
+
+from .errors import HttpError, ProtocolError
+from .message import Request, Response, read_request
+from .router import Handler, Router
+
+logger = logging.getLogger(__name__)
+
+Middleware = Callable[[Request, Handler], Awaitable[Response]]
+
+
+class HttpServer:
+    """An HTTP server bound to ``host:port`` with a :class:`Router`.
+
+    Handlers receive a :class:`Request` and return a :class:`Response`.
+    Middleware wraps every handler call (authentication, metrics, ...) in
+    registration order, outermost first.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, name: str = "http"):
+        self.host = host
+        self.port = port
+        self.name = name
+        self.router = Router()
+        self._middleware: list[Middleware] = []
+        self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        #: Count of requests that reached a handler, for tests and metrics.
+        self.requests_handled = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections.
+
+        With ``port=0`` the OS picks a free port; :attr:`port` is updated to
+        the bound value, which is how the in-process cluster wires service
+        endpoints together without a port registry.
+        """
+        if self._server is not None:
+            raise RuntimeError(f"server {self.name!r} already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.debug("server %s listening on %s:%d", self.name, self.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close existing ones."""
+        if self._server is None:
+            return
+        self._server.close()
+        for writer in list(self._connections):
+            writer.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string used in deployment configurations."""
+        return f"{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    async def __aenter__(self) -> "HttpServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # -- request handling ----------------------------------------------------
+
+    def add_middleware(self, middleware: Middleware) -> None:
+        """Wrap all handlers with *middleware* (outermost first)."""
+        self._middleware.append(middleware)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(Response.text(str(exc), status=400).serialize())
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                keep_alive = request.headers.get("Connection", "keep-alive")
+                if keep_alive.lower() == "close":
+                    response.headers.set("Connection", "close")
+                writer.write(response.serialize())
+                await writer.drain()
+                if keep_alive.lower() == "close":
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        except asyncio.CancelledError:
+            # Event-loop shutdown (or server stop) cancels connection
+            # tasks; close quietly instead of propagating, which would
+            # make asyncio log a spurious "exception in callback".
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        self.requests_handled += 1
+        try:
+            handler = self.router.resolve(request)
+        except HttpError:
+            # Unrouted requests still flow through middleware so that
+            # logging/metrics layers observe 404s.
+            handler = self.handle_not_found
+
+        wrapped: Handler = handler
+        for middleware in reversed(self._middleware):
+            wrapped = self._bind(middleware, wrapped)
+        try:
+            return await wrapped(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            logger.exception(
+                "handler error in %s for %s %s", self.name, request.method, request.path
+            )
+            return await self.handle_error(request)
+
+    @staticmethod
+    def _bind(middleware: Middleware, inner: Handler) -> Handler:
+        async def bound(request: Request) -> Response:
+            return await middleware(request, inner)
+
+        return bound
+
+    async def handle_not_found(self, request: Request) -> Response:
+        """Response for unrouted requests; override for custom behaviour."""
+        return Response.from_json({"error": "not found", "path": request.path}, 404)
+
+    async def handle_error(self, request: Request) -> Response:
+        """Response for handler exceptions; override for custom behaviour."""
+        return Response.from_json({"error": "internal server error"}, 500)

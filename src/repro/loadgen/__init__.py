@@ -1,0 +1,29 @@
+"""Load generation substrate (Apache JMeter stand-in).
+
+Constant-throughput open-loop generator, the paper's four-request
+workload mix, and measurement collection (moving averages, per-phase
+summary statistics).
+"""
+
+from .generator import LoadGenerator
+from .stats import (
+    PhaseMarker,
+    PhaseTracker,
+    RequestSample,
+    SampleLog,
+    SummaryStats,
+    percentile,
+)
+from .workload import RequestSpec, WorkloadMix
+
+__all__ = [
+    "LoadGenerator",
+    "percentile",
+    "PhaseMarker",
+    "PhaseTracker",
+    "RequestSample",
+    "RequestSpec",
+    "SampleLog",
+    "SummaryStats",
+    "WorkloadMix",
+]

@@ -1,0 +1,110 @@
+"""Constant-throughput load generation — the JMeter stand-in.
+
+Open-loop generation: requests fire at a fixed rate regardless of how
+long earlier ones take (JMeter's constant-throughput timer), so a slow
+system accumulates in-flight requests instead of silently reducing load.
+A linear ramp-up precedes the steady phase, as in the experiment setup
+("a ramp up period of 30 seconds to slowly increase the load").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..httpcore import HttpClient
+from .stats import SampleLog
+from .workload import WorkloadMix
+
+
+class LoadGenerator:
+    """Fires a workload mix at a target and records every sample."""
+
+    def __init__(
+        self,
+        target: str,  # host:port of the application entry point
+        workload: WorkloadMix,
+        rate: float = 35.0,  # steady requests per second
+        headers: dict[str, str] | None = None,
+        client: HttpClient | None = None,
+        max_in_flight: int = 500,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.target = target
+        self.workload = workload
+        self.rate = rate
+        self.headers = dict(headers or {})
+        self._client = client or HttpClient(pool_size=128)
+        self._owns_client = client is None
+        self.log = SampleLog()
+        self._in_flight: set[asyncio.Task[None]] = set()
+        self._max_in_flight = max_in_flight
+        self.dropped = 0  # requests skipped because in-flight cap was hit
+        self._origin = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the generator was created (the experiment clock)."""
+        return time.monotonic() - self._origin
+
+    async def run(self, duration: float, ramp_up: float = 0.0) -> SampleLog:
+        """Generate load for *duration* seconds (after *ramp_up*)."""
+        if ramp_up > 0:
+            await self._run_segment(ramp_up, ramp=True)
+        await self._run_segment(duration, ramp=False)
+        await self.drain()
+        return self.log
+
+    async def _run_segment(self, duration: float, ramp: bool) -> None:
+        start = time.monotonic()
+        fired = 0
+        while True:
+            now = time.monotonic() - start
+            if now >= duration:
+                break
+            if ramp:
+                # Linear ramp: instantaneous rate grows from 0 to self.rate.
+                target_count = self.rate * now * now / (2 * duration)
+            else:
+                target_count = self.rate * now
+            if fired < target_count:
+                self._fire()
+                fired += 1
+                continue
+            await asyncio.sleep(min(0.005, 1.0 / self.rate))
+
+    def _fire(self) -> None:
+        if len(self._in_flight) >= self._max_in_flight:
+            self.dropped += 1
+            return
+        spec = self.workload.next_request()
+        task = asyncio.get_running_loop().create_task(self._send(spec))
+        self._in_flight.add(task)
+        task.add_done_callback(self._in_flight.discard)
+
+    async def _send(self, spec) -> None:
+        started = time.monotonic()
+        try:
+            response = await self._client.request(
+                spec.method,
+                f"http://{self.target}{spec.path}",
+                headers=self.headers,
+                json_body=spec.json_body,
+                timeout=30.0,
+            )
+            status = response.status
+        except Exception:
+            status = 0
+        latency = time.monotonic() - started
+        self.log.record(self.elapsed, latency, spec.label, status)
+
+    async def drain(self) -> None:
+        """Wait for in-flight requests to finish."""
+        while self._in_flight:
+            await asyncio.gather(*list(self._in_flight), return_exceptions=True)
+
+    async def close(self) -> None:
+        await self.drain()
+        if self._owns_client:
+            await self._client.close()

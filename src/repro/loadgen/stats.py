@@ -1,0 +1,188 @@
+"""Collection and summarization of load-test measurements.
+
+The paper reports (Table 1) mean/min/max/sd/median response times per
+release phase, and plots (Figure 6) a 3-second moving average over the
+experiment.  :class:`SampleLog` records every request; slicing and
+aggregation reproduce those artifacts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RequestSample:
+    """One completed (or failed) load-test request."""
+
+    at: float  # completion time, experiment clock
+    latency: float  # seconds
+    label: str  # request type: buy / details / products / search
+    status: int  # HTTP status; 0 means transport failure
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """The Table-1 row: basic statistics of response times."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    sd: float
+    median: float
+
+    @classmethod
+    def of(cls, values: list[float]) -> "SummaryStats":
+        if not values:
+            return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+        ordered = sorted(values)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((v - mean) ** 2 for v in ordered) / (n - 1) if n > 1 else 0.0
+        middle = n // 2
+        median = (
+            ordered[middle]
+            if n % 2
+            else (ordered[middle - 1] + ordered[middle]) / 2
+        )
+        return cls(
+            count=n,
+            mean=mean,
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            sd=math.sqrt(variance),
+            median=median,
+        )
+
+    def scaled(self, factor: float) -> "SummaryStats":
+        """Unit conversion (e.g. seconds → milliseconds)."""
+        return SummaryStats(
+            count=self.count,
+            mean=self.mean * factor,
+            minimum=self.minimum * factor,
+            maximum=self.maximum * factor,
+            sd=self.sd * factor,
+            median=self.median * factor,
+        )
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 100]."""
+    if not values:
+        return math.nan
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class SampleLog:
+    """Append-only log of request samples with window/phase queries."""
+
+    def __init__(self) -> None:
+        self.samples: list[RequestSample] = []
+
+    def record(self, at: float, latency: float, label: str, status: int) -> None:
+        self.samples.append(RequestSample(at, latency, label, status))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for s in self.samples if s.status >= 500 or s.status == 0)
+
+    def between(self, start: float, end: float) -> list[RequestSample]:
+        """Samples completing in (start, end]."""
+        return [s for s in self.samples if start < s.at <= end]
+
+    def latencies(
+        self,
+        start: float | None = None,
+        end: float | None = None,
+        label: str | None = None,
+        successful_only: bool = True,
+    ) -> list[float]:
+        selected = []
+        for sample in self.samples:
+            if start is not None and sample.at <= start:
+                continue
+            if end is not None and sample.at > end:
+                continue
+            if label is not None and sample.label != label:
+                continue
+            if successful_only and (sample.status >= 500 or sample.status == 0):
+                continue
+            selected.append(sample.latency)
+        return selected
+
+    def summary(
+        self, start: float | None = None, end: float | None = None
+    ) -> SummaryStats:
+        return SummaryStats.of(self.latencies(start, end))
+
+    def moving_average(
+        self, window: float = 3.0, step: float = 1.0
+    ) -> list[tuple[float, float]]:
+        """(time, avg latency) series — the Figure-6 line.
+
+        Each point at time t averages samples in (t − window, t].  Empty
+        windows are skipped rather than reported as zero.
+        """
+        if not self.samples:
+            return []
+        start = min(s.at for s in self.samples)
+        end = max(s.at for s in self.samples)
+        points = []
+        t = start
+        while t <= end + 1e-9:
+            values = [
+                s.latency
+                for s in self.between(t - window, t)
+                if s.status < 500 and s.status != 0
+            ]
+            if values:
+                points.append((t, sum(values) / len(values)))
+            t += step
+        return points
+
+
+@dataclass
+class PhaseMarker:
+    """Named experiment phase boundaries for per-phase slicing."""
+
+    name: str
+    start: float
+    end: float = math.inf
+
+
+class PhaseTracker:
+    """Records phase boundaries as an experiment progresses."""
+
+    def __init__(self) -> None:
+        self.phases: list[PhaseMarker] = []
+
+    def enter(self, name: str, at: float) -> None:
+        if self.phases and math.isinf(self.phases[-1].end):
+            self.phases[-1].end = at
+        self.phases.append(PhaseMarker(name, at))
+
+    def finish(self, at: float) -> None:
+        if self.phases and math.isinf(self.phases[-1].end):
+            self.phases[-1].end = at
+
+    def phase(self, name: str) -> PhaseMarker:
+        for marker in self.phases:
+            if marker.name == name:
+                return marker
+        raise KeyError(f"no phase named {name!r}; known: {[p.name for p in self.phases]}")
+
+    def summarize(self, log: SampleLog) -> dict[str, SummaryStats]:
+        """Per-phase latency summaries — the Table-1 columns."""
+        return {
+            marker.name: log.summary(marker.start, marker.end)
+            for marker in self.phases
+        }

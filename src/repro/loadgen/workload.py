@@ -1,0 +1,79 @@
+"""The JMeter test suite: the four-request workload mix.
+
+"The test suite targeted the product service and consisted of 4 different
+requests that touched different parts of the system" (section 5.1.2):
+Buy (POST, DB write, no body back), Details (GET, small body), Products
+(GET, large body), Search (GET, fans out to the search service).  All
+requests carry an auth token.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One request the generator can fire."""
+
+    label: str
+    method: str
+    path: str
+    json_body: dict | None = None
+
+
+@dataclass
+class WorkloadMix:
+    """Weighted sampling over the four request types.
+
+    Weights default to uniform, like a JMeter test plan cycling its
+    samplers.  *skus* and *queries* parameterize individual requests
+    deterministically via the seeded RNG.
+    """
+
+    skus: list[str]
+    queries: list[str] = field(
+        default_factory=lambda: ["Laptop", "Tv", "Phone", "Camera"]
+    )
+    weights: dict[str, float] = field(
+        default_factory=lambda: {"buy": 1.0, "details": 1.0, "products": 1.0, "search": 1.0}
+    )
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.skus:
+            raise ValueError("workload needs at least one SKU")
+        unknown = set(self.weights) - {"buy", "details", "products", "search"}
+        if unknown:
+            raise ValueError(f"unknown request labels: {sorted(unknown)}")
+        self._rng = random.Random(self.seed)
+        self._labels = [label for label, weight in self.weights.items() if weight > 0]
+        self._cumulative: list[float] = []
+        total = 0.0
+        for label in self._labels:
+            total += self.weights[label]
+            self._cumulative.append(total)
+        if total <= 0:
+            raise ValueError("at least one request type needs positive weight")
+
+    def next_request(self) -> RequestSpec:
+        """Sample the next request in the mix."""
+        point = self._rng.random() * self._cumulative[-1]
+        label = self._labels[-1]
+        for candidate, bound in zip(self._labels, self._cumulative):
+            if point < bound:
+                label = candidate
+                break
+        return self._build(label)
+
+    def _build(self, label: str) -> RequestSpec:
+        if label == "buy":
+            sku = self._rng.choice(self.skus)
+            return RequestSpec("buy", "POST", f"/products/{sku}/buy")
+        if label == "details":
+            sku = self._rng.choice(self.skus)
+            return RequestSpec("details", "GET", f"/products/{sku}")
+        if label == "products":
+            return RequestSpec("products", "GET", "/products")
+        return RequestSpec("search", "GET", f"/search?q={self._rng.choice(self.queries)}")

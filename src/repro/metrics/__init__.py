@@ -1,0 +1,57 @@
+"""Metrics substrate: Prometheus + cAdvisor stand-ins.
+
+Time-series store, mini query language, instrumentation registry, text
+exposition, pull-based scraper, resource sampler, HTTP metrics server, and
+the provider interface the Bifrost engine queries.
+"""
+
+from .cadvisor import CpuMeter, ResourceSampler, process_cpu_seconds, process_rss_bytes
+from .exposition import parse as parse_exposition
+from .exposition import render as render_exposition
+from .provider import (
+    HealthProvider,
+    HttpPrometheusProvider,
+    LocalPrometheusProvider,
+    MetricsProvider,
+    ProviderError,
+    StaticProvider,
+)
+from .query import QueryError, VectorSample, evaluate, evaluate_scalar, parse
+from .registry import Counter, Gauge, Histogram, MetricPoint, Registry
+from .scraper import Scraper, ScrapeTarget
+from .series import Sample, SeriesKey, TimeSeries
+from .server import MetricsServer
+from .store import LabelMatcher, MetricStore
+
+__all__ = [
+    "Counter",
+    "CpuMeter",
+    "evaluate",
+    "evaluate_scalar",
+    "Gauge",
+    "HealthProvider",
+    "Histogram",
+    "HttpPrometheusProvider",
+    "LabelMatcher",
+    "LocalPrometheusProvider",
+    "MetricPoint",
+    "MetricsProvider",
+    "MetricsServer",
+    "MetricStore",
+    "parse",
+    "parse_exposition",
+    "process_cpu_seconds",
+    "process_rss_bytes",
+    "ProviderError",
+    "QueryError",
+    "Registry",
+    "render_exposition",
+    "ResourceSampler",
+    "Sample",
+    "Scraper",
+    "ScrapeTarget",
+    "SeriesKey",
+    "StaticProvider",
+    "TimeSeries",
+    "VectorSample",
+]

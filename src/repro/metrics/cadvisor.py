@@ -1,0 +1,92 @@
+"""Process resource sampling — the cAdvisor stand-in.
+
+The paper deploys cAdvisor next to every container to push CPU and memory
+utilization into Prometheus.  Our "containers" are asyncio components inside
+one process, so the sampler measures this process' CPU time and RSS and
+publishes them as gauges.  The scalability experiments (Figures 7 and 9)
+read ``engine_cpu_percent`` from here.
+
+CPU utilization is computed over sampling intervals:
+
+    cpu% = 100 * (cpu_time_delta / wall_time_delta)
+
+which on a single-core machine is directly comparable to the single-core
+VM utilization the paper reports.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+
+from .registry import Gauge, Registry
+
+
+def process_cpu_seconds() -> float:
+    """Total user+system CPU seconds consumed by this process."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_utime + usage.ru_stime
+
+
+def process_rss_bytes() -> float:
+    """Resident set size in bytes (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024.0
+
+
+class CpuMeter:
+    """Interval-based CPU utilization meter.
+
+    Call :meth:`sample` periodically; each call returns the utilization
+    percentage since the previous call.
+    """
+
+    def __init__(self) -> None:
+        self._last_wall = time.monotonic()
+        self._last_cpu = process_cpu_seconds()
+
+    def sample(self) -> float:
+        """CPU%% since the last call (0..100 per core)."""
+        now_wall = time.monotonic()
+        now_cpu = process_cpu_seconds()
+        wall_delta = now_wall - self._last_wall
+        cpu_delta = now_cpu - self._last_cpu
+        self._last_wall = now_wall
+        self._last_cpu = now_cpu
+        if wall_delta <= 0:
+            return 0.0
+        return max(0.0, min(100.0, 100.0 * cpu_delta / wall_delta))
+
+
+class ResourceSampler:
+    """Publishes process CPU%% and memory into a registry, cAdvisor-style.
+
+    ``instance`` labels mimic cAdvisor's container labels so strategy
+    queries can target a "container" by name.
+    """
+
+    def __init__(self, registry: Registry, instance: str = "engine"):
+        self.instance = instance
+        self._meter = CpuMeter()
+        self._cpu: Gauge = registry.gauge(
+            "container_cpu_percent",
+            "Interval CPU utilization of the sampled process",
+            label_names=("instance",),
+        ).labels(instance=instance)
+        self._memory: Gauge = registry.gauge(
+            "container_memory_bytes",
+            "Resident set size of the sampled process",
+            label_names=("instance",),
+        ).labels(instance=instance)
+        self._pid: Gauge = registry.gauge(
+            "container_pid", "Process id, for debugging", label_names=("instance",)
+        ).labels(instance=instance)
+        self._pid.set(float(os.getpid()))
+
+    def sample(self) -> tuple[float, float]:
+        """Take one sample; returns ``(cpu_percent, rss_bytes)``."""
+        cpu = self._meter.sample()
+        rss = process_rss_bytes()
+        self._cpu.set(cpu)
+        self._memory.set(rss)
+        return cpu, rss

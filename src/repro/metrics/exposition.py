@@ -1,0 +1,80 @@
+"""Prometheus text exposition format: render and parse.
+
+Services expose ``GET /metrics`` in this format; the scraper parses it back
+into samples.  Implementing both directions keeps the wire contract honest
+and lets the reproduction swap in a real Prometheus without code changes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .registry import MetricPoint, Registry
+
+# The label section is matched greedily up to the *last* closing brace so
+# label values may themselves contain braces; the sample value after it
+# never does.
+_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def render(points: list[MetricPoint] | Registry) -> str:
+    """Render points (or a whole registry) to exposition text."""
+    if isinstance(points, Registry):
+        points = points.collect()
+    lines = []
+    for point in points:
+        if point.labels:
+            rendered = ",".join(
+                f'{name}="{_escape(value)}"' for name, value in sorted(point.labels.items())
+            )
+            lines.append(f"{point.name}{{{rendered}}} {_format_value(point.value)}")
+        else:
+            lines.append(f"{point.name} {_format_value(point.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse(text: str) -> list[MetricPoint]:
+    """Parse exposition text into points; comments and blanks are skipped."""
+    points = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        labels = {}
+        if match.group("labels"):
+            for name, value in _LABEL.findall(match.group("labels")):
+                labels[name] = value.replace('\\"', '"').replace("\\\\", "\\")
+        points.append(
+            MetricPoint(match.group("name"), labels, _parse_value(match.group("value")))
+        )
+    return points
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)

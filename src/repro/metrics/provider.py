@@ -1,0 +1,141 @@
+"""Metric providers: what the engine queries for check evaluation.
+
+The paper's DSL names a provider per metric (Listing 1: ``prometheus``)
+and the engine "continuously queries and observes monitoring data collected
+by metrics providers or external services".  This module defines that
+seam:
+
+* :class:`MetricsProvider` — the interface (async ``query`` returning a
+  scalar or ``None`` when no data exists yet),
+* :class:`LocalPrometheusProvider` — evaluates against an in-process store,
+* :class:`HttpPrometheusProvider` — queries a metrics server over HTTP
+  (:mod:`repro.metrics.server`), exercising the same network path as the
+  original engine→Prometheus integration,
+* :class:`StaticProvider` — canned values for tests and examples.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import quote
+
+from ..clock import Clock, RealClock
+from ..httpcore import HttpClient
+from .query import evaluate_scalar
+from .store import MetricStore
+
+
+class ProviderError(Exception):
+    """The provider could not answer (unreachable, bad query, ...)."""
+
+
+class MetricsProvider:
+    """Interface between the engine and a monitoring backend."""
+
+    name = "abstract"
+
+    async def query(self, query: str) -> float | None:
+        """Evaluate *query* now; ``None`` means "no data"."""
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Release any resources (HTTP connections)."""
+
+
+class LocalPrometheusProvider(MetricsProvider):
+    """Evaluates mini-PromQL against an in-process store."""
+
+    name = "prometheus"
+
+    def __init__(self, store: MetricStore, clock: Clock | None = None):
+        self.store = store
+        self.clock = clock or RealClock()
+
+    async def query(self, query: str) -> float | None:
+        return evaluate_scalar(self.store, query, self.clock.now())
+
+
+class HttpPrometheusProvider(MetricsProvider):
+    """Queries a metrics server's ``/api/v1/query`` endpoint."""
+
+    name = "prometheus"
+
+    def __init__(self, base_url: str, client: HttpClient | None = None):
+        self.base_url = base_url.rstrip("/")
+        self._client = client or HttpClient(timeout=10.0)
+        self._owns_client = client is None
+
+    async def query(self, query: str) -> float | None:
+        url = f"{self.base_url}/api/v1/query?query={quote(query)}"
+        try:
+            response = await self._client.get(url)
+        except Exception as exc:
+            raise ProviderError(f"metrics server unreachable: {exc}") from exc
+        if response.status != 200:
+            raise ProviderError(
+                f"metrics server returned {response.status}: {response.body[:200]!r}"
+            )
+        payload = response.json()
+        if payload.get("status") != "success":
+            raise ProviderError(f"query failed: {payload.get('error')}")
+        return payload["data"]["value"]
+
+    async def close(self) -> None:
+        if self._owns_client:
+            await self._client.close()
+
+
+class HealthProvider(MetricsProvider):
+    """Availability checks: probes a service's ``/healthz`` endpoint.
+
+    The paper's scalability experiment runs checks that "target the
+    availability of the product service" alongside Prometheus queries.
+    The query string is the probed ``host:port`` (optionally with a path);
+    the result is 1.0 when the service answers 200, else 0.0.
+    """
+
+    name = "health"
+
+    def __init__(self, client: HttpClient | None = None):
+        self._client = client or HttpClient(timeout=5.0)
+        self._owns_client = client is None
+
+    async def query(self, query: str) -> float | None:
+        target = query if "/" in query.split(":", 1)[-1] else f"{query}/healthz"
+        try:
+            response = await self._client.get(f"http://{target}")
+        except Exception:
+            return 0.0
+        return 1.0 if response.status == 200 else 0.0
+
+    async def close(self) -> None:
+        if self._owns_client:
+            await self._client.close()
+
+
+class StaticProvider(MetricsProvider):
+    """Returns canned values, for unit tests and documentation examples.
+
+    Values may be scalars (returned every time) or lists (consumed one per
+    query, repeating the last element when exhausted).
+    """
+
+    name = "static"
+
+    def __init__(self, values: dict[str, float | list[float] | None]):
+        self._values = dict(values)
+        self._cursors: dict[str, int] = {}
+        #: Every query string seen, in order — lets tests assert scheduling.
+        self.query_log: list[str] = []
+
+    async def query(self, query: str) -> float | None:
+        self.query_log.append(query)
+        if query not in self._values:
+            raise ProviderError(f"no canned value for query {query!r}")
+        value = self._values[query]
+        if isinstance(value, list):
+            if not value:
+                return None
+            index = self._cursors.get(query, 0)
+            self._cursors[query] = index + 1
+            return value[min(index, len(value) - 1)]
+        return value

@@ -1,0 +1,120 @@
+"""Pull-based metric collection, as Prometheus does it.
+
+The scraper periodically fetches ``/metrics`` from configured targets and
+ingests the parsed points into a :class:`~repro.metrics.store.MetricStore`,
+attaching an ``instance`` label identifying the target (e.g.
+``search:80``), which is what strategy queries match on (paper Listing 1).
+
+Registries living in the same process can also be attached directly
+(*local targets*), skipping HTTP — used by the engine to publish its own
+resource metrics without a loopback scrape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass
+
+from ..clock import Clock, RealClock
+from ..httpcore import HttpClient
+from . import exposition
+from .registry import Registry
+from .store import MetricStore
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ScrapeTarget:
+    """One HTTP scrape target."""
+
+    instance: str  # label value, e.g. "search:80"
+    url: str  # full URL of the metrics endpoint
+
+
+class Scraper:
+    """Periodically collects metrics from targets into a store."""
+
+    def __init__(
+        self,
+        store: MetricStore,
+        interval: float = 1.0,
+        clock: Clock | None = None,
+        client: HttpClient | None = None,
+    ):
+        self.store = store
+        self.interval = interval
+        self.clock = clock or RealClock()
+        self._client = client or HttpClient(timeout=5.0)
+        self._owns_client = client is None
+        self._http_targets: list[ScrapeTarget] = []
+        self._local_targets: list[tuple[str, Registry]] = []
+        self._task: asyncio.Task[None] | None = None
+        #: Consecutive failures per instance, for observability and tests.
+        self.failures: dict[str, int] = {}
+
+    def add_target(self, instance: str, url: str) -> None:
+        """Scrape *url* and label its series with ``instance=<instance>``."""
+        self._http_targets.append(ScrapeTarget(instance, url))
+
+    def add_local(self, instance: str, registry: Registry) -> None:
+        """Collect an in-process registry without HTTP."""
+        self._local_targets.append((instance, registry))
+
+    async def scrape_once(self) -> int:
+        """Scrape every target once; returns the number of ingested points."""
+        timestamp = self.clock.now()
+        ingested = 0
+        for instance, registry in self._local_targets:
+            for point in registry.collect():
+                self._ingest(point.name, point.value, timestamp, point.labels, instance)
+                ingested += 1
+        for target in self._http_targets:
+            try:
+                response = await self._client.get(target.url)
+                points = exposition.parse(response.body.decode("utf-8"))
+            except Exception as exc:
+                self.failures[target.instance] = self.failures.get(target.instance, 0) + 1
+                logger.warning("scrape of %s failed: %s", target.instance, exc)
+                continue
+            self.failures[target.instance] = 0
+            for point in points:
+                self._ingest(point.name, point.value, timestamp, point.labels, target.instance)
+                ingested += 1
+        return ingested
+
+    def _ingest(
+        self,
+        name: str,
+        value: float,
+        timestamp: float,
+        labels: dict[str, str],
+        instance: str,
+    ) -> None:
+        merged = dict(labels)
+        merged.setdefault("instance", instance)
+        self.store.record(name, value, timestamp, merged)
+
+    async def _run(self) -> None:
+        while True:
+            await self.scrape_once()
+            await self.clock.sleep(self.interval)
+
+    def start(self) -> None:
+        """Start the periodic scrape loop as a background task."""
+        if self._task is not None:
+            raise RuntimeError("scraper already started")
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Cancel the scrape loop and release the HTTP client if owned."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._owns_client:
+            await self._client.close()

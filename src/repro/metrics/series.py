@@ -1,0 +1,100 @@
+"""Time series: the Ω of the formal model.
+
+The paper models monitoring data Ω as a tuple of metrics, each a time series
+of values.  :class:`TimeSeries` is that primitive: an append-only sequence of
+``(timestamp, value)`` samples identified by a metric name plus a label set,
+exactly like a Prometheus series.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SeriesKey:
+    """Identity of a series: metric name + sorted label pairs."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def make(cls, name: str, labels: dict[str, str] | None = None) -> "SeriesKey":
+        return cls(name, tuple(sorted((labels or {}).items())))
+
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def __str__(self) -> str:
+        if not self.labels:
+            return self.name
+        rendered = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{rendered}}}"
+
+
+@dataclass
+class Sample:
+    """One observation of a metric."""
+
+    timestamp: float
+    value: float
+
+
+@dataclass
+class TimeSeries:
+    """An append-only, time-ordered series of samples."""
+
+    key: SeriesKey
+    _timestamps: list[float] = field(default_factory=list)
+    _values: list[float] = field(default_factory=list)
+
+    def append(self, timestamp: float, value: float) -> None:
+        """Record one sample; timestamps must be non-decreasing."""
+        if self._timestamps and timestamp < self._timestamps[-1]:
+            raise ValueError(
+                f"out-of-order sample for {self.key}: "
+                f"{timestamp} < {self._timestamps[-1]}"
+            )
+        self._timestamps.append(timestamp)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+    def latest(self) -> Sample | None:
+        """The most recent sample, or ``None`` for an empty series."""
+        if not self._timestamps:
+            return None
+        return Sample(self._timestamps[-1], self._values[-1])
+
+    def at(self, timestamp: float, staleness: float = float("inf")) -> Sample | None:
+        """The newest sample at or before *timestamp*.
+
+        Returns ``None`` if there is no such sample or it is older than
+        *staleness* seconds relative to *timestamp* (Prometheus applies a
+        5-minute staleness window in the same spot).
+        """
+        index = bisect.bisect_right(self._timestamps, timestamp) - 1
+        if index < 0:
+            return None
+        if timestamp - self._timestamps[index] > staleness:
+            return None
+        return Sample(self._timestamps[index], self._values[index])
+
+    def window(self, start: float, end: float) -> list[Sample]:
+        """All samples with ``start < timestamp <= end`` (range selector)."""
+        lo = bisect.bisect_right(self._timestamps, start)
+        hi = bisect.bisect_right(self._timestamps, end)
+        return [
+            Sample(self._timestamps[i], self._values[i]) for i in range(lo, hi)
+        ]
+
+    def drop_before(self, timestamp: float) -> int:
+        """Discard samples older than *timestamp*; returns how many."""
+        index = bisect.bisect_left(self._timestamps, timestamp)
+        if index == 0:
+            return 0
+        del self._timestamps[:index]
+        del self._values[:index]
+        return index

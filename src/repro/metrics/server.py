@@ -1,0 +1,109 @@
+"""The metrics server: our in-process "Prometheus".
+
+Combines a :class:`~repro.metrics.store.MetricStore`, a
+:class:`~repro.metrics.scraper.Scraper`, and an HTTP query API:
+
+* ``GET /api/v1/query?query=...`` — instant query, returns
+  ``{"status": "success", "data": {"value": <scalar|null>, "vector": [...]}}``
+* ``POST /api/v1/ingest`` — push-style ingestion (JSON list of samples),
+  used by components that prefer push over scrape
+* ``GET /api/v1/series`` — list known series, for the dashboard
+* ``GET /healthz`` — liveness
+
+The scalar in ``data.value`` is the sum over the result vector (matching
+:func:`repro.metrics.query.evaluate_scalar`); the raw vector is included
+for clients that need per-instance values.
+"""
+
+from __future__ import annotations
+
+from ..clock import Clock, RealClock
+from ..httpcore import HttpClient, HttpServer, Request, Response
+from .query import QueryError, evaluate
+from .scraper import Scraper
+from .store import MetricStore
+
+
+class MetricsServer(HttpServer):
+    """HTTP facade over a metric store + scraper."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scrape_interval: float = 1.0,
+        clock: Clock | None = None,
+        retention: float | None = 3600.0,
+        client: HttpClient | None = None,
+    ):
+        super().__init__(host=host, port=port, name="prometheus")
+        self.clock = clock or RealClock()
+        self.store = MetricStore(retention=retention)
+        self.scraper = Scraper(
+            self.store, interval=scrape_interval, clock=self.clock, client=client
+        )
+        self.router.get("/api/v1/query")(self._handle_query)
+        self.router.post("/api/v1/ingest")(self._handle_ingest)
+        self.router.get("/api/v1/series")(self._handle_series)
+        self.router.get("/healthz")(self._handle_health)
+
+    async def start(self, scrape: bool = True) -> None:
+        await super().start()
+        if scrape:
+            self.scraper.start()
+
+    async def stop(self) -> None:
+        await self.scraper.stop()
+        await super().stop()
+
+    async def _handle_query(self, request: Request) -> Response:
+        query = request.query.get("query")
+        if not query:
+            return Response.from_json(
+                {"status": "error", "error": "missing query parameter"}, 400
+            )
+        try:
+            vector = evaluate(self.store, query, self.clock.now())
+        except QueryError as exc:
+            return Response.from_json({"status": "error", "error": str(exc)}, 400)
+        scalar = sum(sample.value for sample in vector) if vector else None
+        return Response.from_json(
+            {
+                "status": "success",
+                "data": {
+                    "value": scalar,
+                    "vector": [
+                        {"labels": sample.labels, "value": sample.value}
+                        for sample in vector
+                    ],
+                },
+            }
+        )
+
+    async def _handle_ingest(self, request: Request) -> Response:
+        samples = request.json()
+        if not isinstance(samples, list):
+            return Response.from_json(
+                {"status": "error", "error": "expected a JSON list"}, 400
+            )
+        now = self.clock.now()
+        for sample in samples:
+            try:
+                self.store.record(
+                    sample["name"],
+                    float(sample["value"]),
+                    float(sample.get("timestamp", now)),
+                    sample.get("labels") or {},
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                return Response.from_json(
+                    {"status": "error", "error": f"bad sample {sample!r}: {exc}"}, 400
+                )
+        return Response.from_json({"status": "success", "ingested": len(samples)})
+
+    async def _handle_series(self, request: Request) -> Response:
+        names = sorted(self.store.names())
+        return Response.from_json({"status": "success", "data": names})
+
+    async def _handle_health(self, request: Request) -> Response:
+        return Response.from_json({"status": "up", "series": len(self.store)})

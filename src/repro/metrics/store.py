@@ -1,0 +1,90 @@
+"""The metric store: an in-process stand-in for Prometheus' TSDB.
+
+Holds many :class:`~repro.metrics.series.TimeSeries` and answers selector
+queries (metric name + label matchers).  The Bifrost engine never touches
+this directly; it goes through the query language
+(:mod:`repro.metrics.query`) or over HTTP (:mod:`repro.metrics.server`),
+matching the paper's engine→Prometheus integration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .series import SeriesKey, TimeSeries
+
+
+@dataclass(frozen=True)
+class LabelMatcher:
+    """One label matcher: ``name op value`` with op in ``= != =~ !~``."""
+
+    label: str
+    op: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!=", "=~", "!~"):
+            raise ValueError(f"unknown label matcher op: {self.op!r}")
+
+    def matches(self, labels: dict[str, str]) -> bool:
+        actual = labels.get(self.label, "")
+        if self.op == "=":
+            return actual == self.value
+        if self.op == "!=":
+            return actual != self.value
+        anchored = re.compile(f"^(?:{self.value})$")
+        if self.op == "=~":
+            return bool(anchored.match(actual))
+        return not anchored.match(actual)
+
+
+class MetricStore:
+    """All series known to one metrics provider instance."""
+
+    def __init__(self, retention: float | None = None):
+        #: Samples older than ``now - retention`` are dropped on ingest.
+        self.retention = retention
+        self._series: dict[SeriesKey, TimeSeries] = {}
+
+    def record(
+        self,
+        name: str,
+        value: float,
+        timestamp: float,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        """Append one sample, creating the series on first sight."""
+        key = SeriesKey.make(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = TimeSeries(key)
+            self._series[key] = series
+        series.append(timestamp, value)
+        if self.retention is not None:
+            series.drop_before(timestamp - self.retention)
+
+    def series(self, key: SeriesKey) -> TimeSeries | None:
+        return self._series.get(key)
+
+    def select(self, name: str, matchers: list[LabelMatcher] | None = None) -> list[TimeSeries]:
+        """All series with metric *name* whose labels satisfy *matchers*."""
+        matchers = matchers or []
+        found = []
+        for key, series in self._series.items():
+            if key.name != name:
+                continue
+            labels = key.label_dict()
+            if all(matcher.matches(labels) for matcher in matchers):
+                found.append(series)
+        return found
+
+    def names(self) -> set[str]:
+        """All metric names with at least one series."""
+        return {key.name for key in self._series}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def clear(self) -> None:
+        self._series.clear()

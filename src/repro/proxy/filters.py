@@ -1,0 +1,124 @@
+"""Routing decisions: which version serves this request?
+
+Implements the proxy's two filter modes (paper section 4.2.2):
+
+* **cookie-based** — the proxy buckets clients itself.  Each client is
+  identified by an RFC-4122 UUID cookie the proxy issues; the UUID is
+  hashed against the traffic split, so the same client consistently maps
+  to the same bucket while the configuration is unchanged.  With sticky
+  sessions the first assignment is also memoized, surviving later
+  percentage changes (important for A/B tests).
+* **header-based** — "the proxy itself does not decide to which service
+  instance a request is routed, it acts solely on its configuration":
+  an upstream component injects a header naming the version group, and the
+  proxy dispatches on it, falling back to the default (first) split when
+  the header is absent or names an unknown version.
+
+Shadow (dark launch) decisions are sampled per request with an injectable
+RNG so tests stay deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import uuid
+from dataclasses import dataclass
+
+from ..core.routing import FilterKind, RoutingConfig, ShadowRoute
+from ..core.selection import stable_fraction
+from ..httpcore import Request
+from .sticky import StickyStore
+
+#: Name of the client-identifying cookie the proxy issues.
+CLIENT_COOKIE = "bifrost_client"
+
+
+@dataclass
+class RoutingDecision:
+    """Outcome of the filter chain for one request."""
+
+    version: str
+    client_id: str | None = None  # UUID bound to the client (cookie mode)
+    set_cookie: bool = False  # the response must issue the cookie
+    shadows: list[ShadowRoute] | None = None  # duplications to perform
+
+
+class FilterChain:
+    """Applies one service's routing configuration to requests."""
+
+    def __init__(
+        self,
+        config: RoutingConfig,
+        sticky_store: StickyStore | None = None,
+        seed: str = "bifrost",
+        rng: random.Random | None = None,
+    ):
+        config.validate()
+        self.config = config
+        # "or" would discard an *empty* store (StickyStore is sized).
+        self.sticky_store = sticky_store if sticky_store is not None else StickyStore()
+        self.seed = seed
+        self.rng = rng or random.Random()
+
+    def decide(self, request: Request) -> RoutingDecision:
+        if self.config.filter_kind is FilterKind.HEADER:
+            decision = self._decide_by_header(request)
+        else:
+            decision = self._decide_by_cookie(request)
+        decision.shadows = self._select_shadows(decision.version)
+        return decision
+
+    # -- header mode -----------------------------------------------------
+
+    def _decide_by_header(self, request: Request) -> RoutingDecision:
+        group = request.headers.get(self.config.header_name)
+        known = {split.version for split in self.config.splits}
+        if group in known:
+            return RoutingDecision(version=group)
+        return RoutingDecision(version=self.config.splits[0].version)
+
+    # -- cookie mode -----------------------------------------------------
+
+    def _decide_by_cookie(self, request: Request) -> RoutingDecision:
+        client_id = request.cookies.get(CLIENT_COOKIE)
+        issue_cookie = False
+        if not client_id:
+            client_id = str(uuid.uuid4())
+            issue_cookie = True
+        if self.config.sticky:
+            remembered = self.sticky_store.get(client_id)
+            if remembered is not None and any(
+                split.version == remembered for split in self.config.splits
+            ):
+                return RoutingDecision(
+                    version=remembered, client_id=client_id, set_cookie=issue_cookie
+                )
+        version = self._bucket(client_id)
+        if self.config.sticky:
+            self.sticky_store.assign(client_id, version)
+        return RoutingDecision(
+            version=version, client_id=client_id, set_cookie=issue_cookie
+        )
+
+    def _bucket(self, client_id: str) -> str:
+        point = stable_fraction(client_id, self.seed) * 100.0
+        cumulative = 0.0
+        for split in self.config.splits:
+            cumulative += split.percentage
+            if point < cumulative:
+                return split.version
+        return self.config.splits[-1].version
+
+    # -- shadows -----------------------------------------------------------
+
+    def _select_shadows(self, chosen_version: str) -> list[ShadowRoute]:
+        """Shadow routes to fire for a request served by *chosen_version*."""
+        selected = []
+        for shadow in self.config.shadows:
+            if shadow.source_version != chosen_version:
+                continue
+            if shadow.percentage >= 100.0 or (
+                self.rng.random() * 100.0 < shadow.percentage
+            ):
+                selected.append(shadow)
+        return selected

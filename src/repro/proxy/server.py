@@ -1,0 +1,287 @@
+"""The Bifrost proxy.
+
+One proxy fronts one service ("one-proxy-per-service", section 4.1).  It
+intercepts every incoming request, runs the filter chain to pick a
+version, optionally duplicates traffic to shadow versions, forwards the
+request to the chosen version's endpoint, and relays the response —
+issuing the client-identifying cookie when cookie routing demands it.
+
+Admin endpoints (under ``/bifrost/``, configured by the engine):
+
+* ``PUT /bifrost/config`` — apply a routing configuration + endpoints
+* ``GET /bifrost/config`` — current configuration
+* ``GET /bifrost/stats`` — per-version forward counters, shadow counters
+* ``GET /bifrost/healthz`` — liveness
+
+Without an applied configuration the proxy forwards everything to its
+*default upstream* — the "Bifrost inactive" deployment mode measured in
+the paper's overhead experiment.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import time
+
+from ..core.routing import RoutingConfig, RoutingError
+from ..httpcore import (
+    HttpClient,
+    HttpError,
+    HttpServer,
+    Request,
+    Response,
+    SetCookie,
+)
+from ..metrics import Registry, render_exposition
+from .filters import CLIENT_COOKIE, FilterChain, RoutingDecision
+from .shadow import Shadower
+from .sticky import StickyStore
+
+logger = logging.getLogger(__name__)
+
+#: Hop-by-hop headers never forwarded upstream (RFC 7230 section 6.1).
+_HOP_BY_HOP = ("connection", "keep-alive", "te", "transfer-encoding", "upgrade")
+
+
+class BifrostProxy(HttpServer):
+    """A reverse proxy enforcing one service's dynamic routing state."""
+
+    def __init__(
+        self,
+        service: str,
+        default_upstream: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        client: HttpClient | None = None,
+        seed: str = "bifrost",
+        rng: random.Random | None = None,
+    ):
+        super().__init__(host=host, port=port, name=f"proxy-{service}")
+        self.service = service
+        self.default_upstream = default_upstream
+        self.seed = seed
+        self.rng = rng or random.Random()
+        self._client = client or HttpClient(pool_size=64)
+        self._owns_client = client is None
+        self.sticky_store = StickyStore()
+        self.shadower = Shadower(self._client)
+        self._chain: FilterChain | None = None
+        self._endpoints: dict[str, list[str]] = {}
+        self._cursors: dict[str, int] = {}
+        #: Forwarded requests per version name (plus "default").
+        self.forwarded: dict[str, int] = {}
+        self.upstream_errors = 0
+
+        # Self-instrumentation: proxies expose their own metrics like any
+        # other service, so the engine (or an operator) can put checks on
+        # the middleware itself.
+        self.registry = Registry()
+        self._m_forwarded = self.registry.counter(
+            "proxy_requests_total",
+            "Requests forwarded, by version served",
+            label_names=("version",),
+        )
+        self._m_upstream_errors = self.registry.counter(
+            "proxy_upstream_errors_total", "Upstream connect/read failures"
+        )
+        self._m_forward_seconds = self.registry.histogram(
+            "proxy_forward_seconds", "Time spent per forwarded request"
+        )
+        self._m_shadow_sent = self.registry.counter(
+            "proxy_shadow_requests_total", "Shadow requests dispatched"
+        )
+        self._m_sticky = self.registry.gauge(
+            "proxy_sticky_sessions", "Sticky assignments currently held"
+        )
+
+        self.router.put("/bifrost/config")(self._handle_put_config)
+        self.router.get("/metrics")(self._handle_metrics)
+        self.router.get("/bifrost/config")(self._handle_get_config)
+        self.router.delete("/bifrost/config")(self._handle_delete_config)
+        self.router.get("/bifrost/stats")(self._handle_stats)
+        self.router.get("/bifrost/healthz")(self._handle_health)
+        self.router.set_fallback(self._handle_proxy)
+
+    # -- configuration ------------------------------------------------------
+
+    def apply_config(
+        self, config: RoutingConfig, endpoints: dict[str, str | list[str]]
+    ) -> None:
+        """Install a routing configuration (validated) and its endpoints.
+
+        An endpoint value may be a single ``host:port`` or a list of them:
+        "a service acting behind a proxy may run in multiple instances and
+        multiple versions at the same time" (paper section 4.1) — lists
+        are balanced round-robin per version.
+        """
+        config.validate()
+        normalized: dict[str, list[str]] = {}
+        for version, value in endpoints.items():
+            instances = [value] if isinstance(value, str) else list(value)
+            if not instances or not all(isinstance(i, str) and i for i in instances):
+                raise RoutingError(
+                    f"version {version!r} needs at least one non-empty endpoint"
+                )
+            normalized[version] = instances
+        referenced = {split.version for split in config.splits}
+        for shadow in config.shadows:
+            referenced.add(shadow.source_version)
+            referenced.add(shadow.target_version)
+        missing = referenced - set(normalized)
+        if missing:
+            raise RoutingError(
+                f"config references versions without endpoints: {sorted(missing)}"
+            )
+        self._chain = FilterChain(
+            config, sticky_store=self.sticky_store, seed=self.seed, rng=self.rng
+        )
+        self._endpoints = normalized
+        self._cursors = {version: 0 for version in normalized}
+
+    def _pick_endpoint(self, version: str) -> str:
+        """Round-robin over a version's instances."""
+        instances = self._endpoints[version]
+        cursor = self._cursors.get(version, 0)
+        self._cursors[version] = cursor + 1
+        return instances[cursor % len(instances)]
+
+    def clear_config(self) -> None:
+        """Fall back to default-upstream passthrough (strategy finished)."""
+        self._chain = None
+        self._endpoints = {}
+        self._cursors = {}
+
+    @property
+    def active_config(self) -> RoutingConfig | None:
+        return self._chain.config if self._chain else None
+
+    # -- proxying ---------------------------------------------------------
+
+    async def _handle_proxy(self, request: Request) -> Response:
+        if self._chain is None:
+            return await self._forward(request, self.default_upstream, "default")
+
+        decision = self._chain.decide(request)
+        for shadow in decision.shadows or []:
+            target_endpoint = self._pick_endpoint(shadow.target_version)
+            shadow_request = request.copy()
+            if decision.client_id:
+                self._ensure_client_cookie(shadow_request, decision.client_id)
+            self.shadower.shadow(shadow_request, target_endpoint)
+            self._m_shadow_sent.inc()
+
+        endpoint = self._pick_endpoint(decision.version)
+        if decision.client_id:
+            self._ensure_client_cookie(request, decision.client_id)
+        response = await self._forward(request, endpoint, decision.version)
+        if decision.set_cookie and decision.client_id:
+            response.headers.add(
+                "Set-Cookie", SetCookie(CLIENT_COOKIE, decision.client_id).format()
+            )
+        return response
+
+    @staticmethod
+    def _ensure_client_cookie(request: Request, client_id: str) -> None:
+        """Propagate the proxy-issued UUID upstream on first contact."""
+        cookies = request.cookies
+        if CLIENT_COOKIE not in cookies:
+            existing = request.headers.get("Cookie")
+            pair = f"{CLIENT_COOKIE}={client_id}"
+            request.headers.set(
+                "Cookie", f"{existing}; {pair}" if existing else pair
+            )
+
+    async def _forward(
+        self, request: Request, endpoint: str, version: str
+    ) -> Response:
+        headers = request.headers.copy()
+        for name in _HOP_BY_HOP:
+            headers.remove(name)
+        headers.set("Host", endpoint)
+        headers.set("X-Forwarded-By", self.name)
+        started = time.monotonic()
+        try:
+            response = await self._client.request(
+                request.method,
+                f"http://{endpoint}{request.target}",
+                headers=headers,
+                body=request.body,
+            )
+        except (HttpError, ConnectionError, OSError) as exc:
+            self.upstream_errors += 1
+            self._m_upstream_errors.inc()
+            logger.warning("upstream %s (%s) failed: %s", endpoint, version, exc)
+            return Response.from_json(
+                {"error": "bad gateway", "upstream": endpoint}, status=502
+            )
+        self._m_forward_seconds.observe(time.monotonic() - started)
+        self.forwarded[version] = self.forwarded.get(version, 0) + 1
+        self._m_forwarded.labels(version=version).inc()
+        relayed = response.copy()
+        relayed.headers.set("X-Bifrost-Version", version)
+        return relayed
+
+    # -- admin API ---------------------------------------------------------
+
+    async def _handle_put_config(self, request: Request) -> Response:
+        payload = request.json()
+        try:
+            config = RoutingConfig.from_wire(payload.get("routing", {}))
+            endpoints = payload.get("endpoints", {})
+            if not isinstance(endpoints, dict):
+                raise RoutingError("endpoints must be a mapping")
+            cleaned: dict[str, str | list[str]] = {}
+            for version, value in endpoints.items():
+                if isinstance(value, list):
+                    cleaned[version] = [str(item) for item in value]
+                else:
+                    cleaned[version] = str(value)
+            self.apply_config(config, cleaned)
+        except (RoutingError, AttributeError) as exc:
+            return Response.from_json({"status": "error", "error": str(exc)}, 400)
+        return Response.from_json({"status": "ok", "service": self.service})
+
+    async def _handle_get_config(self, request: Request) -> Response:
+        if self._chain is None:
+            return Response.from_json(
+                {"service": self.service, "active": False,
+                 "default_upstream": self.default_upstream}
+            )
+        return Response.from_json(
+            {
+                "service": self.service,
+                "active": True,
+                "routing": self._chain.config.to_wire(),
+                "endpoints": self._endpoints,
+            }
+        )
+
+    async def _handle_delete_config(self, request: Request) -> Response:
+        self.clear_config()
+        return Response.from_json({"status": "ok", "active": False})
+
+    async def _handle_stats(self, request: Request) -> Response:
+        return Response.from_json(
+            {
+                "service": self.service,
+                "forwarded": self.forwarded,
+                "shadow_sent": self.shadower.sent,
+                "shadow_failed": self.shadower.failed,
+                "upstream_errors": self.upstream_errors,
+                "sticky_sessions": len(self.sticky_store),
+            }
+        )
+
+    async def _handle_health(self, request: Request) -> Response:
+        return Response.from_json({"status": "up", "service": self.service})
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        self._m_sticky.set(float(len(self.sticky_store)))
+        return Response.text(render_exposition(self.registry))
+
+    async def stop(self) -> None:
+        await self.shadower.drain()
+        if self._owns_client:
+            await self._client.close()
+        await super().stop()

@@ -1,0 +1,61 @@
+"""Dark-launch traffic duplication.
+
+"Dark launches are different from all other live testing practices, in
+that they duplicate rather than reroute traffic" (section 3.2).  The
+shadower copies a request, fires it at the shadow version, and discards
+the response — the user only ever sees the primary reply.  Duplication is
+fire-and-forget: shadow failures are counted, never surfaced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+from ..httpcore import HttpClient, Request
+
+logger = logging.getLogger(__name__)
+
+
+class Shadower:
+    """Sends copied requests to shadow targets in background tasks."""
+
+    def __init__(self, client: HttpClient):
+        self._client = client
+        self._tasks: set[asyncio.Task[None]] = set()
+        #: Counters for observability and tests.
+        self.sent = 0
+        self.failed = 0
+
+    def shadow(self, request: Request, endpoint: str) -> None:
+        """Duplicate *request* to ``endpoint`` without awaiting the result."""
+        copy = request.copy()
+        copy.headers.set("Host", endpoint)
+        copy.headers.set("X-Bifrost-Shadow", "true")
+        task = asyncio.get_running_loop().create_task(self._send(copy, endpoint))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _send(self, request: Request, endpoint: str) -> None:
+        try:
+            await self._client.request(
+                request.method,
+                f"http://{endpoint}{request.target}",
+                headers=request.headers,
+                body=request.body,
+            )
+            self.sent += 1
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.failed += 1
+            logger.debug("shadow request to %s failed: %s", endpoint, exc)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._tasks)
+
+    async def drain(self) -> None:
+        """Wait for all in-flight shadow requests (tests and shutdown)."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)

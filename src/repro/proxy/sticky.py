@@ -1,0 +1,54 @@
+"""Sticky session store.
+
+"Depending on whether sticky sessions are used or not, the proxy either
+stores the set cookie to re-identify users, or the subsequent request is
+again running through the proxy's decision process" (section 4.2.2).
+
+The store maps the proxy-issued client UUID to the version it was first
+assigned.  It is bounded: beyond *capacity* the least recently used entry
+is evicted (an evicted returning client is simply re-bucketed, which the
+hash-based assignment keeps consistent while the config is unchanged).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class StickyStore:
+    """Bounded LRU of client-id → version assignments."""
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._assignments: OrderedDict[str, str] = OrderedDict()
+
+    def get(self, client_id: str) -> str | None:
+        version = self._assignments.get(client_id)
+        if version is not None:
+            self._assignments.move_to_end(client_id)
+        return version
+
+    def assign(self, client_id: str, version: str) -> None:
+        if client_id in self._assignments:
+            self._assignments.move_to_end(client_id)
+        self._assignments[client_id] = version
+        while len(self._assignments) > self.capacity:
+            self._assignments.popitem(last=False)
+
+    def forget_version(self, version: str) -> int:
+        """Drop every assignment to *version* (it was torn down)."""
+        stale = [cid for cid, v in self._assignments.items() if v == version]
+        for client_id in stale:
+            del self._assignments[client_id]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._assignments.clear()
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, client_id: object) -> bool:
+        return client_id in self._assignments

@@ -1,0 +1,149 @@
+"""Integration tests for the assembled case-study application."""
+
+from repro.casestudy import build_case_study
+from repro.core import ab_split, canary_split
+from repro.httpcore import HttpClient
+
+
+async def test_baseline_topology_serves_all_request_types():
+    app = await build_case_study(proxies=False, variants=False, metrics=False)
+    client = HttpClient()
+    try:
+        token = await app.issue_token()
+        headers = {"Authorization": f"Bearer {token}"}
+        entry = app.entry_address
+
+        response = await client.get(f"http://{entry}/")
+        assert response.status == 200
+        assert b"Shop" in response.body
+
+        response = await client.get(f"http://{entry}/products", headers=headers)
+        assert response.status == 200
+        assert len(response.json()["products"]) == 40
+
+        response = await client.get(
+            f"http://{entry}/products/SKU-0003", headers=headers
+        )
+        assert response.json()["product"]["sku"] == "SKU-0003"
+
+        response = await client.post(
+            f"http://{entry}/products/SKU-0003/buy", headers=headers
+        )
+        assert response.status == 204
+
+        response = await client.get(f"http://{entry}/search?q=Laptop", headers=headers)
+        assert response.status == 200
+        assert response.json()["version"] == "search"
+    finally:
+        await client.close()
+        await app.stop()
+
+
+async def test_proxied_topology_defaults_to_stable_versions():
+    app = await build_case_study(metrics=False)
+    client = HttpClient()
+    try:
+        token = await app.issue_token()
+        headers = {"Authorization": f"Bearer {token}"}
+        response = await client.get(
+            f"http://{app.entry_address}/products", headers=headers
+        )
+        assert response.status == 200
+        assert response.json()["version"] == "product"
+        # The request went through the Bifrost proxy in passthrough mode.
+        assert response.headers.get("X-Bifrost-Version") == "default"
+    finally:
+        await client.close()
+        await app.stop()
+
+
+async def test_proxied_search_rollout_switches_versions():
+    app = await build_case_study(metrics=False)
+    client = HttpClient()
+    try:
+        token = await app.issue_token()
+        headers = {"Authorization": f"Bearer {token}"}
+        app.search_proxy.apply_config(
+            canary_split("search", "fastSearch", 100.0), app.endpoints("search")
+        )
+        response = await client.get(
+            f"http://{app.entry_address}/search?q=Laptop", headers=headers
+        )
+        assert response.json()["version"] == "fastSearch"
+    finally:
+        await client.close()
+        await app.stop()
+
+
+async def test_ab_test_between_product_variants():
+    app = await build_case_study(metrics=False)
+    client = HttpClient()
+    try:
+        token = await app.issue_token()
+        headers = {"Authorization": f"Bearer {token}"}
+        app.product_proxy.apply_config(
+            ab_split("product_a", "product_b"), app.endpoints("product")
+        )
+        seen = set()
+        for _ in range(40):
+            response = await client.get(
+                f"http://{app.entry_address}/products", headers=headers
+            )
+            seen.add(response.json()["version"])
+        assert seen == {"product_a", "product_b"}
+    finally:
+        await client.close()
+        await app.stop()
+
+
+async def test_metrics_server_scrapes_service_registries():
+    app = await build_case_study(scrape_interval=0.05)
+    client = HttpClient()
+    try:
+        token = await app.issue_token()
+        headers = {"Authorization": f"Bearer {token}"}
+        for _ in range(3):
+            await client.get(f"http://{app.entry_address}/products", headers=headers)
+        import asyncio
+
+        await asyncio.sleep(0.2)  # let at least one scrape pass
+        response = await client.get(
+            f"http://{app.metrics.address}/api/v1/query"
+            '?query=http_requests_total{instance="product"}'.replace('"', "%22")
+        )
+        payload = response.json()
+        assert payload["status"] == "success"
+        assert payload["data"]["value"] >= 3
+    finally:
+        await client.close()
+        await app.stop()
+
+
+async def test_deployment_reflects_running_topology():
+    app = await build_case_study(metrics=False)
+    try:
+        deployment = app.deployment()
+        assert deployment.service("product").proxy == app.product_proxy.address
+        assert deployment.service("search").stable == "search"
+        assert set(deployment.service("product").versions) == {
+            "product",
+            "product_a",
+            "product_b",
+        }
+    finally:
+        await app.stop()
+
+
+async def test_auth_reachable_through_gateway():
+    app = await build_case_study(proxies=False, variants=False, metrics=False)
+    client = HttpClient()
+    try:
+        response = await client.post(
+            f"http://{app.entry_address}/auth/login",
+            json_body={"email": "user0@example.com", "password": "secret-0"},
+        )
+        assert response.status == 200
+        assert "token" in response.json()
+    finally:
+        await client.close()
+        await app.stop()

@@ -1,0 +1,179 @@
+"""Tests for the document store (engine, queries, HTTP facade, driver)."""
+
+import pytest
+
+from repro.casestudy import DocumentStore, MongoClient, MongoServer, QueryError
+from repro.httpcore import HttpClient
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def test_insert_assigns_ids():
+    store = DocumentStore()
+    products = store.collection("products")
+    first = products.insert({"name": "tv"})
+    second = products.insert({"name": "laptop"})
+    assert first != second
+    assert products.count() == 2
+
+
+def test_find_equality():
+    products = DocumentStore().collection("products")
+    products.insert({"name": "tv", "price": 100})
+    products.insert({"name": "laptop", "price": 900})
+    assert len(products.find({"name": "tv"})) == 1
+    assert products.find({"name": "ghost"}) == []
+    assert len(products.find()) == 2
+
+
+def test_find_operators():
+    c = DocumentStore().collection("c")
+    for price in [10, 50, 100, 500]:
+        c.insert({"price": price})
+    assert len(c.find({"price": {"$gt": 50}})) == 2
+    assert len(c.find({"price": {"$gte": 50}})) == 3
+    assert len(c.find({"price": {"$lt": 50}})) == 1
+    assert len(c.find({"price": {"$lte": 50}})) == 2
+    assert len(c.find({"price": {"$ne": 50}})) == 3
+    assert len(c.find({"price": {"$in": [10, 500]}})) == 2
+
+
+def test_find_contains_case_insensitive():
+    c = DocumentStore().collection("c")
+    c.insert({"name": "Acme Laptop 3"})
+    c.insert({"name": "Globex TV"})
+    assert len(c.find({"name": {"$contains": "laptop"}})) == 1
+    assert len(c.find({"name": {"$contains": "ACME"}})) == 1
+
+
+def test_find_missing_field_fails_comparisons():
+    c = DocumentStore().collection("c")
+    c.insert({"other": 1})
+    assert c.find({"price": {"$gt": 0}}) == []
+    assert c.find({"name": {"$contains": "x"}}) == []
+
+
+def test_unknown_operator_raises():
+    c = DocumentStore().collection("c")
+    c.insert({"a": 1})
+    with pytest.raises(QueryError):
+        c.find({"a": {"$regex": "x"}})
+
+
+def test_find_limit_and_find_one():
+    c = DocumentStore().collection("c")
+    for i in range(10):
+        c.insert({"i": i})
+    assert len(c.find(limit=3)) == 3
+    assert c.find_one({"i": 7})["i"] == 7
+    assert c.find_one({"i": 99}) is None
+
+
+def test_update_and_delete():
+    c = DocumentStore().collection("c")
+    c.insert({"sku": "a", "stock": 1})
+    c.insert({"sku": "b", "stock": 1})
+    assert c.update({"sku": "a"}, {"stock": 5}) == 1
+    assert c.find_one({"sku": "a"})["stock"] == 5
+    assert c.delete({"sku": "b"}) == 1
+    assert c.count() == 1
+
+
+def test_find_returns_copies():
+    c = DocumentStore().collection("c")
+    c.insert({"x": 1})
+    found = c.find_one()
+    found["x"] = 999
+    assert c.find_one()["x"] == 1
+
+
+def test_store_collections():
+    store = DocumentStore()
+    store.collection("a").insert({})
+    store.collection("b")
+    assert store.names == ["a", "b"]
+    store.drop("a")
+    assert store.names == ["b"]
+
+
+# -- HTTP facade + driver ----------------------------------------------------
+
+
+async def test_driver_round_trip():
+    server = MongoServer()
+    await server.start()
+    client = HttpClient()
+    mongo = MongoClient(server.address, client)
+    try:
+        doc_id = await mongo.insert("products", {"name": "tv", "price": 100})
+        assert doc_id == 1
+        found = await mongo.find("products", {"name": {"$contains": "tv"}})
+        assert len(found) == 1
+        one = await mongo.find_one("products", {"name": "tv"})
+        assert one["price"] == 100
+        assert await mongo.update("products", {"name": "tv"}, {"price": 90}) == 1
+        assert (await mongo.find_one("products"))["price"] == 90
+        assert await mongo.count("products") == 1
+    finally:
+        await client.close()
+        await server.stop()
+
+
+async def test_server_rejects_bad_operations():
+    server = MongoServer()
+    await server.start()
+    client = HttpClient()
+    try:
+        response = await client.post(
+            f"http://{server.address}/db/c/conjure", json_body={}
+        )
+        assert response.status == 404
+        # Operators are only evaluated against existing documents.
+        await client.post(
+            f"http://{server.address}/db/c/insert", json_body={"document": {"a": 1}}
+        )
+        response = await client.post(
+            f"http://{server.address}/db/c/find",
+            json_body={"query": {"a": {"$regex": "x"}}},
+        )
+        assert response.status == 400
+        response = await client.post(
+            f"http://{server.address}/db/c/find", json_body=[1, 2]
+        )
+        assert response.status == 400
+    finally:
+        await client.close()
+        await server.stop()
+
+
+async def test_server_health_and_operation_counter():
+    server = MongoServer()
+    await server.start()
+    client = HttpClient()
+    mongo = MongoClient(server.address, client)
+    try:
+        await mongo.insert("products", {})
+        await mongo.find("products")
+        assert server.operations == 2
+        response = await client.get(f"http://{server.address}/healthz")
+        assert response.json()["collections"] == ["products"]
+    finally:
+        await client.close()
+        await server.stop()
+
+
+async def test_op_delay_slows_operations():
+    import time
+
+    server = MongoServer(op_delay=0.02)
+    await server.start()
+    client = HttpClient()
+    mongo = MongoClient(server.address, client)
+    try:
+        started = time.monotonic()
+        await mongo.find("c")
+        assert time.monotonic() - started >= 0.015
+    finally:
+        await client.close()
+        await server.stop()

@@ -1,0 +1,272 @@
+"""Tests for the bifrost CLI."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.cli import build_parser, main
+
+VALID_DOC = """
+strategy:
+  name: cli-demo
+  phases:
+    - phase:
+        name: wait
+        duration: 0.02
+        routes:
+          - route:
+              from: svc
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 50
+        next: done
+    - final:
+        name: done
+deployment:
+  services:
+    svc:
+      proxy: {proxy}
+      stable: v1
+      versions:
+        v1: 127.0.0.1:9001
+        v2: 127.0.0.1:9002
+"""
+
+
+@pytest.fixture
+def valid_file(tmp_path):
+    path = tmp_path / "strategy.yaml"
+    path.write_text(VALID_DOC.format(proxy="127.0.0.1:7001"))
+    return path
+
+
+@pytest.fixture
+def invalid_file(tmp_path):
+    path = tmp_path / "bad.yaml"
+    path.write_text("strategy:\n  name: broken\n")
+    return path
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_validate_ok(valid_file, capsys):
+    assert main(["validate", str(valid_file)]) == 0
+    out = capsys.readouterr().out
+    assert "OK: strategy 'cli-demo'" in out
+    assert "states: 2" in out
+
+
+def test_validate_invalid(invalid_file, capsys):
+    assert main(["validate", str(invalid_file)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_validate_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["validate", str(tmp_path / "ghost.yaml")])
+
+
+def test_validate_with_verify_and_forecast(valid_file, capsys):
+    assert main(["validate", str(valid_file), "--verify", "--forecast", "0.9"]) == 0
+    out = capsys.readouterr().out
+    assert "forecast" in out
+    assert "expected rollout time" in out
+
+
+def test_validate_verify_flags_errors(tmp_path, capsys):
+    """A checked strategy without any rollback state exits 3."""
+    document = """
+strategy:
+  name: risky
+  phases:
+    - phase:
+        name: canary
+        routes:
+          - route:
+              from: svc
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 10
+        checks:
+          - metric:
+              name: m
+              query: q
+              intervalTime: 1
+              intervalLimit: 2
+              validator: "<5"
+        next: done
+        onFailure: done
+    - final:
+        name: done
+deployment:
+  services:
+    svc:
+      proxy: 127.0.0.1:7001
+      stable: v1
+      versions:
+        v1: 127.0.0.1:9001
+        v2: 127.0.0.1:9002
+"""
+    path = tmp_path / "risky.yaml"
+    path.write_text(document)
+    assert main(["validate", str(path), "--verify"]) == 3
+    assert "no-rollback" in capsys.readouterr().out
+
+
+def test_render_text(valid_file, capsys):
+    assert main(["render", str(valid_file)]) == 0
+    out = capsys.readouterr().out
+    assert "strategy cli-demo" in out
+    assert "state wait" in out
+
+
+def test_render_mermaid(valid_file, capsys):
+    assert main(["render", str(valid_file), "--mermaid"]) == 0
+    assert "stateDiagram-v2" in capsys.readouterr().out
+
+
+def test_run_local_enacts_strategy(tmp_path, capsys):
+    """`bifrost run` configures a real proxy and completes the strategy."""
+    from repro.proxy import BifrostProxy
+
+    holder = {}
+    ready = threading.Event()
+    release = threading.Event()
+
+    def proxy_thread():
+        async def body():
+            proxy = BifrostProxy("svc", default_upstream="127.0.0.1:9001")
+            await proxy.start()
+            holder["address"] = proxy.address
+            holder["proxy"] = proxy
+            ready.set()
+            while not release.is_set():
+                await asyncio.sleep(0.01)
+            holder["configured"] = proxy.active_config is not None
+            await proxy.stop()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(target=proxy_thread)
+    thread.start()
+    assert ready.wait(5)
+    path = tmp_path / "strategy.yaml"
+    path.write_text(VALID_DOC.format(proxy=holder["address"]))
+    try:
+        code = main(["run", str(path)])
+    finally:
+        release.set()
+        thread.join(5)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cli-demo: completed" in out
+    assert "wait -> done" in out
+    assert "strategy_started" in out  # event stream printed
+    assert holder["configured"]
+
+
+def test_run_quiet_suppresses_events(tmp_path, capsys):
+    from repro.proxy import BifrostProxy
+
+    holder = {}
+    ready = threading.Event()
+    release = threading.Event()
+
+    def proxy_thread():
+        async def body():
+            proxy = BifrostProxy("svc", default_upstream="127.0.0.1:9001")
+            await proxy.start()
+            holder["address"] = proxy.address
+            ready.set()
+            while not release.is_set():
+                await asyncio.sleep(0.01)
+            await proxy.stop()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(target=proxy_thread)
+    thread.start()
+    assert ready.wait(5)
+    path = tmp_path / "strategy.yaml"
+    path.write_text(VALID_DOC.format(proxy=holder["address"]))
+    try:
+        code = main(["run", str(path), "--quiet"])
+    finally:
+        release.set()
+        thread.join(5)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "strategy_started" not in out
+
+
+def test_status_events_cancel_against_running_engine(tmp_path, capsys):
+    """Drive the remote-control commands against a live engine API."""
+    from repro.core import Engine
+    from repro.dashboard import EngineApiServer
+    from repro.proxy import BifrostProxy, HttpProxyController
+
+    holder = {}
+    ready = threading.Event()
+    release = threading.Event()
+
+    def engine_thread():
+        async def body():
+            proxy = BifrostProxy("svc", default_upstream="127.0.0.1:9001")
+            await proxy.start()
+            controller = HttpProxyController({})
+            engine = Engine(controller=controller)
+            api = EngineApiServer(engine)
+            await api.start()
+            holder["api"] = api.address
+            holder["proxy"] = proxy.address
+            ready.set()
+            while not release.is_set():
+                await asyncio.sleep(0.01)
+            await api.stop()
+            await engine.shutdown()
+            await controller.close()
+            await proxy.stop()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(target=engine_thread)
+    thread.start()
+    assert ready.wait(5)
+    try:
+        # Submit a long-running strategy via raw HTTP (what CI scripts do).
+        import json
+        import urllib.request
+
+        document = VALID_DOC.format(proxy=holder["proxy"]).replace(
+            "duration: 0.02", "duration: 60"
+        )
+        request = urllib.request.Request(
+            f"http://{holder['api']}/api/strategies",
+            data=document.encode(),
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            execution_id = json.loads(response.read())["execution"]
+
+        assert main(["status", "--engine", holder["api"]]) == 0
+        out = capsys.readouterr().out
+        assert "cli-demo" in out
+        assert "running" in out
+
+        assert main(["events", "--engine", holder["api"]]) == 0
+        out = capsys.readouterr().out
+        assert "strategy_started" in out
+
+        assert main(["cancel", "--engine", holder["api"], execution_id]) == 0
+        assert "cancelled" in capsys.readouterr().out
+
+        assert main(["cancel", "--engine", holder["api"], "ghost#9"]) == 1
+    finally:
+        release.set()
+        thread.join(5)

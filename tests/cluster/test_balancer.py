@@ -1,0 +1,89 @@
+"""Tests for the round-robin load balancer."""
+
+from repro.cluster import LoadBalancer
+from repro.httpcore import HttpClient, HttpServer, Response
+
+
+def instance(tag: str) -> HttpServer:
+    server = HttpServer(name=tag)
+
+    async def handler(request):
+        return Response.from_json({"instance": tag})
+
+    server.router.set_fallback(handler)
+    return server
+
+
+async def test_round_robin_distribution():
+    a, b = instance("a"), instance("b")
+    await a.start()
+    await b.start()
+    balancer = LoadBalancer([a.address, b.address])
+    await balancer.start()
+    try:
+        async with HttpClient() as client:
+            tags = [
+                (await client.get(f"http://{balancer.address}/")).json()["instance"]
+                for _ in range(10)
+            ]
+        assert tags.count("a") == 5
+        assert tags.count("b") == 5
+    finally:
+        await balancer.stop()
+        await a.stop()
+        await b.stop()
+
+
+async def test_failover_skips_dead_instance():
+    live = instance("live")
+    await live.start()
+    balancer = LoadBalancer(["127.0.0.1:1", live.address])
+    await balancer.start()
+    try:
+        async with HttpClient() as client:
+            for _ in range(4):
+                response = await client.get(f"http://{balancer.address}/")
+                assert response.status == 200
+                assert response.json()["instance"] == "live"
+    finally:
+        await balancer.stop()
+        await live.stop()
+
+
+async def test_no_instances_is_503():
+    balancer = LoadBalancer([])
+    await balancer.start()
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{balancer.address}/")
+            assert response.status == 503
+    finally:
+        await balancer.stop()
+
+
+async def test_all_instances_down_is_503():
+    balancer = LoadBalancer(["127.0.0.1:1", "127.0.0.1:2"])
+    await balancer.start()
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{balancer.address}/")
+            assert response.status == 503
+            assert response.json()["error"] == "all instances down"
+    finally:
+        await balancer.stop()
+
+
+async def test_add_remove_instance():
+    a = instance("a")
+    await a.start()
+    balancer = LoadBalancer([])
+    balancer.add_instance(a.address)
+    await balancer.start()
+    try:
+        async with HttpClient() as client:
+            assert (await client.get(f"http://{balancer.address}/")).status == 200
+        balancer.remove_instance(a.address)
+        assert balancer.instances == []
+    finally:
+        await balancer.stop()
+        await a.stop()

@@ -1,0 +1,96 @@
+"""Tests for the nginx-like gateway."""
+
+import pytest
+
+from repro.cluster import Gateway
+from repro.httpcore import HttpClient, HttpServer, Response
+
+
+def upstream(tag: str) -> HttpServer:
+    server = HttpServer(name=tag)
+
+    async def handler(request):
+        return Response.from_json({"tag": tag, "path": request.path})
+
+    server.router.set_fallback(handler)
+    return server
+
+
+async def test_longest_prefix_wins():
+    front = upstream("frontend")
+    product = upstream("product")
+    await front.start()
+    await product.start()
+    gateway = Gateway()
+    gateway.add_route("/", front.address)
+    gateway.add_route("/products", product.address)
+    await gateway.start()
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{gateway.address}/products/1")
+            assert response.json()["tag"] == "product"
+            response = await client.get(f"http://{gateway.address}/index.html")
+            assert response.json()["tag"] == "frontend"
+    finally:
+        await gateway.stop()
+        await front.stop()
+        await product.stop()
+
+
+async def test_no_route_is_404():
+    gateway = Gateway()
+    gateway.add_route("/api", "127.0.0.1:1")
+    await gateway.start()
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{gateway.address}/other")
+            assert response.status == 404
+    finally:
+        await gateway.stop()
+
+
+async def test_dead_upstream_is_502():
+    gateway = Gateway()
+    gateway.add_route("/", "127.0.0.1:1")
+    await gateway.start()
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{gateway.address}/x")
+            assert response.status == 502
+    finally:
+        await gateway.stop()
+
+
+async def test_set_upstream_repoints_route():
+    a = upstream("a")
+    b = upstream("b")
+    await a.start()
+    await b.start()
+    gateway = Gateway()
+    gateway.add_route("/", a.address)
+    await gateway.start()
+    try:
+        async with HttpClient() as client:
+            assert (await client.get(f"http://{gateway.address}/")).json()["tag"] == "a"
+            gateway.set_upstream("/", b.address)
+            assert (await client.get(f"http://{gateway.address}/")).json()["tag"] == "b"
+        with pytest.raises(KeyError):
+            gateway.set_upstream("/missing", "h:1")
+    finally:
+        await gateway.stop()
+        await a.stop()
+        await b.stop()
+
+
+def test_prefix_must_start_with_slash():
+    with pytest.raises(ValueError):
+        Gateway().add_route("products", "h:1")
+
+
+def test_upstream_for():
+    gateway = Gateway()
+    gateway.add_route("/", "front:1")
+    gateway.add_route("/api/v1", "api:1")
+    assert gateway.upstream_for("/api/v1/things") == "api:1"
+    assert gateway.upstream_for("/api") == "front:1"
+    assert Gateway().upstream_for("/x") is None

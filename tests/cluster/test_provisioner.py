@@ -1,0 +1,109 @@
+"""Tests for version provisioning (the IaC-integration seam)."""
+
+import pytest
+
+from repro.cluster import (
+    InProcessProvisioner,
+    ProvisioningError,
+    provision_strategy_versions,
+)
+from repro.httpcore import HttpClient, HttpServer, Response
+
+
+def make_factory(tag: str):
+    def factory():
+        server = HttpServer(name=tag)
+        server.router.set_fallback(lambda r: _respond(tag))
+        return server
+
+    return factory
+
+
+async def _respond(tag):
+    return Response.from_json({"version": tag})
+
+
+async def test_provision_starts_a_reachable_server():
+    provisioner = InProcessProvisioner()
+    provisioner.register("search", "fastSearch", make_factory("fastSearch"))
+    endpoint = await provisioner.provision("search", "fastSearch")
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{endpoint}/x")
+            assert response.json() == {"version": "fastSearch"}
+        assert provisioner.running == [("search", "fastSearch")]
+        assert provisioner.endpoint("search", "fastSearch") == endpoint
+    finally:
+        await provisioner.shutdown()
+
+
+async def test_provision_same_version_twice_is_refcounted():
+    provisioner = InProcessProvisioner()
+    provisioner.register("svc", "v", make_factory("v"))
+    first = await provisioner.provision("svc", "v")
+    second = await provisioner.provision("svc", "v")
+    assert first == second
+    await provisioner.decommission("svc", "v")
+    assert provisioner.running == [("svc", "v")]  # one claim left
+    await provisioner.decommission("svc", "v")
+    assert provisioner.running == []
+
+
+async def test_async_factory_supported():
+    async def factory():
+        server = HttpServer(name="async-built")
+        server.router.set_fallback(lambda r: _respond("async"))
+        return server
+
+    provisioner = InProcessProvisioner()
+    provisioner.register("svc", "v", factory)
+    endpoint = await provisioner.provision("svc", "v")
+    assert endpoint
+    await provisioner.shutdown()
+
+
+async def test_unregistered_version_raises():
+    provisioner = InProcessProvisioner()
+    with pytest.raises(ProvisioningError):
+        await provisioner.provision("svc", "ghost")
+
+
+async def test_duplicate_factory_rejected():
+    provisioner = InProcessProvisioner()
+    provisioner.register("svc", "v", make_factory("v"))
+    with pytest.raises(ProvisioningError):
+        provisioner.register("svc", "v", make_factory("v"))
+
+
+async def test_decommission_unprovisioned_raises():
+    provisioner = InProcessProvisioner()
+    with pytest.raises(ProvisioningError):
+        await provisioner.decommission("svc", "v")
+
+
+async def test_factory_failure_wrapped():
+    class Exploding(HttpServer):
+        async def start(self):
+            raise RuntimeError("no capacity")
+
+    provisioner = InProcessProvisioner()
+    provisioner.register("svc", "v", lambda: Exploding())
+    with pytest.raises(ProvisioningError):
+        await provisioner.provision("svc", "v")
+
+
+async def test_provision_strategy_versions_all_or_nothing():
+    provisioner = InProcessProvisioner()
+    provisioner.register("svc", "good", make_factory("good"))
+    # "bad" has no factory -> the helper must roll back "good".
+    with pytest.raises(ProvisioningError):
+        await provision_strategy_versions(provisioner, "svc", ["good", "bad"])
+    assert provisioner.running == []
+    # A fully registered set provisions cleanly.
+    provisioner.register("svc", "better", make_factory("better"))
+    endpoints = await provision_strategy_versions(
+        provisioner, "svc", ["good", "better"]
+    )
+    assert set(endpoints) == {"good", "better"}
+    await provisioner.shutdown()
+    assert provisioner.running == []

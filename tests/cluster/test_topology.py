@@ -1,0 +1,82 @@
+"""Tests for the cluster lifecycle manager."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterError
+from repro.httpcore import HttpServer, Response
+
+
+def server(tag: str) -> HttpServer:
+    s = HttpServer(name=tag)
+    s.router.set_fallback(lambda r: Response.text(tag))
+    return s
+
+
+async def test_start_stop_all_components():
+    cluster = Cluster()
+    a = cluster.add("a", server("a"))
+    b = cluster.add("b", server("b"))
+    async with cluster:
+        assert a.running and b.running
+        assert set(cluster.addresses()) == {"a", "b"}
+        assert cluster.address("a") == a.address
+    assert not a.running and not b.running
+
+
+async def test_duplicate_names_rejected():
+    cluster = Cluster()
+    cluster.add("x", server("x"))
+    with pytest.raises(ClusterError):
+        cluster.add("x", server("x2"))
+
+
+async def test_add_after_start_rejected():
+    cluster = Cluster()
+    cluster.add("a", server("a"))
+    async with cluster:
+        with pytest.raises(ClusterError):
+            cluster.add("late", server("late"))
+
+
+async def test_address_before_start_raises():
+    cluster = Cluster()
+    cluster.add("a", server("a"))
+    with pytest.raises(ClusterError):
+        cluster.address("a")
+
+
+async def test_unknown_component_raises():
+    with pytest.raises(ClusterError):
+        Cluster().get("ghost")
+
+
+async def test_failed_start_rolls_back_started_components():
+    cluster = Cluster()
+    a = cluster.add("a", server("a"))
+
+    class Exploding(HttpServer):
+        async def start(self):
+            raise RuntimeError("boom")
+
+    cluster.add("bad", Exploding())
+    with pytest.raises(RuntimeError):
+        await cluster.start()
+    assert not a.running
+
+
+async def test_double_start_rejected():
+    cluster = Cluster()
+    cluster.add("a", server("a"))
+    await cluster.start()
+    try:
+        with pytest.raises(ClusterError):
+            await cluster.start()
+    finally:
+        await cluster.stop()
+
+
+async def test_components_listing():
+    cluster = Cluster()
+    cluster.add("one", server("one"))
+    cluster.add("two", server("two"))
+    assert cluster.components == ["one", "two"]

@@ -1,0 +1,221 @@
+"""Unit tests for the automaton structure and the transition function δ."""
+
+import pytest
+
+from repro.core import (
+    Automaton,
+    ExceptionCheck,
+    MetricCondition,
+    ModelError,
+    State,
+    Timer,
+    Transitions,
+    single_version,
+)
+
+
+def exception_check(fallback: str) -> ExceptionCheck:
+    return ExceptionCheck(
+        name="guard",
+        condition=MetricCondition.simple("q", "<5"),
+        timer=Timer(1, 5),
+        fallback_state=fallback,
+    )
+
+
+# -- Transitions -----------------------------------------------------------------
+
+
+def test_transitions_targets_must_match_ranges():
+    with pytest.raises(ModelError):
+        Transitions.build([3.0], ["only-one"])
+    Transitions.build([3.0], ["low", "high"])
+
+
+def test_transitions_next_state_fig2_state_b():
+    # State b: thresholds (3, 4): <=3 -> g, (3,4] -> c, >4 -> d.
+    transitions = Transitions.build([3.0, 4.0], ["g", "c", "d"])
+    assert transitions.next_state(2) == "g"
+    assert transitions.next_state(3) == "g"
+    assert transitions.next_state(4) == "c"
+    assert transitions.next_state(5) == "d"
+
+
+def test_transitions_always():
+    transitions = Transitions.always("next")
+    assert transitions.next_state(-100) == "next"
+    assert transitions.next_state(100) == "next"
+
+
+# -- State -----------------------------------------------------------------------
+
+
+def test_state_weights_default_to_one_per_check():
+    state = State(name="s", checks=[exception_check("g")], transitions=Transitions.always("g"))
+    assert state.weights == [1.0]
+
+
+def test_state_weight_mismatch_rejected():
+    state = State(
+        name="s",
+        checks=[exception_check("g")],
+        weights=[1.0, 2.0],
+        transitions=Transitions.always("g"),
+    )
+    with pytest.raises(ModelError):
+        state.validate()
+
+
+def test_final_state_must_not_have_transitions():
+    state = State(name="s", final=True, transitions=Transitions.always("x"))
+    with pytest.raises(ModelError):
+        state.validate()
+
+
+def test_nonfinal_state_needs_transitions():
+    state = State(name="s", duration=1.0)
+    with pytest.raises(ModelError):
+        state.validate()
+
+
+def test_state_without_checks_needs_duration():
+    state = State(name="s", transitions=Transitions.always("x"))
+    with pytest.raises(ModelError):
+        state.validate()
+
+
+def test_state_nominal_duration_is_max_of_spans():
+    state = State(
+        name="s",
+        checks=[
+            ExceptionCheck("a", MetricCondition.simple("q", "<5"), Timer(5, 12), "g"),
+            ExceptionCheck("b", MetricCondition.simple("q", "<5"), Timer(10, 3), "g"),
+        ],
+        duration=45.0,
+        transitions=Transitions.always("g"),
+    )
+    assert state.nominal_duration == 60.0  # max(60, 30, 45)
+    assert State(name="f", final=True).nominal_duration == 0.0
+
+
+def test_state_routing_validated():
+    config = single_version("v")
+    config.splits[0] = type(config.splits[0])("v", 50.0)  # now sums to 50
+    state = State(
+        name="s", duration=1.0, routing={"svc": config}, transitions=Transitions.always("x")
+    )
+    with pytest.raises(ModelError):
+        state.validate()
+
+
+# -- Automaton --------------------------------------------------------------------
+
+
+def build_linear_automaton() -> Automaton:
+    automaton = Automaton()
+    automaton.add_state(State(name="a", duration=1.0, transitions=Transitions.always("b")))
+    automaton.add_state(State(name="b", duration=1.0, transitions=Transitions.always("done")))
+    automaton.add_state(State(name="done", final=True))
+    return automaton
+
+
+def test_automaton_first_state_is_start():
+    automaton = build_linear_automaton()
+    assert automaton.start == "a"
+    automaton.validate()
+
+
+def test_automaton_final_states():
+    assert build_linear_automaton().final_states == {"done"}
+
+
+def test_automaton_duplicate_state_rejected():
+    automaton = build_linear_automaton()
+    with pytest.raises(ModelError):
+        automaton.add_state(State(name="a", final=True))
+
+
+def test_automaton_unknown_state_lookup():
+    with pytest.raises(ModelError):
+        build_linear_automaton().state("ghost")
+
+
+def test_validate_requires_final_state():
+    automaton = Automaton()
+    automaton.add_state(State(name="a", duration=1.0, transitions=Transitions.always("a")))
+    with pytest.raises(ModelError):
+        automaton.validate()
+
+
+def test_validate_rejects_unknown_transition_target():
+    automaton = Automaton()
+    automaton.add_state(State(name="a", duration=1.0, transitions=Transitions.always("ghost")))
+    automaton.add_state(State(name="done", final=True))
+    with pytest.raises(ModelError):
+        automaton.validate()
+
+
+def test_validate_rejects_unknown_fallback_state():
+    automaton = Automaton()
+    automaton.add_state(
+        State(
+            name="a",
+            checks=[exception_check("ghost")],
+            transitions=Transitions.always("done"),
+        )
+    )
+    automaton.add_state(State(name="done", final=True))
+    with pytest.raises(ModelError):
+        automaton.validate()
+
+
+def test_validate_rejects_unreachable_states():
+    automaton = build_linear_automaton()
+    automaton.add_state(State(name="island", final=True))
+    with pytest.raises(ModelError):
+        automaton.validate()
+
+
+def test_fallback_targets_count_as_reachable():
+    automaton = Automaton()
+    automaton.add_state(
+        State(
+            name="a",
+            checks=[exception_check("rollback")],
+            transitions=Transitions.always("done"),
+        )
+    )
+    automaton.add_state(State(name="done", final=True))
+    automaton.add_state(State(name="rollback", final=True, rollback=True))
+    automaton.validate()
+
+
+def test_self_loop_is_allowed():
+    automaton = Automaton()
+    automaton.add_state(
+        State(
+            name="a",
+            duration=1.0,
+            transitions=Transitions.build([0.0], ["a", "done"]),
+        )
+    )
+    automaton.add_state(State(name="done", final=True))
+    automaton.validate()
+
+
+def test_nominal_path_duration():
+    automaton = build_linear_automaton()
+    assert automaton.nominal_path_duration(["a", "b", "done"]) == 2.0
+
+
+def test_empty_automaton_invalid():
+    with pytest.raises(ModelError):
+        Automaton().validate()
+
+
+def test_missing_start_state_invalid():
+    automaton = Automaton()
+    automaton.add_state(State(name="done", final=True))
+    automaton.start = "ghost"
+    with pytest.raises(ModelError):
+        automaton.validate()

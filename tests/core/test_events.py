@@ -1,0 +1,125 @@
+"""Tests for the engine event bus."""
+
+import asyncio
+
+from repro.core import Event, EventBus, EventKind
+
+
+def make_event(kind=EventKind.STATE_ENTERED, **data):
+    return Event(kind=kind, strategy="s", at=1.0, data=data)
+
+
+async def test_publish_reaches_sync_and_async_subscribers():
+    bus = EventBus()
+    seen_sync, seen_async = [], []
+    bus.subscribe(lambda event: seen_sync.append(event.kind))
+
+    async def async_subscriber(event):
+        seen_async.append(event.kind)
+
+    bus.subscribe(async_subscriber)
+    await bus.publish(make_event())
+    assert seen_sync == [EventKind.STATE_ENTERED]
+    assert seen_async == [EventKind.STATE_ENTERED]
+
+
+async def test_subscriber_exception_does_not_break_publishing():
+    bus = EventBus()
+    seen = []
+
+    def broken(event):
+        raise RuntimeError("dashboard crashed")
+
+    bus.subscribe(broken)
+    bus.subscribe(lambda event: seen.append(event))
+    await bus.publish(make_event())
+    assert len(seen) == 1
+
+
+async def test_unsubscribe():
+    bus = EventBus()
+    seen = []
+    callback = lambda event: seen.append(event)  # noqa: E731
+    bus.subscribe(callback)
+    bus.unsubscribe(callback)
+    bus.unsubscribe(callback)  # idempotent
+    await bus.publish(make_event())
+    assert seen == []
+
+
+async def test_queue_receives_events():
+    bus = EventBus()
+    queue = bus.queue()
+    await bus.publish(make_event(state="a"))
+    event = queue.get_nowait()
+    assert event.data == {"state": "a"}
+
+
+async def test_full_queue_drops_oldest():
+    bus = EventBus(queue_size=2)
+    queue = bus.queue()
+    await bus.publish(make_event(n=1))
+    await bus.publish(make_event(n=2))
+    await bus.publish(make_event(n=3))
+    assert queue.get_nowait().data == {"n": 2}
+    assert queue.get_nowait().data == {"n": 3}
+
+
+async def test_drop_queue_stops_delivery():
+    bus = EventBus()
+    queue = bus.queue()
+    bus.drop_queue(queue)
+    await bus.publish(make_event())
+    assert queue.empty()
+
+
+async def test_history_and_of_kind():
+    bus = EventBus()
+    await bus.publish(make_event(EventKind.STATE_ENTERED))
+    await bus.publish(make_event(EventKind.CHECK_EXECUTED))
+    await bus.publish(make_event(EventKind.STATE_ENTERED))
+    assert len(bus.history) == 3
+    assert len(bus.of_kind(EventKind.STATE_ENTERED)) == 2
+    assert len(bus.of_kind(EventKind.STRATEGY_FAILED)) == 0
+
+
+async def test_jsonl_writer_persists_and_replays(tmp_path):
+    from repro.core import JsonlEventWriter
+
+    path = tmp_path / "journal.jsonl"
+    bus = EventBus()
+    writer = JsonlEventWriter(path)
+    bus.subscribe(writer)
+    await bus.publish(make_event(EventKind.STRATEGY_STARTED))
+    await bus.publish(make_event(EventKind.STATE_ENTERED, state="canary"))
+    writer.close()
+    replayed = JsonlEventWriter.read(path)
+    assert [e.kind for e in replayed] == [
+        EventKind.STRATEGY_STARTED,
+        EventKind.STATE_ENTERED,
+    ]
+    assert replayed[1].data == {"state": "canary"}
+
+
+async def test_jsonl_writer_appends_across_instances(tmp_path):
+    from repro.core import JsonlEventWriter
+
+    path = tmp_path / "journal.jsonl"
+    first = JsonlEventWriter(path)
+    first(make_event(EventKind.STRATEGY_STARTED))
+    first.close()
+    second = JsonlEventWriter(path)
+    second(make_event(EventKind.STRATEGY_COMPLETED))
+    second.close()
+    assert len(JsonlEventWriter.read(path)) == 2
+
+
+def test_event_json_round_trip():
+    event = Event(
+        kind=EventKind.STATE_COMPLETED,
+        strategy="fastsearch",
+        at=12.5,
+        data={"outcome": 4, "next": "c"},
+    )
+    restored = Event.from_json(event.to_json())
+    assert restored == event

@@ -1,0 +1,103 @@
+"""Unit tests for dynamic routing configurations."""
+
+import pytest
+
+from repro.core import (
+    FilterKind,
+    RoutingConfig,
+    RoutingError,
+    ShadowRoute,
+    TrafficSplit,
+    ab_split,
+    canary_split,
+    single_version,
+)
+
+
+def test_traffic_split_bounds():
+    TrafficSplit("v", 0.0)
+    TrafficSplit("v", 100.0)
+    with pytest.raises(RoutingError):
+        TrafficSplit("v", -1.0)
+    with pytest.raises(RoutingError):
+        TrafficSplit("v", 100.1)
+
+
+def test_shadow_route_bounds():
+    ShadowRoute("a", "b", 100.0)
+    with pytest.raises(RoutingError):
+        ShadowRoute("a", "b", 101.0)
+
+
+def test_validate_requires_splits():
+    with pytest.raises(RoutingError):
+        RoutingConfig().validate()
+
+
+def test_validate_requires_sum_100():
+    config = RoutingConfig(splits=[TrafficSplit("a", 60.0), TrafficSplit("b", 30.0)])
+    with pytest.raises(RoutingError):
+        config.validate()
+
+
+def test_validate_rejects_duplicate_versions():
+    config = RoutingConfig(splits=[TrafficSplit("a", 50.0), TrafficSplit("a", 50.0)])
+    with pytest.raises(RoutingError):
+        config.validate()
+
+
+def test_single_version_helper():
+    config = single_version("stable")
+    config.validate()
+    assert config.splits == [TrafficSplit("stable", 100.0)]
+    assert not config.sticky
+
+
+def test_canary_split_helper():
+    config = canary_split("search", "fastSearch", 5.0)
+    config.validate()
+    assert config.splits[0] == TrafficSplit("search", 95.0)
+    assert config.splits[1] == TrafficSplit("fastSearch", 5.0)
+
+
+def test_ab_split_helper_is_sticky_50_50():
+    config = ab_split("product_a", "product_b")
+    config.validate()
+    assert config.sticky
+    assert all(split.percentage == 50.0 for split in config.splits)
+
+
+def test_wire_round_trip():
+    config = RoutingConfig(
+        splits=[TrafficSplit("a", 95.0), TrafficSplit("b", 5.0)],
+        shadows=[ShadowRoute("a", "b", 100.0)],
+        sticky=True,
+        filter_kind=FilterKind.HEADER,
+        header_name="X-Group",
+    )
+    restored = RoutingConfig.from_wire(config.to_wire())
+    assert restored.splits == config.splits
+    assert restored.shadows == config.shadows
+    assert restored.sticky
+    assert restored.filter_kind is FilterKind.HEADER
+    assert restored.header_name == "X-Group"
+
+
+def test_from_wire_defaults():
+    config = RoutingConfig.from_wire(
+        {"splits": [{"version": "v", "percentage": 100}]}
+    )
+    assert not config.sticky
+    assert config.filter_kind is FilterKind.COOKIE
+    assert config.header_name == "X-Bifrost-Group"
+
+
+def test_from_wire_rejects_bad_payloads():
+    with pytest.raises(RoutingError):
+        RoutingConfig.from_wire({"splits": [{"percentage": 100}]})  # no version
+    with pytest.raises(RoutingError):
+        RoutingConfig.from_wire({"splits": [{"version": "v", "percentage": 90}]})
+    with pytest.raises(RoutingError):
+        RoutingConfig.from_wire(
+            {"splits": [{"version": "v", "percentage": 100}], "filter": "telepathy"}
+        )

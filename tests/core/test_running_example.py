@@ -1,0 +1,182 @@
+"""The paper's running example (Figure 2) enacted end to end.
+
+Builds the fastSearch strategy's automaton:
+
+    a (1%) -> b (5%) -> [c (10%)] -> d (20%) -> e (A/B 50/50) -> f (100%)
+    with rollback state g reachable from every phase and an exception
+    check in state a.
+
+and drives it through the happy path, the slow path via c, an
+outcome-based rollback, and an exception-based rollback — checking both
+the traversed path and the routing the proxies would have received.
+"""
+
+import asyncio
+
+from repro.clock import VirtualClock
+from repro.core import (
+    BasicCheck,
+    Engine,
+    ExceptionCheck,
+    ExecutionStatus,
+    MetricCondition,
+    OutputMapping,
+    StrategyBuilder,
+    Timer,
+    ab_split,
+    canary_split,
+    simple_basic_check,
+    single_version,
+)
+from repro.metrics import StaticProvider
+
+#: Per-execution interval and repetitions for every check (compressed time).
+INTERVAL, REPS = 1.0, 5
+
+#: Maps a check's pass count (0..5) onto the Figure-2 outcome scale:
+#: <=2 passes -> -5 (bad), 3..4 -> 4 (inconclusive), 5 -> 5 (good).
+FIG2_MAPPING = OutputMapping.from_pairs([2, 4], [-5, 4, 5])
+
+
+def phase_check(name: str, query: str) -> BasicCheck:
+    return BasicCheck(
+        name=name,
+        condition=MetricCondition.simple(query, "<5", provider="static"),
+        timer=Timer(INTERVAL, REPS),
+        output=FIG2_MAPPING,
+    )
+
+
+def build_running_example() -> "Strategy":
+    builder = StrategyBuilder("fastsearch-rollout")
+    builder.service(
+        "search", {"search": "127.0.0.1:9001", "fastSearch": "127.0.0.1:9002"}
+    )
+    # State a: 1% canary; basic check + exception check jumping to g.
+    builder.state("a").route("search", canary_split("search", "fastSearch", 1.0)).check(
+        phase_check("a-health", "a_q")
+    ).check(
+        ExceptionCheck(
+            "a-guard",
+            MetricCondition.simple("guard_q", "<5", provider="static"),
+            Timer(INTERVAL, REPS),
+            fallback_state="g",
+        ),
+        weight=0.0,  # the guard's count must not shift the outcome scale
+    ).transitions([3], ["g", "b"])
+    # State b: 5%; thresholds (3, 4) -> g / c / d.
+    builder.state("b").route("search", canary_split("search", "fastSearch", 5.0)).check(
+        phase_check("b-health", "b_q")
+    ).transitions([3, 4], ["g", "c", "d"])
+    # State c: 10%; slow ramp continues to d.
+    builder.state("c").route("search", canary_split("search", "fastSearch", 10.0)).check(
+        phase_check("c-health", "c_q")
+    ).transitions([3], ["g", "d"])
+    # State d: 20%.
+    builder.state("d").route("search", canary_split("search", "fastSearch", 20.0)).check(
+        phase_check("d-health", "d_q")
+    ).transitions([3], ["g", "e"])
+    # State e: sticky 50/50 A/B test; three checks, each mapping to 5 on
+    # success, so a clean pass scores 15 (Figure 2: >= 15 -> f).
+    state_e = builder.state("e").route("search", ab_split("search", "fastSearch"))
+    for index in range(3):
+        state_e.check(phase_check(f"e-metric-{index}", f"e{index}_q"))
+    state_e.transitions([14], ["g", "f"])
+    # Final states.
+    builder.state("f").route("search", single_version("fastSearch")).final()
+    builder.state("g").route("search", single_version("search")).final(rollback=True)
+    return builder.build()
+
+
+PASS = 1.0  # metric value passing "<5"
+FAIL = 9.0
+
+
+def provider(overrides=None):
+    values = {
+        "a_q": PASS,
+        "guard_q": PASS,
+        "b_q": PASS,
+        "c_q": PASS,
+        "d_q": PASS,
+        "e0_q": PASS,
+        "e1_q": PASS,
+        "e2_q": PASS,
+    }
+    values.update(overrides or {})
+    return StaticProvider(values)
+
+
+async def enact(static_provider, advance=100):
+    strategy = build_running_example()
+    clock = VirtualClock()
+    engine = Engine(clock=clock)
+    engine.register_provider("static", static_provider)
+    execution_id = engine.enact(strategy)
+    await asyncio.sleep(0)
+    await clock.advance(advance)
+    report = await engine.wait(execution_id)
+    return engine, report
+
+
+async def test_happy_path_skips_c():
+    engine, report = await enact(provider())
+    assert report.status is ExecutionStatus.COMPLETED
+    assert report.path == ["a", "b", "d", "e", "f"]
+    # Final routing: 100% fastSearch.
+    final_config = engine.controller.latest_for("search")
+    assert final_config.splits[0].version == "fastSearch"
+    assert final_config.splits[0].percentage == 100.0
+
+
+async def test_inconclusive_b_takes_slow_path_through_c():
+    # 4/5 passes in b maps to 4 -> range (3, 4] -> state c.
+    engine, report = await enact(provider({"b_q": [PASS, FAIL, PASS, PASS, PASS]}))
+    assert report.status is ExecutionStatus.COMPLETED
+    assert report.path == ["a", "b", "c", "d", "e", "f"]
+
+
+async def test_bad_canary_metrics_roll_back():
+    engine, report = await enact(provider({"d_q": FAIL}))
+    assert report.status is ExecutionStatus.ROLLED_BACK
+    assert report.path == ["a", "b", "d", "g"]
+    final_config = engine.controller.latest_for("search")
+    assert final_config.splits[0].version == "search"
+
+
+async def test_ab_test_loss_rolls_back():
+    # One of the three A/B checks failing scores 10 -> <= 14 -> g.
+    engine, report = await enact(provider({"e1_q": FAIL}))
+    assert report.status is ExecutionStatus.ROLLED_BACK
+    assert report.path == ["a", "b", "d", "e", "g"]
+
+
+async def test_exception_in_a_jumps_directly_to_g():
+    engine, report = await enact(provider({"guard_q": [PASS, FAIL]}))
+    assert report.status is ExecutionStatus.ROLLED_BACK
+    assert report.path == ["a", "g"]
+    assert report.visits[0].via_exception
+    # Preempted at the guard's second execution.
+    assert report.duration == 2 * INTERVAL
+
+
+async def test_routing_sequence_matches_figure_1_percentages():
+    engine, report = await enact(provider())
+    fast_search_shares = []
+    for _, config, _ in engine.controller.applied:
+        share = next(
+            (s.percentage for s in config.splits if s.version == "fastSearch"), 0.0
+        )
+        fast_search_shares.append(share)
+    assert fast_search_shares == [1.0, 5.0, 20.0, 50.0, 100.0]
+
+
+async def test_ab_state_uses_sticky_sessions():
+    engine, report = await enact(provider())
+    ab_configs = [
+        config
+        for _, config, _ in engine.controller.applied
+        if len(config.splits) == 2 and config.splits[0].percentage == 50.0
+    ]
+    assert len(ab_configs) == 1
+    assert ab_configs[0].sticky

@@ -1,0 +1,162 @@
+"""Tests for static strategy verification."""
+
+from repro.core import (
+    Severity,
+    StrategyBuilder,
+    ab_split,
+    canary_split,
+    simple_basic_check,
+    single_version,
+    strategy_graph,
+    verify_strategy,
+)
+
+
+def rule_names(findings):
+    return {finding.rule for finding in findings}
+
+
+def make_clean_strategy():
+    builder = StrategyBuilder("clean")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    builder.state("canary").route("svc", canary_split("stable", "canary", 5.0)).check(
+        simple_basic_check("c", "q", "<5", 1, 3)
+    ).transitions([0.5], ["rollback", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+def test_clean_strategy_has_no_errors_or_warnings():
+    findings = verify_strategy(make_clean_strategy())
+    assert all(f.severity is Severity.INFO for f in findings), findings
+
+
+def test_strategy_graph_structure():
+    graph = strategy_graph(make_clean_strategy().automaton)
+    assert set(graph.nodes) == {"canary", "done", "rollback"}
+    assert graph.has_edge("canary", "done")
+    assert graph.has_edge("canary", "rollback")
+    assert graph.nodes["rollback"]["rollback"]
+
+
+def test_missing_rollback_state_is_an_error():
+    builder = StrategyBuilder("no-rollback")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    builder.state("canary").route("svc", canary_split("stable", "canary", 5.0)).check(
+        simple_basic_check("c", "q", "<5", 1, 3)
+    ).transitions([0.5], ["done", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    strategy = builder.build()
+    findings = verify_strategy(strategy)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    assert len(errors) == 1
+    assert errors[0].rule == "no-rollback"
+
+
+def test_checked_state_that_cannot_reach_rollback_is_an_error():
+    builder = StrategyBuilder("partial-rollback")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    # First state can reach the rollback; second cannot.
+    builder.state("early").route("svc", canary_split("stable", "canary", 5.0)).check(
+        simple_basic_check("c1", "q", "<5", 1, 2)
+    ).transitions([0.5], ["rollback", "late"])
+    builder.state("late").route("svc", canary_split("stable", "canary", 50.0)).check(
+        simple_basic_check("c2", "q", "<5", 1, 2)
+    ).transitions([0.5], ["done", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    strategy = builder.build()
+    findings = verify_strategy(strategy)
+    errors = [f for f in findings if f.rule == "no-rollback"]
+    assert [f.state for f in errors] == ["late"]
+
+
+def test_live_lock_cycle_detected():
+    builder = StrategyBuilder("loops")
+    builder.service("svc", {"v": "h:1"})
+    # ping <-> pong loop whose only exit edge goes back into the loop;
+    # "done" is reachable only on paper via start's second edge.
+    builder.state("start").dwell(1).transitions([0], ["ping", "done"])
+    builder.state("ping").dwell(1).goto("pong")
+    builder.state("pong").dwell(1).goto("ping")
+    builder.state("done").final()
+    strategy = builder.build()
+    findings = verify_strategy(strategy)
+    assert "possible-live-lock" in rule_names(findings)
+
+
+def test_self_loop_with_exit_is_not_a_live_lock():
+    builder = StrategyBuilder("retry")
+    builder.service("svc", {"v": "h:1"})
+    builder.state("test").dwell(1).transitions([0], ["test", "done"])
+    builder.state("done").final()
+    strategy = builder.build()
+    findings = verify_strategy(strategy)
+    assert "possible-live-lock" not in rule_names(findings)
+
+
+def test_unroutable_version_warning():
+    builder = StrategyBuilder("unused")
+    builder.service("svc", {"stable": "h:1", "ghost": "h:2"})
+    builder.state("s").route("svc", single_version("stable")).dwell(1).goto("done")
+    builder.state("done").final()
+    strategy = builder.build()
+    findings = verify_strategy(strategy)
+    warnings = [f for f in findings if f.rule == "unroutable-version"]
+    assert len(warnings) == 1
+    assert "ghost" in warnings[0].message
+
+
+def test_unmonitored_exposure_warning():
+    builder = StrategyBuilder("blind")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    builder.state("blind-canary").route(
+        "svc", canary_split("stable", "canary", 25.0)
+    ).dwell(5).goto("done")
+    builder.state("done").route("svc", single_version("stable")).final()
+    strategy = builder.build()
+    findings = verify_strategy(strategy)
+    assert "unmonitored-exposure" in rule_names(findings)
+
+
+def test_sticky_discontinuity_info():
+    builder = StrategyBuilder("churny")
+    builder.service("svc", {"a": "h:1", "b": "h:2"})
+    builder.state("ab").route("svc", ab_split("a", "b")).dwell(5).goto("shuffle")
+    builder.state("shuffle").route("svc", canary_split("a", "b", 30.0)).dwell(5).goto(
+        "done"
+    )
+    builder.state("done").route("svc", single_version("a")).final()
+    strategy = builder.build()
+    findings = verify_strategy(strategy)
+    infos = [f for f in findings if f.rule == "sticky-discontinuity"]
+    assert len(infos) == 1
+    assert infos[0].state == "ab"
+
+
+def test_finding_str_rendering():
+    findings = verify_strategy(make_clean_strategy())
+    for finding in findings:
+        assert finding.rule in str(finding)
+
+
+def test_paper_release_strategy_known_findings():
+    """The verifier surfaces a real property of the paper's experiment
+    strategy (section 5.1.2): once the A/B test starts, a rollback is no
+    longer reachable — the winner is always rolled out.  The gradual
+    rollout steps also run without checks (as in the experiment)."""
+    from repro.analysis import release_strategy
+
+    strategy = release_strategy(
+        {"product": "h:1", "product_a": "h:2", "product_b": "h:3"}
+    )
+    findings = verify_strategy(strategy)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    assert [f.state for f in errors] == ["ab-test"]
+    assert errors[0].rule == "no-rollback"
+    assert "unmonitored-exposure" in rule_names(findings)

@@ -1,0 +1,191 @@
+"""Tests for the engine HTTP API."""
+
+import asyncio
+
+from repro.clock import VirtualClock
+from repro.core import Engine, RecordingController, StrategyBuilder, single_version
+from repro.dashboard import EngineApiServer
+from repro.httpcore import HttpClient
+from repro.proxy import BifrostProxy, HttpProxyController
+
+DOC = """
+strategy:
+  name: api-test
+  phases:
+    - phase:
+        name: wait
+        duration: 0.05
+        routes:
+          - route:
+              from: svc
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 50
+        next: done
+    - final:
+        name: done
+deployment:
+  services:
+    svc:
+      proxy: {proxy}
+      stable: v1
+      versions:
+        v1: 127.0.0.1:9001
+        v2: 127.0.0.1:9002
+"""
+
+
+async def api_setup():
+    proxy = BifrostProxy("svc", default_upstream="127.0.0.1:9001")
+    await proxy.start()
+    controller = HttpProxyController({})
+    engine = Engine(controller=controller)
+    api = EngineApiServer(engine)
+    await api.start()
+    client = HttpClient()
+    return proxy, engine, api, client
+
+
+async def api_teardown(proxy, engine, api, client):
+    await client.close()
+    await api.stop()
+    await engine.shutdown()
+    if isinstance(engine.controller, HttpProxyController):
+        await engine.controller.close()
+    await proxy.stop()
+
+
+async def test_submit_and_track_execution():
+    proxy, engine, api, client = await api_setup()
+    try:
+        document = DOC.format(proxy=proxy.address)
+        response = await client.post(
+            f"http://{api.address}/api/strategies", body=document.encode()
+        )
+        assert response.status == 201
+        execution_id = response.json()["execution"]
+
+        response = await client.get(f"http://{api.address}/api/executions")
+        listing = response.json()["executions"]
+        assert len(listing) == 1
+        assert listing[0]["execution"] == execution_id
+
+        await asyncio.sleep(0.3)
+        response = await client.get(
+            f"http://{api.address}/api/executions/{execution_id.replace('#', '%23')}"
+        )
+        detail = response.json()
+        assert detail["status"] == "completed"
+        assert detail["path"] == ["wait", "done"]
+        # The proxy really was configured over HTTP.
+        assert proxy.active_config is not None
+    finally:
+        await api_teardown(proxy, engine, api, client)
+
+
+async def test_submit_invalid_document_is_400():
+    proxy, engine, api, client = await api_setup()
+    try:
+        response = await client.post(
+            f"http://{api.address}/api/strategies", body=b"not: a strategy"
+        )
+        assert response.status == 400
+        assert "error" in response.json()
+    finally:
+        await api_teardown(proxy, engine, api, client)
+
+
+async def test_unknown_execution_404():
+    proxy, engine, api, client = await api_setup()
+    try:
+        response = await client.get(f"http://{api.address}/api/executions/nope%231")
+        assert response.status == 404
+        response = await client.delete(f"http://{api.address}/api/executions/nope%231")
+        assert response.status == 404
+    finally:
+        await api_teardown(proxy, engine, api, client)
+
+
+async def test_cancel_running_execution():
+    proxy, engine, api, client = await api_setup()
+    try:
+        document = DOC.format(proxy=proxy.address).replace(
+            "duration: 0.05", "duration: 60"
+        )
+        response = await client.post(
+            f"http://{api.address}/api/strategies", body=document.encode()
+        )
+        execution_id = response.json()["execution"]
+        response = await client.delete(
+            f"http://{api.address}/api/executions/{execution_id.replace('#', '%23')}"
+        )
+        assert response.status == 200
+        response = await client.get(f"http://{api.address}/api/executions")
+        assert response.json()["executions"][0]["status"] == "failed"
+    finally:
+        await api_teardown(proxy, engine, api, client)
+
+
+async def test_pause_and_resume_over_the_api():
+    proxy, engine, api, client = await api_setup()
+    try:
+        document = DOC.format(proxy=proxy.address).replace(
+            "duration: 0.05", "duration: 0.2"
+        )
+        response = await client.post(
+            f"http://{api.address}/api/strategies", body=document.encode()
+        )
+        execution_id = response.json()["execution"]
+        encoded = execution_id.replace("#", "%23")
+        response = await client.post(
+            f"http://{api.address}/api/executions/{encoded}/pause"
+        )
+        assert response.json()["status"] == "pausing"
+        await asyncio.sleep(0.4)  # state "wait" finishes, then holds
+        response = await client.get(f"http://{api.address}/api/executions")
+        assert response.json()["executions"][0]["status"] == "paused"
+        response = await client.post(
+            f"http://{api.address}/api/executions/{encoded}/resume"
+        )
+        assert response.json()["status"] == "resumed"
+        await asyncio.sleep(0.3)
+        response = await client.get(f"http://{api.address}/api/executions")
+        assert response.json()["executions"][0]["status"] == "completed"
+        # Unknown execution -> 404.
+        response = await client.post(
+            f"http://{api.address}/api/executions/nope%231/pause"
+        )
+        assert response.status == 404
+    finally:
+        await api_teardown(proxy, engine, api, client)
+
+
+async def test_events_endpoint_pagination():
+    proxy, engine, api, client = await api_setup()
+    try:
+        document = DOC.format(proxy=proxy.address)
+        await client.post(
+            f"http://{api.address}/api/strategies", body=document.encode()
+        )
+        await asyncio.sleep(0.3)
+        response = await client.get(f"http://{api.address}/api/events")
+        payload = response.json()
+        assert payload["events"][0]["kind"] == "strategy_started"
+        assert payload["events"][-1]["kind"] == "strategy_completed"
+        cursor = payload["next"]
+        response = await client.get(f"http://{api.address}/api/events?since={cursor}")
+        assert response.json()["events"] == []
+        response = await client.get(f"http://{api.address}/api/events?since=abc")
+        assert response.status == 400
+    finally:
+        await api_teardown(proxy, engine, api, client)
+
+
+async def test_health():
+    proxy, engine, api, client = await api_setup()
+    try:
+        response = await client.get(f"http://{api.address}/healthz")
+        assert response.json()["status"] == "up"
+    finally:
+        await api_teardown(proxy, engine, api, client)

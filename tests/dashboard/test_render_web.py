@@ -1,0 +1,126 @@
+"""Tests for text rendering and the dashboard web view."""
+
+import asyncio
+
+from repro.clock import VirtualClock
+from repro.core import (
+    Engine,
+    ExceptionCheck,
+    MetricCondition,
+    StrategyBuilder,
+    Timer,
+    canary_split,
+    simple_basic_check,
+    single_version,
+)
+from repro.dashboard import (
+    DashboardServer,
+    render_event,
+    render_executions,
+    render_mermaid,
+    render_strategy,
+)
+from repro.httpcore import HttpClient
+from repro.metrics import StaticProvider
+
+
+def make_strategy():
+    builder = StrategyBuilder("render-me")
+    builder.service("search", {"search": "h:1", "fastSearch": "h:2"})
+    builder.state("canary").route(
+        "search", canary_split("search", "fastSearch", 5.0)
+    ).check(
+        simple_basic_check("errors", "q", "<5", 1, 3, provider="static")
+    ).check(
+        ExceptionCheck(
+            "guard",
+            MetricCondition.simple("g", "<9", provider="static"),
+            Timer(1, 3),
+            "rollback",
+        )
+    ).transitions([0.5], ["rollback", "done"])
+    builder.state("done").route("search", single_version("fastSearch")).final()
+    builder.state("rollback").route("search", single_version("search")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+def test_render_strategy_mentions_everything():
+    text = render_strategy(make_strategy())
+    assert "strategy render-me" in text
+    assert "service search" in text
+    assert "state canary" in text
+    assert "route search: search 95% / fastSearch 5%" in text
+    assert "check errors" in text
+    assert "exception check guard" in text
+    assert "fallback rollback" in text
+    assert "on outcome (-inf, 0.5] -> rollback" in text
+    assert "[rollback target]" in text
+
+
+def test_render_mermaid_diagram():
+    text = render_mermaid(make_strategy().automaton)
+    assert text.startswith("stateDiagram-v2")
+    assert "[*] --> canary" in text
+    assert "canary --> rollback: exception guard" in text
+    assert "done --> [*]" in text
+
+
+def test_render_executions_table():
+    table = render_executions(
+        [
+            {
+                "execution": "s#1",
+                "strategy": "s",
+                "status": "running",
+                "current_state": "canary",
+                "visits": 1,
+            }
+        ]
+    )
+    assert "execution" in table.splitlines()[0]
+    assert "s#1" in table
+    assert render_executions([]) == "no executions"
+
+
+def test_render_event_line():
+    line = render_event(
+        {
+            "at": 12.5,
+            "strategy": "s",
+            "kind": "state_entered",
+            "data": {"state": "canary"},
+        }
+    )
+    assert "12.500" in line
+    assert "state_entered" in line
+    assert "state=canary" in line
+
+
+async def test_dashboard_pages():
+    clock = VirtualClock()
+    engine = Engine(clock=clock)
+    engine.register_provider("static", StaticProvider({"q": 1.0, "g": 1.0}))
+    dashboard = DashboardServer(engine)
+    await dashboard.start()
+    client = HttpClient()
+    try:
+        execution_id = engine.enact(make_strategy())
+        await asyncio.sleep(0)
+        response = await client.get(f"http://{dashboard.address}/")
+        assert response.status == 200
+        assert b"render-me" in response.body
+        assert b"running" in response.body
+
+        await clock.advance(3)
+        await engine.wait(execution_id)
+        response = await client.get(f"http://{dashboard.address}/status.json")
+        payload = response.json()
+        assert payload["executions"][0]["status"] == "completed"
+        assert payload["executions"][0]["path"] == ["canary", "done"]
+        assert payload["executions"][0]["recent_checks"].get("errors") == 1
+    finally:
+        await client.close()
+        await dashboard.stop()
+        await engine.shutdown()

@@ -1,0 +1,825 @@
+"""Tests for the DSL → model compiler."""
+
+import asyncio
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core import (
+    BasicCheck,
+    Engine,
+    ExceptionCheck,
+    ExecutionStatus,
+    FilterKind,
+)
+from repro.dsl import DslError, compile_document
+from repro.metrics import StaticProvider
+
+DEPLOYMENT = """
+deployment:
+  services:
+    search:
+      proxy: 127.0.0.1:7001
+      stable: search
+      versions:
+        search: 127.0.0.1:9001
+        fastSearch: 127.0.0.1:9002
+"""
+
+CANARY_DOC = (
+    """
+strategy:
+  name: canary-test
+  phases:
+    - phase:
+        name: canary
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 5
+        checks:
+          - metric:
+              name: search_error
+              provider: static
+              query: request_errors
+              intervalTime: 5
+              intervalLimit: 12
+              threshold: 12
+              validator: "<5"
+        next: done
+        onFailure: rollback
+    - final:
+        name: done
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 100
+    - final:
+        name: rollback
+        rollback: true
+        routes:
+          - route:
+              from: search
+              to: search
+              filters:
+                - traffic:
+                    percentage: 100
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_canary_document_structure():
+    compiled = compile_document(CANARY_DOC)
+    strategy = compiled.strategy
+    automaton = strategy.automaton
+    assert strategy.name == "canary-test"
+    assert automaton.start == "canary"
+    assert automaton.final_states == {"done", "rollback"}
+    assert automaton.state("rollback").rollback
+
+    canary = automaton.state("canary")
+    assert len(canary.checks) == 1
+    check = canary.checks[0]
+    assert isinstance(check, BasicCheck)
+    assert check.timer.interval == 5
+    assert check.timer.repetitions == 12
+    assert check.output.map(12) == 1
+    assert check.output.map(11) == 0
+
+    config = canary.routing["search"]
+    shares = {split.version: split.percentage for split in config.splits}
+    assert shares == {"search": 95.0, "fastSearch": 5.0}
+    # All basic checks pass -> weighted outcome 1 > 0.5 -> done.
+    assert canary.transitions.next_state(1) == "done"
+    assert canary.transitions.next_state(0) == "rollback"
+
+
+def test_compile_full_route_to_non_stable_version():
+    compiled = compile_document(CANARY_DOC)
+    done = compiled.strategy.automaton.state("done")
+    # The stable version's empty share is dropped entirely.
+    shares = {s.version: s.percentage for s in done.routing["search"].splits}
+    assert shares == {"fastSearch": 100.0}
+
+
+async def test_compiled_strategy_enacts():
+    compiled = compile_document(CANARY_DOC)
+    clock = VirtualClock()
+    engine = Engine(clock=clock)
+    engine.register_provider("static", StaticProvider({"request_errors": 1.0}))
+    execution_id = engine.enact(compiled.strategy)
+    await asyncio.sleep(0)
+    await clock.advance(60)
+    report = await engine.wait(execution_id)
+    assert report.status is ExecutionStatus.COMPLETED
+    assert report.path == ["canary", "done"]
+
+
+async def test_compiled_strategy_rolls_back_on_bad_metrics():
+    compiled = compile_document(CANARY_DOC)
+    clock = VirtualClock()
+    engine = Engine(clock=clock)
+    engine.register_provider("static", StaticProvider({"request_errors": 50.0}))
+    execution_id = engine.enact(compiled.strategy)
+    await asyncio.sleep(0)
+    await clock.advance(60)
+    report = await engine.wait(execution_id)
+    assert report.status is ExecutionStatus.ROLLED_BACK
+
+
+DARK_LAUNCH_DOC = (
+    """
+strategy:
+  name: dark-launch
+  phases:
+    - phase:
+        name: shadow
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 100
+                    shadow: true
+                    intervalTime: 60
+        next: done
+    - final:
+        name: done
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_dark_launch_listing_2():
+    compiled = compile_document(DARK_LAUNCH_DOC)
+    shadow = compiled.strategy.automaton.state("shadow")
+    config = shadow.routing["search"]
+    # Live traffic untouched: 100% stays on stable.
+    assert {s.version: s.percentage for s in config.splits} == {"search": 100.0}
+    assert len(config.shadows) == 1
+    assert config.shadows[0].source_version == "search"
+    assert config.shadows[0].target_version == "fastSearch"
+    assert config.shadows[0].percentage == 100.0
+    # Filter intervalTime becomes the phase duration.
+    assert shadow.duration == 60.0
+    assert shadow.transitions.next_state(0) == "done"
+
+
+ROLLOUT_DOC = (
+    """
+strategy:
+  name: gradual
+  phases:
+    - rollout:
+        name: ramp
+        from: search
+        to: fastSearch
+        startPercentage: 5
+        stepPercentage: 5
+        targetPercentage: 100
+        intervalTime: 10
+        next: done
+    - final:
+        name: done
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_rollout_expands_to_twenty_states():
+    # Paper section 5.1.2: 5% steps to 100% every 10s = 20 states.
+    compiled = compile_document(ROLLOUT_DOC)
+    automaton = compiled.strategy.automaton
+    ramp_states = [name for name in automaton.states if name.startswith("ramp-")]
+    assert len(ramp_states) == 20
+    assert automaton.start == "ramp-5"
+    assert automaton.state("ramp-5").transitions.next_state(0) == "ramp-10"
+    assert automaton.state("ramp-100").transitions.next_state(0) == "done"
+    assert automaton.state("ramp-5").duration == 10.0
+    # Final ramp step routes 100% to the new version.
+    shares = {
+        s.version: s.percentage
+        for s in automaton.state("ramp-100").routing["search"].splits
+    }
+    assert shares == {"fastSearch": 100.0}
+    # Intermediate step splits correctly.
+    shares = {
+        s.version: s.percentage
+        for s in automaton.state("ramp-35").routing["search"].splits
+    }
+    assert shares == {"search": 65.0, "fastSearch": 35.0}
+
+
+def test_phase_can_target_rollout_by_name():
+    """`next: <rollout name>` resolves to the rollout's first state."""
+    document = (
+        """
+strategy:
+  name: aliased
+  phases:
+    - phase:
+        name: warm-up
+        duration: 1
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 1
+        next: ramp
+    - rollout:
+        name: ramp
+        from: search
+        to: fastSearch
+        startPercentage: 50
+        stepPercentage: 50
+        targetPercentage: 100
+        intervalTime: 1
+        next: done
+    - final:
+        name: done
+"""
+        + DEPLOYMENT
+    )
+    compiled = compile_document(document)
+    warm_up = compiled.strategy.automaton.state("warm-up")
+    assert warm_up.transitions.next_state(0) == "ramp-50"
+
+
+async def test_rollout_enacts_in_sequence():
+    compiled = compile_document(ROLLOUT_DOC)
+    clock = VirtualClock()
+    engine = Engine(clock=clock)
+    execution_id = engine.enact(compiled.strategy)
+    await asyncio.sleep(0)
+    await clock.advance(200)
+    report = await engine.wait(execution_id)
+    assert report.status is ExecutionStatus.COMPLETED
+    assert len(report.path) == 21
+    assert report.duration == 200.0
+
+
+AB_DOC = (
+    """
+strategy:
+  name: ab
+  phases:
+    - phase:
+        name: ab-test
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filter_type: cookie
+              filters:
+                - traffic:
+                    percentage: 50
+                    sticky: true
+                    intervalTime: 30
+        next: done
+    - final:
+        name: done
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_ab_test_sticky_cookie():
+    compiled = compile_document(AB_DOC)
+    config = compiled.strategy.automaton.state("ab-test").routing["search"]
+    assert config.sticky
+    assert config.filter_kind is FilterKind.COOKIE
+    assert {s.version: s.percentage for s in config.splits} == {
+        "search": 50.0,
+        "fastSearch": 50.0,
+    }
+
+
+EXCEPTION_DOC = (
+    """
+strategy:
+  name: guarded
+  phases:
+    - phase:
+        name: canary
+        duration: 20
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 1
+        checks:
+          - metric:
+              name: guard
+              provider: static
+              query: error_rate
+              intervalTime: 2
+              intervalLimit: 10
+              validator: "<100"
+              type: exception
+              fallback: rollback
+        next: done
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_exception_check():
+    compiled = compile_document(EXCEPTION_DOC)
+    canary = compiled.strategy.automaton.state("canary")
+    check = canary.checks[0]
+    assert isinstance(check, ExceptionCheck)
+    assert check.fallback_state == "rollback"
+    assert canary.weights == [0.0]
+    # With only exception checks, 'next' is unconditional.
+    assert canary.transitions.next_state(0) == "done"
+    assert canary.transitions.next_state(10) == "done"
+
+
+HEADER_DOC = (
+    """
+strategy:
+  name: header-routed
+  phases:
+    - phase:
+        name: split
+        duration: 10
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filter_type: header
+              header: X-Test-Group
+              filters:
+                - traffic:
+                    percentage: 10
+        next: done
+    - final:
+        name: done
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_header_filter():
+    compiled = compile_document(HEADER_DOC)
+    config = compiled.strategy.automaton.state("split").routing["search"]
+    assert config.filter_kind is FilterKind.HEADER
+    assert config.header_name == "X-Test-Group"
+
+
+LISTING1_DOC = (
+    """
+strategy:
+  name: listing1
+  phases:
+    - phase:
+        name: canary
+        duration: 5
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 5
+        checks:
+          - metric:
+              name: search_error
+              providers:
+                - prometheus:
+                    name: search_error
+                    query: request_errors{instance="search:80"}
+                - health:
+                    name: availability
+                    query: 127.0.0.1:9001
+              subject: search_error
+              intervalTime: 5
+              intervalLimit: 12
+              threshold: 12
+              validator: "<5"
+        next: done
+        onFailure: rollback
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_listing1_providers_list():
+    compiled = compile_document(LISTING1_DOC)
+    check = compiled.strategy.automaton.state("canary").checks[0]
+    queries = {q.name: q for q in check.condition.queries}
+    assert queries["search_error"].provider == "prometheus"
+    assert queries["search_error"].query == 'request_errors{instance="search:80"}'
+    assert queries["availability"].provider == "health"
+    assert check.condition.subject == "search_error"
+
+
+FULL_MODEL_DOC = (
+    """
+strategy:
+  name: full-model
+  phases:
+    - phase:
+        name: monitored
+        duration: 10
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 5
+        checks:
+          - metric:
+              name: response-time
+              query: response_time
+              intervalTime: 1
+              intervalLimit: 100
+              validator: "<150"
+              thresholds: [75, 95]
+              outcomes: [-5, 4, 5]
+        transitions:
+          thresholds: [3, 4]
+          targets: [rollback, monitored, done]
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_full_model_outcome_mapping():
+    compiled = compile_document(FULL_MODEL_DOC)
+    state = compiled.strategy.automaton.state("monitored")
+    check = state.checks[0]
+    assert check.output.map(60) == -5
+    assert check.output.map(80) == 4
+    assert check.output.map(100) == 5
+    # Figure-2 style three-way transition.
+    assert state.transitions.next_state(-5) == "rollback"
+    assert state.transitions.next_state(4) == "monitored"
+    assert state.transitions.next_state(5) == "done"
+
+
+def test_full_model_check_requires_explicit_transitions():
+    bad = FULL_MODEL_DOC.replace(
+        """        transitions:
+          thresholds: [3, 4]
+          targets: [rollback, monitored, done]""",
+        """        next: done
+        onFailure: rollback""",
+    )
+    with pytest.raises(DslError) as exc_info:
+        compile_document(bad)
+    assert "transitions" in str(exc_info.value)
+
+
+def test_providers_and_query_are_mutually_exclusive():
+    bad = LISTING1_DOC.replace(
+        "              providers:",
+        "              query: somequery\n              providers:",
+    )
+    with pytest.raises(DslError):
+        compile_document(bad)
+
+
+def test_thresholds_and_threshold_are_mutually_exclusive():
+    bad = FULL_MODEL_DOC.replace(
+        "              thresholds: [75, 95]",
+        "              threshold: 50\n              thresholds: [75, 95]",
+    )
+    with pytest.raises(DslError):
+        compile_document(bad)
+
+
+def test_thresholds_without_outcomes_rejected():
+    bad = FULL_MODEL_DOC.replace("              outcomes: [-5, 4, 5]\n", "")
+    with pytest.raises(DslError):
+        compile_document(bad)
+
+
+AB_COMPARE_DOC = (
+    """
+strategy:
+  name: ab-decided
+  phases:
+    - phase:
+        name: ab-test
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 50
+                    sticky: true
+        checks:
+          - metric:
+              name: sales-comparison
+              providers:
+                - prometheus:
+                    name: sales_new
+                    query: sales_total{instance="fastSearch"}
+                - prometheus:
+                    name: sales_old
+                    query: sales_total{instance="search"}
+              compare: sales_new > sales_old
+              intervalTime: 60
+              intervalLimit: 1
+        next: rollout-new
+        onFailure: keep-old
+    - final:
+        name: rollout-new
+    - final:
+        name: keep-old
+        rollback: true
+"""
+    + DEPLOYMENT
+)
+
+
+def test_compile_ab_comparison_check():
+    compiled = compile_document(AB_COMPARE_DOC)
+    check = compiled.strategy.automaton.state("ab-test").checks[0]
+    assert check.condition.comparison is not None
+    assert check.condition.comparison.left == "sales_new"
+    assert check.condition.comparison.op == ">"
+    assert check.condition.comparison.right == "sales_old"
+
+
+async def test_ab_comparison_drives_the_decision():
+    from repro.clock import VirtualClock
+    from repro.metrics import StaticProvider
+
+    compiled = compile_document(AB_COMPARE_DOC)
+    for winner_value, expected_final in ((10.0, "rollout-new"), (1.0, "keep-old")):
+        clock = VirtualClock()
+        engine = Engine(clock=clock)
+        engine.register_provider(
+            "prometheus",
+            StaticProvider(
+                {
+                    'sales_total{instance="fastSearch"}': winner_value,
+                    'sales_total{instance="search"}': 5.0,
+                }
+            ),
+        )
+        execution_id = engine.enact(compiled.strategy)
+        import asyncio
+
+        await asyncio.sleep(0)
+        await clock.advance(60)
+        report = await engine.wait(execution_id)
+        assert report.path[-1] == expected_final
+
+
+def test_compare_requires_providers_list():
+    bad = AB_COMPARE_DOC.replace(
+        """              providers:
+                - prometheus:
+                    name: sales_new
+                    query: sales_total{instance="fastSearch"}
+                - prometheus:
+                    name: sales_old
+                    query: sales_total{instance="search"}
+""",
+        "              query: sales_total\n",
+    )
+    with pytest.raises(DslError):
+        compile_document(bad)
+
+
+def test_compare_and_validator_mutually_exclusive():
+    bad = AB_COMPARE_DOC.replace(
+        "              compare: sales_new > sales_old",
+        '              compare: sales_new > sales_old\n              validator: "<5"',
+    )
+    with pytest.raises(DslError):
+        compile_document(bad)
+
+
+def test_compare_references_must_be_query_names():
+    bad = AB_COMPARE_DOC.replace(
+        "              compare: sales_new > sales_old",
+        "              compare: sales_new > ghost",
+    )
+    with pytest.raises(DslError):
+        compile_document(bad)
+
+
+def test_compare_expression_syntax_errors():
+    bad = AB_COMPARE_DOC.replace(
+        "              compare: sales_new > sales_old",
+        "              compare: sales_new >>> sales_old",
+    )
+    with pytest.raises(DslError):
+        compile_document(bad)
+
+
+# -- error cases ------------------------------------------------------------------
+
+
+def doc(strategy_phases: str) -> str:
+    return (
+        "strategy:\n  name: bad\n  phases:\n" + strategy_phases + DEPLOYMENT
+    )
+
+
+def test_error_unknown_phase_kind():
+    with pytest.raises(DslError) as exc_info:
+        compile_document(doc("    - mystery:\n        name: x\n"))
+    assert "mystery" in str(exc_info.value)
+
+
+def test_error_phase_without_next_or_transitions():
+    with pytest.raises(DslError):
+        compile_document(doc("    - phase:\n        name: x\n        duration: 1\n"))
+
+
+def test_error_unknown_route_version():
+    bad = """
+    - phase:
+        name: x
+        duration: 1
+        routes:
+          - route:
+              from: search
+              to: ghost
+              filters:
+                - traffic:
+                    percentage: 5
+        next: done
+    - final:
+        name: done
+"""
+    with pytest.raises(DslError) as exc_info:
+        compile_document(doc(bad))
+    assert "ghost" in str(exc_info.value)
+
+
+def test_error_overrouted_traffic():
+    bad = """
+    - phase:
+        name: x
+        duration: 1
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 80
+                - traffic:
+                    percentage: 30
+        next: done
+    - final:
+        name: done
+"""
+    with pytest.raises(DslError) as exc_info:
+        compile_document(doc(bad))
+    assert "110" in str(exc_info.value)
+
+
+def test_error_checks_without_on_failure():
+    bad = """
+    - phase:
+        name: x
+        checks:
+          - metric:
+              name: m
+              query: q
+              intervalTime: 1
+              intervalLimit: 2
+              validator: "<5"
+        next: done
+    - final:
+        name: done
+"""
+    with pytest.raises(DslError) as exc_info:
+        compile_document(doc(bad))
+    assert "onFailure" in str(exc_info.value)
+
+
+def test_error_exception_check_without_fallback():
+    bad = """
+    - phase:
+        name: x
+        duration: 5
+        checks:
+          - metric:
+              name: m
+              query: q
+              intervalTime: 1
+              intervalLimit: 2
+              validator: "<5"
+              type: exception
+        next: done
+    - final:
+        name: done
+"""
+    with pytest.raises(DslError) as exc_info:
+        compile_document(doc(bad))
+    assert "fallback" in str(exc_info.value)
+
+
+def test_error_bad_validator_reports_path():
+    bad = """
+    - phase:
+        name: x
+        checks:
+          - metric:
+              name: m
+              query: q
+              intervalTime: 1
+              intervalLimit: 2
+              validator: "approximately five"
+        next: done
+        onFailure: done
+    - final:
+        name: done
+"""
+    with pytest.raises(DslError) as exc_info:
+        compile_document(doc(bad))
+    assert "metric" in str(exc_info.value)
+
+
+def test_error_transition_to_unknown_state():
+    with pytest.raises(DslError):
+        compile_document(
+            doc("    - phase:\n        name: x\n        duration: 1\n        next: ghost\n")
+        )
+
+
+def test_error_unknown_keys_caught():
+    with pytest.raises(DslError) as exc_info:
+        compile_document(
+            doc(
+                "    - phase:\n        name: x\n        duraton: 1\n        next: done\n"
+                "    - final:\n        name: done\n"
+            )
+        )
+    assert "duraton" in str(exc_info.value)
+
+
+def test_error_missing_deployment():
+    with pytest.raises(DslError):
+        compile_document("strategy:\n  name: x\n  phases:\n    - final:\n        name: d\n")
+
+
+def test_error_both_next_and_transitions():
+    bad = """
+    - phase:
+        name: x
+        duration: 1
+        next: done
+        transitions:
+          thresholds: [0]
+          targets: [done, done]
+    - final:
+        name: done
+"""
+    with pytest.raises(DslError):
+        compile_document(doc(bad))
+
+
+def test_rollout_bounds_validation():
+    bad = """
+    - rollout:
+        name: r
+        from: search
+        to: fastSearch
+        startPercentage: 50
+        stepPercentage: -5
+        targetPercentage: 100
+        intervalTime: 1
+        next: done
+    - final:
+        name: done
+"""
+    with pytest.raises(DslError):
+        compile_document(doc(bad))

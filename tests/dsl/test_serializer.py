@@ -1,0 +1,216 @@
+"""Tests for model → DSL serialization (round trip with the compiler)."""
+
+import pytest
+
+from repro.core import (
+    ExceptionCheck,
+    MetricCondition,
+    MetricQuery,
+    OutputMapping,
+    StrategyBuilder,
+    Timer,
+    ab_split,
+    canary_split,
+    simple_basic_check,
+    single_version,
+)
+from repro.core.checks import BasicCheck
+from repro.dsl import (
+    DeployedService,
+    Deployment,
+    DslError,
+    compile_document,
+    loads,
+    serialize,
+    to_document,
+)
+
+
+def make_deployment() -> Deployment:
+    deployment = Deployment()
+    deployment.services["search"] = DeployedService(
+        name="search",
+        proxy="127.0.0.1:7001",
+        stable="search",
+        versions={"search": "127.0.0.1:9001", "fastSearch": "127.0.0.1:9002"},
+    )
+    return deployment
+
+
+def make_strategy():
+    builder = StrategyBuilder("round-trip")
+    builder.service(
+        "search", {"search": "127.0.0.1:9001", "fastSearch": "127.0.0.1:9002"}
+    )
+    builder.state("canary").route(
+        "search", canary_split("search", "fastSearch", 5.0)
+    ).check(
+        simple_basic_check("errors", "request_errors", "<5", 5, 12)
+    ).check(
+        ExceptionCheck(
+            "guard",
+            MetricCondition.simple("error_rate", "<100"),
+            Timer(2, 30),
+            fallback_state="rollback",
+        )
+    ).transitions([0.5], ["rollback", "ab"])
+    builder.state("ab").route("search", ab_split("search", "fastSearch")).dwell(
+        30
+    ).goto("done")
+    builder.state("done").route("search", single_version("fastSearch")).final()
+    builder.state("rollback").route("search", single_version("search")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+def test_serialize_produces_parseable_yaml():
+    text = serialize(make_strategy(), make_deployment())
+    document = loads(text)
+    assert document["strategy"]["name"] == "round-trip"
+    assert "deployment" in document
+
+
+def test_round_trip_preserves_automaton_structure():
+    original = make_strategy()
+    text = serialize(original, make_deployment())
+    compiled = compile_document(text)
+    restored = compiled.strategy.automaton
+    assert set(restored.states) == set(original.automaton.states)
+    assert restored.start == original.automaton.start
+    assert restored.final_states == original.automaton.final_states
+    canary = restored.state("canary")
+    assert len(canary.checks) == 2
+    basic = next(c for c in canary.checks if isinstance(c, BasicCheck))
+    assert basic.timer == Timer(5, 12)
+    assert basic.output.map(12) == 1
+    guard = next(c for c in canary.checks if isinstance(c, ExceptionCheck))
+    assert guard.fallback_state == "rollback"
+    assert canary.transitions.next_state(1) == "ab"
+    assert canary.transitions.next_state(0) == "rollback"
+
+
+def test_round_trip_preserves_routing():
+    original = make_strategy()
+    compiled = compile_document(serialize(original, make_deployment()))
+    canary_config = compiled.strategy.automaton.state("canary").routing["search"]
+    shares = {s.version: s.percentage for s in canary_config.splits}
+    assert shares == {"search": 95.0, "fastSearch": 5.0}
+    ab_config = compiled.strategy.automaton.state("ab").routing["search"]
+    assert ab_config.sticky
+
+
+def test_round_trip_preserves_rollback_flag():
+    compiled = compile_document(serialize(make_strategy(), make_deployment()))
+    assert compiled.strategy.automaton.state("rollback").rollback
+
+
+def test_serialize_rejects_custom_predicates():
+    builder = StrategyBuilder("custom")
+    builder.service("svc", {"a": "h:1"})
+    builder.state("s").route("svc", single_version("a")).check(
+        BasicCheck(
+            "custom",
+            MetricCondition(
+                queries=(MetricQuery("x", "q"),), predicate=lambda values: True
+            ),
+            Timer(1, 1),
+            OutputMapping.boolean(1),
+        )
+    ).transitions([0.5], ["s", "done"])
+    builder.state("done").final()
+    strategy = builder.build()
+    deployment = Deployment()
+    deployment.services["svc"] = DeployedService("svc", "h:9", "a", {"a": "h:1"})
+    with pytest.raises(DslError):
+        serialize(strategy, deployment)
+
+
+def test_full_model_output_mapping_round_trips():
+    """Multi-threshold outcome maps serialize via thresholds/outcomes."""
+    builder = StrategyBuilder("fancy")
+    builder.service("svc", {"a": "h:1"})
+    builder.state("s").route("svc", single_version("a")).check(
+        BasicCheck(
+            "fancy",
+            MetricCondition.simple("q", "<5"),
+            Timer(1, 100),
+            OutputMapping.from_pairs([75, 95], [-5, 4, 5]),
+        )
+    ).transitions([3], ["s", "done"])
+    builder.state("done").final()
+    strategy = builder.build()
+    deployment = Deployment()
+    deployment.services["svc"] = DeployedService("svc", "h:9", "a", {"a": "h:1"})
+    compiled = compile_document(serialize(strategy, deployment))
+    check = compiled.strategy.automaton.state("s").checks[0]
+    assert check.output.ranges.thresholds == (75.0, 95.0)
+    assert check.output.results == (-5, 4, 5)
+    assert check.output.map(80) == 4
+
+
+def test_multi_query_condition_round_trips():
+    """Listing-1 providers-list conditions serialize and recompile."""
+    builder = StrategyBuilder("multi")
+    builder.service("svc", {"a": "h:1"})
+    builder.state("s").route("svc", single_version("a")).check(
+        BasicCheck(
+            "combo",
+            MetricCondition(
+                queries=(
+                    MetricQuery("resp", "response_time", "prometheus"),
+                    MetricQuery("avail", "h:1", "health"),
+                ),
+                validator=MetricCondition.simple("x", "<150").validator,
+                subject="resp",
+            ),
+            Timer(1, 3),
+            OutputMapping.boolean(3),
+        )
+    ).transitions([0.5], ["s", "done"])
+    builder.state("done").final()
+    strategy = builder.build()
+    deployment = Deployment()
+    deployment.services["svc"] = DeployedService("svc", "h:9", "a", {"a": "h:1"})
+    compiled = compile_document(serialize(strategy, deployment))
+    check = compiled.strategy.automaton.state("s").checks[0]
+    assert len(check.condition.queries) == 2
+    assert check.condition.subject == "resp"
+    assert {q.provider for q in check.condition.queries} == {"prometheus", "health"}
+
+
+def test_comparison_check_round_trips():
+    from repro.core import Comparison
+
+    builder = StrategyBuilder("compared")
+    builder.service("svc", {"a": "h:1"})
+    builder.state("s").route("svc", single_version("a")).check(
+        BasicCheck(
+            "sales",
+            MetricCondition(
+                queries=(
+                    MetricQuery("left", "sales_a", "prometheus"),
+                    MetricQuery("right", "sales_b", "prometheus"),
+                ),
+                comparison=Comparison("left", ">", "right"),
+            ),
+            Timer(60, 1),
+            OutputMapping.boolean(1),
+        )
+    ).transitions([0.5], ["s", "done"])
+    builder.state("done").final()
+    strategy = builder.build()
+    deployment = Deployment()
+    deployment.services["svc"] = DeployedService("svc", "h:9", "a", {"a": "h:1"})
+    compiled = compile_document(serialize(strategy, deployment))
+    check = compiled.strategy.automaton.state("s").checks[0]
+    assert check.condition.comparison == Comparison("left", ">", "right")
+
+
+def test_to_document_shape():
+    document = to_document(make_strategy(), make_deployment())
+    phases = document["strategy"]["phases"]
+    kinds = [next(iter(p)) for p in phases]
+    assert kinds.count("final") == 2
+    assert kinds.count("phase") == 2
+    assert phases[0]["phase"]["name"] == "canary"  # start state first

@@ -1,0 +1,96 @@
+"""Unit tests for the case-insensitive header multimap."""
+
+from repro.httpcore import Headers
+
+
+def test_get_is_case_insensitive():
+    headers = Headers([("Content-Type", "application/json")])
+    assert headers.get("content-type") == "application/json"
+    assert headers.get("CONTENT-TYPE") == "application/json"
+
+
+def test_get_returns_default_when_absent():
+    assert Headers().get("X-Missing", "fallback") == "fallback"
+    assert Headers().get("X-Missing") is None
+
+
+def test_add_keeps_duplicates_and_get_all_returns_them_in_order():
+    headers = Headers()
+    headers.add("Set-Cookie", "a=1")
+    headers.add("Set-Cookie", "b=2")
+    assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+    assert headers.get("Set-Cookie") == "a=1"
+
+
+def test_set_replaces_all_duplicates():
+    headers = Headers([("X-Tag", "one"), ("x-tag", "two")])
+    headers.set("X-TAG", "three")
+    assert headers.get_all("x-tag") == ["three"]
+
+
+def test_setdefault_only_sets_when_absent():
+    headers = Headers([("Host", "a")])
+    assert headers.setdefault("host", "b") == "a"
+    assert headers.setdefault("X-New", "c") == "c"
+    assert headers.get("x-new") == "c"
+
+
+def test_remove_is_case_insensitive_and_ignores_missing():
+    headers = Headers([("A", "1"), ("a", "2"), ("B", "3")])
+    headers.remove("A")
+    headers.remove("never-there")
+    assert headers.items() == [("B", "3")]
+
+
+def test_mapping_protocol():
+    headers = Headers()
+    headers["X-One"] = "1"
+    assert "x-one" in headers
+    assert headers["X-ONE"] == "1"
+    del headers["x-one"]
+    assert "X-One" not in headers
+    assert len(headers) == 0
+
+
+def test_getitem_raises_keyerror():
+    import pytest
+
+    with pytest.raises(KeyError):
+        Headers()["gone"]
+
+
+def test_delitem_raises_keyerror_when_absent():
+    import pytest
+
+    with pytest.raises(KeyError):
+        del Headers()["gone"]
+
+
+def test_copy_is_independent():
+    original = Headers([("A", "1")])
+    clone = original.copy()
+    clone.add("B", "2")
+    assert "B" not in original
+    assert "B" in clone
+
+
+def test_init_from_dict():
+    headers = Headers({"Host": "example", "Accept": "*/*"})
+    assert headers.get("host") == "example"
+    assert headers.get("accept") == "*/*"
+
+
+def test_equality_ignores_name_case_but_not_order():
+    assert Headers([("A", "1")]) == Headers([("a", "1")])
+    assert Headers([("A", "1"), ("B", "2")]) != Headers([("B", "2"), ("A", "1")])
+
+
+def test_iteration_preserves_insertion_order():
+    headers = Headers([("Z", "26"), ("A", "1")])
+    assert list(headers) == [("Z", "26"), ("A", "1")]
+
+
+def test_values_are_coerced_to_strings():
+    headers = Headers()
+    headers.add("Content-Length", 42)  # type: ignore[arg-type]
+    assert headers.get("content-length") == "42"

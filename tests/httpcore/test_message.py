@@ -1,0 +1,164 @@
+"""Unit tests for HTTP message parsing and serialization."""
+
+import asyncio
+
+import pytest
+
+from repro.httpcore import (
+    Headers,
+    IncompleteMessage,
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+    read_response,
+)
+from repro.httpcore.errors import BodyTooLarge
+
+
+def feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+async def test_read_request_basic():
+    reader = feed(b"GET /products?limit=2 HTTP/1.1\r\nHost: shop\r\n\r\n")
+    request = await read_request(reader)
+    assert request is not None
+    assert request.method == "GET"
+    assert request.path == "/products"
+    assert request.query == {"limit": "2"}
+    assert request.headers.get("host") == "shop"
+    assert request.body == b""
+
+
+async def test_read_request_with_body():
+    payload = b'{"name": "tv"}'
+    raw = b"POST /buy HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s" % (len(payload), payload)
+    request = await read_request(feed(raw))
+    assert request is not None
+    assert request.body == payload
+    assert request.json() == {"name": "tv"}
+
+
+async def test_read_request_clean_eof_returns_none():
+    assert await read_request(feed(b"")) is None
+
+
+async def test_read_request_mid_header_eof_raises():
+    with pytest.raises(IncompleteMessage):
+        await read_request(feed(b"GET / HTTP/1.1\r\nHost: x"))
+
+
+async def test_read_request_mid_body_eof_raises():
+    raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+    with pytest.raises(IncompleteMessage):
+        await read_request(feed(raw))
+
+
+async def test_read_request_malformed_request_line():
+    with pytest.raises(ProtocolError):
+        await read_request(feed(b"GARBAGE\r\n\r\n"))
+
+
+async def test_read_request_bad_version():
+    with pytest.raises(ProtocolError):
+        await read_request(feed(b"GET / SPDY/99\r\n\r\n"))
+
+
+async def test_read_request_bad_content_length():
+    with pytest.raises(ProtocolError):
+        await read_request(feed(b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"))
+
+
+async def test_read_request_negative_content_length():
+    with pytest.raises(ProtocolError):
+        await read_request(feed(b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"))
+
+
+async def test_read_request_huge_declared_body_rejected():
+    raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+    with pytest.raises(BodyTooLarge):
+        await read_request(feed(raw))
+
+
+async def test_read_request_rejects_space_before_colon():
+    with pytest.raises(ProtocolError):
+        await read_request(feed(b"GET / HTTP/1.1\r\nHost : x\r\n\r\n"))
+
+
+async def test_request_serialize_parse_round_trip():
+    request = Request(
+        method="POST",
+        target="/search?q=tv",
+        headers=Headers([("Host", "shop"), ("X-User", "u1")]),
+        body=b"hello",
+    )
+    parsed = await read_request(feed(request.serialize()))
+    assert parsed is not None
+    assert parsed.method == "POST"
+    assert parsed.target == "/search?q=tv"
+    assert parsed.headers.get("x-user") == "u1"
+    assert parsed.body == b"hello"
+
+
+async def test_response_serialize_parse_round_trip():
+    response = Response.from_json({"ok": True}, status=201)
+    parsed = await read_response(feed(response.serialize()))
+    assert parsed.status == 201
+    assert parsed.json() == {"ok": True}
+    assert parsed.headers.get("content-type") == "application/json"
+
+
+async def test_read_response_eof_raises():
+    with pytest.raises(IncompleteMessage):
+        await read_response(feed(b""))
+
+
+async def test_read_response_malformed_status_line():
+    with pytest.raises(ProtocolError):
+        await read_response(feed(b"HTTP/1.1 abc OK\r\n\r\n"))
+
+
+def test_request_copy_is_deep_enough_for_shadowing():
+    request = Request("GET", "/x", Headers([("A", "1")]), b"body")
+    clone = request.copy()
+    clone.headers.set("A", "2")
+    clone.path_params["id"] = "7"
+    assert request.headers.get("A") == "1"
+    assert request.path_params == {}
+
+
+def test_response_helpers():
+    assert Response.text("hi").body == b"hi"
+    assert Response.text("hi").headers.get("content-type").startswith("text/plain")
+    assert Response.html("<p>x</p>").headers.get("content-type").startswith("text/html")
+    assert Response(status=204).ok
+    assert not Response(status=404).ok
+    assert Response(status=404).reason == "Not Found"
+    assert Response(status=299).reason == "Unknown"
+
+
+def test_response_json_invalid_body_raises():
+    with pytest.raises(ProtocolError):
+        Response(body=b"{not json").json()
+
+
+def test_request_path_defaults_to_root():
+    assert Request("GET", "").path == "/"
+
+
+async def test_pipelined_requests_parse_sequentially():
+    raw = (
+        b"GET /a HTTP/1.1\r\n\r\n"
+        b"GET /b HTTP/1.1\r\n\r\n"
+    )
+    reader = feed(raw)
+    first = await read_request(reader)
+    second = await read_request(reader)
+    third = await read_request(reader)
+    assert first is not None and first.path == "/a"
+    assert second is not None and second.path == "/b"
+    assert third is None

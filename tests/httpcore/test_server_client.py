@@ -1,0 +1,242 @@
+"""Integration tests: HttpServer and HttpClient talking over localhost."""
+
+import asyncio
+
+import pytest
+
+from repro.httpcore import (
+    ConnectionClosed,
+    Headers,
+    HttpClient,
+    HttpServer,
+    RequestTimeout,
+    Response,
+)
+
+
+def make_server() -> HttpServer:
+    server = HttpServer(name="test")
+
+    @server.router.get("/ping")
+    async def ping(request):
+        return Response.text("pong")
+
+    @server.router.post("/echo")
+    async def echo(request):
+        return Response(body=request.body)
+
+    @server.router.get("/json")
+    async def json_route(request):
+        return Response.from_json({"n": 1})
+
+    @server.router.get("/slow")
+    async def slow(request):
+        await asyncio.sleep(0.5)
+        return Response.text("late")
+
+    @server.router.get("/boom")
+    async def boom(request):
+        raise RuntimeError("kaboom")
+
+    @server.router.get("/items/{id}")
+    async def item(request):
+        return Response.from_json({"id": request.path_params["id"]})
+
+    return server
+
+
+async def test_basic_get():
+    async with make_server() as server, HttpClient() as client:
+        response = await client.get(f"http://{server.address}/ping")
+        assert response.status == 200
+        assert response.body == b"pong"
+
+
+async def test_post_echo_body():
+    async with make_server() as server, HttpClient() as client:
+        response = await client.post(f"http://{server.address}/echo", body=b"hello")
+        assert response.body == b"hello"
+
+
+async def test_json_request_and_response():
+    async with make_server() as server, HttpClient() as client:
+        response = await client.get(f"http://{server.address}/json")
+        assert response.json() == {"n": 1}
+
+
+async def test_json_body_sets_content_type():
+    server = HttpServer()
+
+    @server.router.post("/check")
+    async def check(request):
+        assert request.headers.get("content-type") == "application/json"
+        return Response.from_json(request.json())
+
+    async with server, HttpClient() as client:
+        response = await client.post(
+            f"http://{server.address}/check", json_body={"a": [1, 2]}
+        )
+        assert response.json() == {"a": [1, 2]}
+
+
+async def test_path_params_reach_handler():
+    async with make_server() as server, HttpClient() as client:
+        response = await client.get(f"http://{server.address}/items/42")
+        assert response.json() == {"id": "42"}
+
+
+async def test_unknown_route_is_404():
+    async with make_server() as server, HttpClient() as client:
+        response = await client.get(f"http://{server.address}/nope")
+        assert response.status == 404
+
+
+async def test_handler_exception_is_500():
+    async with make_server() as server, HttpClient() as client:
+        response = await client.get(f"http://{server.address}/boom")
+        assert response.status == 500
+
+
+async def test_keep_alive_reuses_connection():
+    async with make_server() as server, HttpClient(pool_size=1) as client:
+        for _ in range(5):
+            response = await client.get(f"http://{server.address}/ping")
+            assert response.status == 200
+        # Five sequential requests over a pooled connection: the server saw
+        # five requests but only one TCP connection carried them.
+        assert server.requests_handled == 5
+
+
+async def test_concurrent_requests():
+    async with make_server() as server, HttpClient() as client:
+        responses = await asyncio.gather(
+            *[client.get(f"http://{server.address}/ping") for _ in range(20)]
+        )
+        assert all(r.status == 200 for r in responses)
+
+
+async def test_request_timeout():
+    async with make_server() as server, HttpClient() as client:
+        with pytest.raises(RequestTimeout):
+            await client.get(f"http://{server.address}/slow", timeout=0.05)
+
+
+async def test_client_close_rejects_further_use():
+    async with make_server() as server:
+        client = HttpClient()
+        await client.close()
+        with pytest.raises(ConnectionClosed):
+            await client.get(f"http://{server.address}/ping")
+
+
+async def test_connection_close_header_honored():
+    async with make_server() as server, HttpClient() as client:
+        response = await client.get(
+            f"http://{server.address}/ping", headers={"Connection": "close"}
+        )
+        assert response.status == 200
+        assert response.headers.get("connection") == "close"
+        # Next request must open a fresh connection and still work.
+        response = await client.get(f"http://{server.address}/ping")
+        assert response.status == 200
+
+
+async def test_retry_on_stale_pooled_connection():
+    server = make_server()
+    await server.start()
+    client = HttpClient()
+    try:
+        address = server.address
+        assert (await client.get(f"http://{address}/ping")).status == 200
+        # Restart the server on the same port: the pooled connection is dead.
+        await server.stop()
+        server2 = HttpServer(host="127.0.0.1", port=int(address.split(":")[1]))
+
+        @server2.router.get("/ping")
+        async def ping(request):
+            return Response.text("pong2")
+
+        await server2.start()
+        try:
+            response = await client.get(f"http://{address}/ping")
+            assert response.body == b"pong2"
+        finally:
+            await server2.stop()
+    finally:
+        await client.close()
+        await server.stop()
+
+
+async def test_malformed_request_gets_400():
+    async with make_server() as server:
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(b"NOT A REQUEST\r\n\r\n")
+        await writer.drain()
+        data = await reader.read(100)
+        assert b"400" in data.split(b"\r\n")[0]
+        writer.close()
+
+
+async def test_middleware_wraps_handlers_in_order():
+    server = make_server()
+    order = []
+
+    async def outer(request, handler):
+        order.append("outer-in")
+        response = await handler(request)
+        order.append("outer-out")
+        return response
+
+    async def inner(request, handler):
+        order.append("inner-in")
+        response = await handler(request)
+        order.append("inner-out")
+        return response
+
+    server.add_middleware(outer)
+    server.add_middleware(inner)
+    async with server, HttpClient() as client:
+        await client.get(f"http://{server.address}/ping")
+    assert order == ["outer-in", "inner-in", "inner-out", "outer-out"]
+
+
+async def test_middleware_can_short_circuit():
+    server = make_server()
+
+    async def deny(request, handler):
+        return Response.text("denied", status=403)
+
+    server.add_middleware(deny)
+    async with server, HttpClient() as client:
+        response = await client.get(f"http://{server.address}/ping")
+        assert response.status == 403
+
+
+async def test_server_start_twice_raises():
+    server = make_server()
+    await server.start()
+    try:
+        with pytest.raises(RuntimeError):
+            await server.start()
+    finally:
+        await server.stop()
+
+
+async def test_server_stop_idempotent():
+    server = make_server()
+    await server.start()
+    await server.stop()
+    await server.stop()
+    assert not server.running
+
+
+def test_split_url_variants():
+    from repro.httpcore.client import _split_url
+
+    assert _split_url("http://h:81/p?q=1") == ("h", 81, "/p?q=1")
+    assert _split_url("h:81") == ("h", 81, "/")
+    assert _split_url("http://h/p") == ("h", 80, "/p")
+    with pytest.raises(ValueError):
+        _split_url("https://secure")
+    with pytest.raises(ValueError):
+        _split_url("http://:80/")

@@ -1,0 +1,165 @@
+"""End-to-end: DSL document -> engine -> proxies -> case-study app.
+
+The full stack at miniature scale: real HTTP between every component
+(engine→proxy admin, engine→metrics queries, proxy→services,
+services→auth/db), a DSL-defined strategy, and live traffic flowing
+throughout the rollout.
+"""
+
+import asyncio
+
+from repro.casestudy import build_case_study
+from repro.core import Engine, EventKind, ExecutionStatus
+from repro.dsl import compile_document
+from repro.httpcore import HttpClient
+from repro.metrics import HttpPrometheusProvider
+from repro.proxy import HttpProxyController
+
+DOC_TEMPLATE = """
+strategy:
+  name: fastsearch-e2e
+  phases:
+    - phase:
+        name: canary
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 20
+        checks:
+          - metric:
+              name: errors
+              provider: prometheus
+              query: increase(request_errors{{instance="fastSearch"}}[2s])
+              intervalTime: 0.5
+              intervalLimit: 4
+              threshold: 3
+              validator: "<3"
+        next: ramp
+        onFailure: rollback
+    - rollout:
+        name: ramp
+        from: search
+        to: fastSearch
+        startPercentage: 50
+        stepPercentage: 25
+        targetPercentage: 100
+        intervalTime: 0.4
+        next: done
+    - final:
+        name: done
+        routes:
+          - route:
+              from: search
+              to: fastSearch
+              filters:
+                - traffic:
+                    percentage: 100
+    - final:
+        name: rollback
+        rollback: true
+        routes:
+          - route:
+              from: search
+              to: search
+              filters:
+                - traffic:
+                    percentage: 100
+deployment:
+  services:
+    search:
+      proxy: {proxy}
+      stable: search
+      versions:
+        search: {search}
+        fastSearch: {fast}
+"""
+
+
+async def run_stack(break_fast_search: bool = False):
+    app = await build_case_study(scrape_interval=0.2)
+    token = await app.issue_token()
+    if break_fast_search:
+        # Failure injection: the new version starts erroring under load.
+        fast = app.search_versions["fastSearch"]
+
+        async def broken(request):
+            fast.request_errors.inc()
+            from repro.httpcore import Response
+
+            return Response.from_json({"error": "broken algorithm"}, 500)
+
+        fast.router._routes = []
+        fast.router.set_fallback(broken)
+
+    document = DOC_TEMPLATE.format(
+        proxy=app.search_proxy.address,
+        search=app.search_versions["search"].address,
+        fast=app.search_versions["fastSearch"].address,
+    )
+    compiled = compile_document(document)
+
+    stop = asyncio.Event()
+
+    async def browse():
+        async with HttpClient() as client:
+            headers = {"Authorization": f"Bearer {token}"}
+            while not stop.is_set():
+                await client.get(
+                    f"http://{app.entry_address}/search?q=Laptop", headers=headers
+                )
+                await asyncio.sleep(0.02)
+
+    load = asyncio.ensure_future(browse())
+
+    controller = HttpProxyController(compiled.deployment.proxies())
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{app.metrics.address}")
+    )
+    execution_id = engine.enact(compiled.strategy)
+    report = await engine.wait(execution_id)
+    stop.set()
+    await load
+    return app, engine, controller, report
+
+
+async def teardown(app, engine, controller):
+    await engine.shutdown()
+    await controller.close()
+    await app.stop()
+
+
+async def test_healthy_rollout_reaches_full_fastsearch():
+    app, engine, controller, report = await run_stack()
+    try:
+        assert report.status is ExecutionStatus.COMPLETED
+        assert report.path == ["canary", "ramp-50", "ramp-75", "ramp-100", "done"]
+        # The proxy ends up routing 100% to fastSearch.
+        config = app.search_proxy.active_config
+        assert config is not None
+        assert config.splits[0].version == "fastSearch"
+        assert config.splits[0].percentage == 100.0
+        # fastSearch actually served traffic during the rollout.
+        assert app.search_versions["fastSearch"].searches_total.value > 0
+        # The event stream covered the whole lifecycle.
+        kinds = [event.kind for event in engine.bus.history]
+        assert kinds[0] is EventKind.STRATEGY_STARTED
+        assert kinds[-1] is EventKind.STRATEGY_COMPLETED
+        assert EventKind.CHECK_EXECUTED in kinds
+    finally:
+        await teardown(app, engine, controller)
+
+
+async def test_broken_canary_rolls_back_to_stable():
+    app, engine, controller, report = await run_stack(break_fast_search=True)
+    try:
+        assert report.status is ExecutionStatus.ROLLED_BACK
+        assert report.path == ["canary", "rollback"]
+        config = app.search_proxy.active_config
+        assert config.splits[0].version == "search"
+        assert config.splits[0].percentage == 100.0
+    finally:
+        await teardown(app, engine, controller)

@@ -1,0 +1,137 @@
+"""Smoke tests for the experiment harnesses at tiny scale.
+
+The benchmarks run these harnesses at larger scale; here we assert the
+structural properties cheaply so `pytest tests/` alone covers them.
+"""
+
+import math
+
+from repro.analysis import (
+    format_cpu_figure,
+    format_delay_figure,
+    format_figure6,
+    format_table1,
+    many_checks_strategy,
+    nominal_release_duration,
+    release_strategy,
+    run_many_checks,
+    run_overhead_variant,
+    run_parallel_strategies,
+    scalability_strategy,
+)
+from repro.core import ExecutionStatus
+
+
+ENDPOINTS = {"product": "h:1", "product_a": "h:2", "product_b": "h:3"}
+
+
+def test_release_strategy_structure():
+    strategy = release_strategy(ENDPOINTS, scale=1.0)
+    automaton = strategy.automaton
+    # canary + dark + ab + 2x20 rollout states + 3 final states.
+    assert len(automaton.states) == 3 + 40 + 3
+    assert automaton.start == "canary"
+    assert automaton.final_states == {"done-a", "done-b", "abort"}
+    assert automaton.state("abort").rollback
+    # Canary has the two error checks re-executed 5 times over the phase.
+    canary = automaton.state("canary")
+    assert len(canary.checks) == 2
+    assert canary.checks[0].timer.repetitions == 5
+    # The dark state duplicates traffic to both candidates.
+    dark = automaton.state("dark")
+    assert len(dark.routing["product"].shadows) == 2
+    # Nominal duration matches the paper's 380 s.
+    assert nominal_release_duration(1.0) == 380.0
+
+
+def test_scalability_strategy_structure():
+    strategy = scalability_strategy(
+        {"product": "h:1", "product_a": "h:2"}, scale=1.0
+    )
+    automaton = strategy.automaton
+    # canary + dark + ab + 10 rollout + done + abort = 15 states.
+    assert len(automaton.states) == 15
+    happy_path = ["canary", "dark", "ab-test"] + [
+        f"rollout-{p:g}" for p in range(10, 101, 10)
+    ] + ["done"]
+    assert automaton.nominal_path_duration(happy_path) == 280.0
+
+
+def test_many_checks_strategy_structure():
+    strategy = many_checks_strategy(
+        {"product": "h:1"}, replication=3, scale=1.0
+    )
+    automaton = strategy.automaton
+    for phase in ("phase-1", "phase-2"):
+        checks = automaton.state(phase).checks
+        assert len(checks) == 24  # 8 * 3
+        health = [c for c in checks if c.condition.queries[0].provider == "health"]
+        prometheus = [
+            c for c in checks if c.condition.queries[0].provider == "prometheus"
+        ]
+        assert len(health) == 9  # 3 per block
+        assert len(prometheus) == 15  # 5 per block
+
+
+def test_release_strategy_is_dsl_expressible():
+    """The whole evaluation strategy survives serialize -> compile, so it
+    could be version-controlled as a document like the paper advocates."""
+    from repro.dsl import DeployedService, Deployment, compile_document, serialize
+
+    strategy = release_strategy(ENDPOINTS, scale=1.0)
+    deployment = Deployment()
+    deployment.services["product"] = DeployedService(
+        name="product", proxy="127.0.0.1:7001", stable="product",
+        versions=dict(ENDPOINTS),
+    )
+    compiled = compile_document(serialize(strategy, deployment))
+    restored = compiled.strategy.automaton
+    assert set(restored.states) == set(strategy.automaton.states)
+    ab = restored.state("ab-test")
+    assert ab.checks[0].condition.comparison is not None
+    assert ab.transitions.targets == ("rollout-b-5", "rollout-a-5")
+
+
+async def test_overhead_baseline_variant_smoke():
+    run = await run_overhead_variant("baseline", scale=0.008, rate=40.0)
+    assert run.report is None
+    assert len(run.log) > 20
+    stats = run.phase_stats_ms()
+    assert set(stats) == {"canary", "dark", "ab-test", "rollout"}
+    assert all(s.count > 0 for s in stats.values())
+    assert all(not math.isnan(s.mean) for s in stats.values())
+
+
+async def test_overhead_active_variant_smoke():
+    run = await run_overhead_variant("active", scale=0.008, rate=40.0)
+    assert run.report is not None
+    assert run.report.status is ExecutionStatus.COMPLETED
+    assert run.report.path[0] == "canary"
+    assert run.report.path[-1] in ("done-a", "done-b")
+    assert len(run.series_ms()) > 3
+    # Render paths exercised.
+    table = format_table1({"active": [run]})
+    assert "active" in table
+    assert "mean" in table
+    assert "active" in format_figure6({"active": [run]})
+
+
+async def test_parallel_strategies_smoke():
+    point = await run_parallel_strategies(2, scale=0.008)
+    assert point.x == 2
+    assert point.failed == 0
+    assert point.completed == 2
+    assert point.delay.count == 2
+    assert point.delay.mean >= 0
+    assert point.cpu.count > 0
+    rendered = format_cpu_figure([point], xlabel="strategies")
+    assert "strategies" in rendered
+    rendered = format_delay_figure([point], xlabel="strategies")
+    assert "delay" in rendered
+
+
+async def test_many_checks_smoke():
+    point = await run_many_checks(1, scale=0.008)
+    assert point.x == 8
+    assert point.failed == 0
+    assert point.delay.count == 1

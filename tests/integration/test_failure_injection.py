@@ -1,0 +1,177 @@
+"""Failure injection: the middleware under broken dependencies.
+
+Live testing exists to contain failures; the middleware itself must
+behave sanely when its own dependencies break: unreachable metrics
+providers, dying proxies, crashing upstreams mid-flight.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import (
+    Engine,
+    ExceptionCheck,
+    ExecutionStatus,
+    MetricCondition,
+    StrategyBuilder,
+    Timer,
+    canary_split,
+    simple_basic_check,
+    single_version,
+)
+from repro.httpcore import HttpClient, HttpServer, Response
+from repro.metrics import HttpPrometheusProvider, MetricsServer
+from repro.proxy import BifrostProxy, HttpProxyController, LocalProxyController
+
+
+def canary_strategy(endpoints, interval=0.1, repetitions=3):
+    builder = StrategyBuilder("failure-test")
+    builder.service("svc", endpoints)
+    builder.state("canary").route("svc", canary_split("stable", "canary", 10.0)).check(
+        simple_basic_check(
+            "health", "up_metric", ">0", interval, repetitions, provider="prometheus"
+        )
+    ).transitions([0.5], ["rollback", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+async def test_unreachable_metrics_provider_causes_rollback_not_crash():
+    """Checks against a dead Prometheus fail; the strategy rolls back."""
+    proxy = BifrostProxy("svc", default_upstream="127.0.0.1:1")
+    controller = LocalProxyController({"svc": proxy})
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider("http://127.0.0.1:1")
+    )
+    strategy = canary_strategy({"stable": "h:1", "canary": "h:2"})
+    execution_id = engine.enact(strategy)
+    report = await engine.wait(execution_id)
+    assert report.status is ExecutionStatus.ROLLED_BACK
+    assert report.path == ["canary", "rollback"]
+    await engine.shutdown()
+
+
+async def test_metrics_server_dying_mid_strategy_rolls_back():
+    metrics = MetricsServer()
+    await metrics.start(scrape=False)
+    metrics.store.record("up_metric", 1.0, metrics.clock.now())
+    proxy = BifrostProxy("svc", default_upstream="127.0.0.1:1")
+    controller = LocalProxyController({"svc": proxy})
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{metrics.address}")
+    )
+    strategy = canary_strategy(
+        {"stable": "h:1", "canary": "h:2"}, interval=0.15, repetitions=4
+    )
+    execution_id = engine.enact(strategy)
+    await asyncio.sleep(0.2)  # first executions succeed
+    await metrics.stop()  # Prometheus dies mid-phase
+    report = await engine.wait(execution_id)
+    # Remaining executions fail -> aggregated below threshold -> rollback.
+    assert report.status is ExecutionStatus.ROLLED_BACK
+    await engine.shutdown()
+
+
+async def test_unreachable_proxy_fails_the_execution():
+    """Routing cannot be applied: enactment fails loudly, not silently."""
+    controller = HttpProxyController({"svc": "127.0.0.1:1"})
+    engine = Engine(controller=controller)
+    strategy = canary_strategy({"stable": "h:1", "canary": "h:2"})
+    execution_id = engine.enact(strategy)
+    report = await engine.wait(execution_id)
+    assert report.status is ExecutionStatus.FAILED
+    assert "unreachable" in report.error
+    await engine.shutdown()
+    await controller.close()
+
+
+async def test_exception_check_fires_when_service_starts_erroring():
+    """An exception check reacts to a mid-phase failure within one tick."""
+    upstream_healthy = True
+    metrics = MetricsServer()
+    await metrics.start(scrape=False)
+
+    async def feed_metrics():
+        while True:
+            metrics.store.record(
+                "error_rate",
+                0.0 if upstream_healthy else 100.0,
+                metrics.clock.now(),
+            )
+            await asyncio.sleep(0.05)
+
+    feeder = asyncio.ensure_future(feed_metrics())
+    proxy = BifrostProxy("svc", default_upstream="127.0.0.1:1")
+    controller = LocalProxyController({"svc": proxy})
+    engine = Engine(controller=controller)
+    engine.register_provider(
+        "prometheus", HttpPrometheusProvider(f"http://{metrics.address}")
+    )
+
+    builder = StrategyBuilder("guarded")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    builder.state("canary").route("svc", canary_split("stable", "canary", 10.0)).check(
+        ExceptionCheck(
+            "guard",
+            MetricCondition.simple("error_rate", "<50", provider="prometheus"),
+            Timer(0.1, 50),  # nominal 5s phase
+            fallback_state="rollback",
+        )
+    ).transitions([0], ["rollback", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    strategy = builder.build()
+
+    execution_id = engine.enact(strategy)
+    await asyncio.sleep(0.4)
+    upstream_healthy = False  # the canary melts down mid-phase
+    report = await engine.wait(execution_id)
+    feeder.cancel()
+    assert report.status is ExecutionStatus.ROLLED_BACK
+    assert report.visits[0].via_exception
+    # Preempted: far sooner than the nominal 5 s phase.
+    assert report.duration < 3.0
+    await engine.shutdown()
+    await metrics.stop()
+
+
+async def test_proxy_serves_stable_while_upstream_canary_dies():
+    """A dead canary instance yields 502s for its share, but the stable
+    version keeps serving — the blast radius stays at the canary split."""
+    stable = HttpServer()
+    stable.router.set_fallback(lambda r: _ok("stable"))
+    await stable.start()
+    canary = HttpServer()
+    canary.router.set_fallback(lambda r: _ok("canary"))
+    await canary.start()
+    proxy = BifrostProxy("svc", default_upstream=stable.address)
+    await proxy.start()
+    endpoints = {"stable": stable.address, "canary": canary.address}
+    proxy.apply_config(canary_split("stable", "canary", 50.0), endpoints)
+    await canary.stop()  # the canary dies
+
+    async with HttpClient() as client:
+        statuses = []
+        for i in range(60):
+            response = await client.get(
+                f"http://{proxy.address}/x",
+                headers={"Cookie": f"bifrost_client=user-{i}"},
+            )
+            statuses.append(response.status)
+    assert 200 in statuses  # stable share unaffected
+    assert 502 in statuses  # canary share fails visibly
+    assert statuses.count(200) > 10
+    await proxy.stop()
+    await stable.stop()
+
+
+async def _ok(tag):
+    return Response.from_json({"version": tag})

@@ -1,0 +1,127 @@
+"""Tests for load-test statistics (the Table-1/Figure-6 machinery)."""
+
+import math
+
+import pytest
+
+from repro.loadgen import PhaseTracker, SampleLog, SummaryStats, percentile
+
+
+def test_summary_stats_basic():
+    stats = SummaryStats.of([1.0, 2.0, 3.0, 4.0])
+    assert stats.count == 4
+    assert stats.mean == 2.5
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.median == 2.5
+    assert stats.sd == pytest.approx(1.2909944, rel=1e-6)
+
+
+def test_summary_stats_odd_median():
+    assert SummaryStats.of([5.0, 1.0, 3.0]).median == 3.0
+
+
+def test_summary_stats_single_value():
+    stats = SummaryStats.of([2.0])
+    assert stats.sd == 0.0
+    assert stats.median == 2.0
+
+
+def test_summary_stats_empty():
+    stats = SummaryStats.of([])
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+
+
+def test_summary_scaled_to_milliseconds():
+    stats = SummaryStats.of([0.010, 0.020]).scaled(1000)
+    assert stats.mean == pytest.approx(15.0)
+    assert stats.count == 2
+
+
+def test_percentile_nearest_rank():
+    values = [float(v) for v in range(1, 101)]
+    assert percentile(values, 50) == 50.0
+    assert percentile(values, 95) == 95.0
+    assert percentile(values, 100) == 100.0
+    assert percentile(values, 0) == 1.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+    assert math.isnan(percentile([], 50))
+
+
+def test_sample_log_record_and_slices():
+    log = SampleLog()
+    for t in range(10):
+        log.record(at=float(t), latency=0.01 * t, label="details", status=200)
+    assert len(log) == 10
+    window = log.between(2.0, 5.0)
+    assert [s.at for s in window] == [3.0, 4.0, 5.0]
+
+
+def test_latencies_filters():
+    log = SampleLog()
+    log.record(1.0, 0.010, "buy", 204)
+    log.record(2.0, 0.020, "search", 200)
+    log.record(3.0, 0.500, "search", 500)
+    log.record(4.0, 0.900, "buy", 0)
+    assert log.latencies() == [0.010, 0.020]
+    assert log.latencies(label="search") == [0.020]
+    assert log.latencies(successful_only=False) == [0.010, 0.020, 0.500, 0.900]
+    assert log.latencies(start=1.0) == [0.020]
+    assert log.error_count == 2
+
+
+def test_moving_average_window():
+    log = SampleLog()
+    # Latency ramps with time: samples at t=1..6 with latency = t*10ms.
+    for t in range(1, 7):
+        log.record(float(t), 0.010 * t, "details", 200)
+    points = dict(log.moving_average(window=3.0, step=1.0))
+    # At t=4 the window (1, 4] holds samples 2, 3, 4 -> mean 30ms.
+    assert points[4.0] == pytest.approx(0.030)
+    # At t=6 the window (3, 6] holds samples 4, 5, 6 -> mean 50ms.
+    assert points[6.0] == pytest.approx(0.050)
+
+
+def test_moving_average_skips_empty_windows_and_errors():
+    log = SampleLog()
+    log.record(1.0, 0.010, "buy", 204)
+    log.record(10.0, 0.020, "buy", 204)
+    log.record(10.5, 5.000, "buy", 500)  # errors excluded
+    points = dict(log.moving_average(window=1.0, step=1.0))
+    assert 5.0 not in points
+    assert points[min(points)] == pytest.approx(0.010)
+    assert max(points.values()) == pytest.approx(0.020)
+
+
+def test_moving_average_empty_log():
+    assert SampleLog().moving_average() == []
+
+
+def test_phase_tracker_boundaries():
+    tracker = PhaseTracker()
+    tracker.enter("canary", 0.0)
+    tracker.enter("dark", 60.0)
+    tracker.enter("ab", 120.0)
+    tracker.finish(180.0)
+    assert tracker.phase("canary").end == 60.0
+    assert tracker.phase("dark").end == 120.0
+    assert tracker.phase("ab").end == 180.0
+    with pytest.raises(KeyError):
+        tracker.phase("ghost")
+
+
+def test_phase_tracker_summarize():
+    tracker = PhaseTracker()
+    tracker.enter("one", 0.0)
+    tracker.enter("two", 10.0)
+    tracker.finish(20.0)
+    log = SampleLog()
+    log.record(5.0, 0.010, "x", 200)
+    log.record(15.0, 0.030, "x", 200)
+    log.record(16.0, 0.050, "x", 200)
+    summaries = tracker.summarize(log)
+    assert summaries["one"].count == 1
+    assert summaries["two"].count == 2
+    assert summaries["two"].mean == pytest.approx(0.040)

@@ -1,0 +1,135 @@
+"""Tests for the workload mix and the constant-throughput generator."""
+
+import pytest
+
+from repro.httpcore import HttpServer, Response
+from repro.loadgen import LoadGenerator, WorkloadMix
+
+
+def make_mix(**kwargs):
+    return WorkloadMix(skus=["SKU-0001", "SKU-0002"], **kwargs)
+
+
+def test_mix_produces_all_four_labels():
+    mix = make_mix()
+    labels = {mix.next_request().label for _ in range(200)}
+    assert labels == {"buy", "details", "products", "search"}
+
+
+def test_mix_respects_weights():
+    mix = make_mix(weights={"buy": 0.0, "details": 0.0, "products": 0.0, "search": 1.0})
+    assert all(mix.next_request().label == "search" for _ in range(50))
+
+
+def test_mix_weight_skew():
+    mix = make_mix(weights={"buy": 9.0, "details": 1.0, "products": 0.0, "search": 0.0})
+    buys = sum(mix.next_request().label == "buy" for _ in range(1000))
+    assert 850 <= buys <= 950
+
+
+def test_mix_is_deterministic_per_seed():
+    first = [make_mix(seed=7).next_request().path for _ in range(1)]
+    second = [make_mix(seed=7).next_request().path for _ in range(1)]
+    assert first == second
+
+
+def test_mix_request_shapes():
+    mix = make_mix()
+    for _ in range(100):
+        spec = mix.next_request()
+        if spec.label == "buy":
+            assert spec.method == "POST"
+            assert spec.path.endswith("/buy")
+        elif spec.label == "details":
+            assert spec.method == "GET"
+            assert spec.path.startswith("/products/")
+        elif spec.label == "products":
+            assert spec.path == "/products"
+        else:
+            assert spec.path.startswith("/search?q=")
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        WorkloadMix(skus=[])
+    with pytest.raises(ValueError):
+        make_mix(weights={"nonsense": 1.0})
+    with pytest.raises(ValueError):
+        make_mix(weights={"buy": 0.0, "details": 0.0, "products": 0.0, "search": 0.0})
+
+
+async def test_generator_achieves_rate_and_records():
+    server = HttpServer()
+    server.router.set_fallback(lambda r: _ok())
+    await server.start()
+    try:
+        generator = LoadGenerator(server.address, make_mix(), rate=200.0)
+        log = await generator.run(duration=0.5)
+        await generator.close()
+        # 200 rps over 0.5 s: allow generous scheduling slack.
+        assert 60 <= len(log) <= 140
+        assert log.error_count == 0
+        assert all(s.latency > 0 for s in log.samples)
+    finally:
+        await server.stop()
+
+
+async def test_generator_records_failures_as_status_zero():
+    generator = LoadGenerator("127.0.0.1:1", make_mix(), rate=100.0)
+    log = await generator.run(duration=0.1)
+    await generator.close()
+    assert len(log) > 0
+    assert all(s.status == 0 for s in log.samples)
+    assert log.error_count == len(log)
+
+
+async def test_generator_ramp_up_fires_fewer_requests():
+    server = HttpServer()
+    server.router.set_fallback(lambda r: _ok())
+    await server.start()
+    try:
+        flat = LoadGenerator(server.address, make_mix(), rate=200.0)
+        await flat.run(duration=0.4)
+        await flat.close()
+        ramped = LoadGenerator(server.address, make_mix(), rate=200.0)
+        await ramped.run(duration=0.0001, ramp_up=0.4)
+        await ramped.close()
+        # The ramp integrates to half the steady-state request count.
+        assert len(ramped.log) < len(flat.log)
+    finally:
+        await server.stop()
+
+
+async def test_generator_in_flight_cap_drops_excess():
+    import asyncio
+
+    server = HttpServer()
+
+    async def slow(request):
+        await asyncio.sleep(1.0)
+        return Response.text("late")
+
+    server.router.set_fallback(slow)
+    await server.start()
+    try:
+        generator = LoadGenerator(
+            server.address, make_mix(), rate=500.0, max_in_flight=5
+        )
+        task = asyncio.ensure_future(generator.run(duration=0.2))
+        await asyncio.sleep(0.25)
+        assert generator.dropped > 0
+        await server.stop()  # release the in-flight requests
+        await task
+        await generator.close()
+    finally:
+        if server.running:
+            await server.stop()
+
+
+def test_generator_rate_validation():
+    with pytest.raises(ValueError):
+        LoadGenerator("h:1", make_mix(), rate=0)
+
+
+async def _ok():
+    return Response.text("ok")

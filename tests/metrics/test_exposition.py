@@ -1,0 +1,59 @@
+"""Unit tests for exposition-format rendering and parsing."""
+
+import pytest
+
+from repro.metrics import MetricPoint, Registry, parse_exposition, render_exposition
+
+
+def test_render_unlabelled_point():
+    text = render_exposition([MetricPoint("up", {}, 1.0)])
+    assert text == "up 1\n"
+
+
+def test_render_labelled_point_sorts_labels():
+    text = render_exposition([MetricPoint("m", {"b": "2", "a": "1"}, 3.5)])
+    assert text == 'm{a="1",b="2"} 3.5\n'
+
+
+def test_render_escapes_label_values():
+    text = render_exposition([MetricPoint("m", {"q": 'say "hi"\\'}, 1.0)])
+    parsed = parse_exposition(text)
+    assert parsed[0].labels["q"] == 'say "hi"\\'
+
+
+def test_render_registry_directly():
+    registry = Registry()
+    registry.counter("c").inc(2)
+    assert render_exposition(registry) == "c 2\n"
+
+
+def test_render_empty_is_empty_string():
+    assert render_exposition([]) == ""
+
+
+def test_parse_skips_comments_and_blanks():
+    text = "# HELP up liveness\n# TYPE up gauge\n\nup 1\n"
+    points = parse_exposition(text)
+    assert len(points) == 1
+    assert points[0].name == "up"
+
+
+def test_parse_infinity_values():
+    points = parse_exposition('b{le="+Inf"} 7\nneg -Inf\n')
+    assert points[0].value == 7.0
+    assert points[1].value == float("-inf")
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_exposition("!!! not metrics !!!")
+
+
+def test_round_trip_preserves_everything():
+    original = [
+        MetricPoint("http_requests_total", {"code": "200", "path": "/buy"}, 1234.0),
+        MetricPoint("latency_sum", {}, 12.75),
+        MetricPoint("latency_bucket", {"le": "+Inf"}, 40.0),
+    ]
+    parsed = parse_exposition(render_exposition(original))
+    assert parsed == original

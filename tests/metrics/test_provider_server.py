@@ -1,0 +1,159 @@
+"""Tests for the metrics server and the provider implementations."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.httpcore import HttpClient
+from repro.metrics import (
+    HttpPrometheusProvider,
+    LocalPrometheusProvider,
+    MetricsServer,
+    MetricStore,
+    ProviderError,
+    StaticProvider,
+)
+
+
+async def test_local_provider_queries_store():
+    clock = VirtualClock(start=10.0)
+    store = MetricStore()
+    store.record("errors", 3.0, 9.0, {"instance": "search:80"})
+    provider = LocalPrometheusProvider(store, clock=clock)
+    assert await provider.query('errors{instance="search:80"}') == 3.0
+    assert await provider.query("missing") is None
+
+
+async def test_static_provider_scalar_and_sequence():
+    provider = StaticProvider({"a": 1.0, "b": [1.0, 2.0], "c": None})
+    assert await provider.query("a") == 1.0
+    assert await provider.query("a") == 1.0
+    assert await provider.query("b") == 1.0
+    assert await provider.query("b") == 2.0
+    assert await provider.query("b") == 2.0  # repeats last
+    assert await provider.query("c") is None
+    assert provider.query_log == ["a", "a", "b", "b", "b", "c"]
+    with pytest.raises(ProviderError):
+        await provider.query("unknown")
+
+
+async def test_metrics_server_query_endpoint():
+    clock = VirtualClock(start=50.0)
+    server = MetricsServer(clock=clock)
+    server.store.record("hits", 7.0, 49.0, {"instance": "a"})
+    server.store.record("hits", 3.0, 49.0, {"instance": "b"})
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.get(
+                f"http://{server.address}/api/v1/query?query=hits"
+            )
+            payload = response.json()
+            assert payload["status"] == "success"
+            assert payload["data"]["value"] == 10.0
+            assert len(payload["data"]["vector"]) == 2
+    finally:
+        await server.stop()
+
+
+async def test_metrics_server_query_requires_parameter():
+    server = MetricsServer(clock=VirtualClock())
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{server.address}/api/v1/query")
+            assert response.status == 400
+    finally:
+        await server.stop()
+
+
+async def test_metrics_server_rejects_bad_query():
+    server = MetricsServer(clock=VirtualClock())
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.get(
+                f"http://{server.address}/api/v1/query?query=rate%28m%29"
+            )
+            assert response.status == 400
+            assert response.json()["status"] == "error"
+    finally:
+        await server.stop()
+
+
+async def test_metrics_server_ingest_and_series():
+    clock = VirtualClock(start=5.0)
+    server = MetricsServer(clock=clock)
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.post(
+                f"http://{server.address}/api/v1/ingest",
+                json_body=[
+                    {"name": "sales", "value": 12, "labels": {"version": "a"}},
+                    {"name": "sales", "value": 8, "labels": {"version": "b"}},
+                ],
+            )
+            assert response.json() == {"status": "success", "ingested": 2}
+            response = await client.get(f"http://{server.address}/api/v1/series")
+            assert response.json()["data"] == ["sales"]
+            response = await client.get(
+                f"http://{server.address}/api/v1/query?query=sum%28sales%29"
+            )
+            assert response.json()["data"]["value"] == 20.0
+    finally:
+        await server.stop()
+
+
+async def test_metrics_server_ingest_validates_payload():
+    server = MetricsServer(clock=VirtualClock())
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.post(
+                f"http://{server.address}/api/v1/ingest", json_body={"not": "a list"}
+            )
+            assert response.status == 400
+            response = await client.post(
+                f"http://{server.address}/api/v1/ingest",
+                json_body=[{"value": 1}],  # missing name
+            )
+            assert response.status == 400
+    finally:
+        await server.stop()
+
+
+async def test_metrics_server_health():
+    server = MetricsServer(clock=VirtualClock())
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{server.address}/healthz")
+            assert response.json()["status"] == "up"
+    finally:
+        await server.stop()
+
+
+async def test_http_provider_end_to_end():
+    clock = VirtualClock(start=100.0)
+    server = MetricsServer(clock=clock)
+    server.store.record("request_errors", 4.0, 99.0, {"instance": "search:80"})
+    await server.start(scrape=False)
+    provider = HttpPrometheusProvider(f"http://{server.address}")
+    try:
+        value = await provider.query('request_errors{instance="search:80"}')
+        assert value == 4.0
+        assert await provider.query("no_such_metric") is None
+        with pytest.raises(ProviderError):
+            await provider.query("rate(m)")  # 400 from server
+    finally:
+        await provider.close()
+        await server.stop()
+
+
+async def test_http_provider_unreachable_raises():
+    provider = HttpPrometheusProvider("http://127.0.0.1:1")
+    try:
+        with pytest.raises(ProviderError):
+            await provider.query("up")
+    finally:
+        await provider.close()

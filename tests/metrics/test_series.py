@@ -1,0 +1,81 @@
+"""Unit tests for time series and series keys."""
+
+import pytest
+
+from repro.metrics import SeriesKey, TimeSeries
+
+
+def make_series(samples):
+    series = TimeSeries(SeriesKey.make("m"))
+    for timestamp, value in samples:
+        series.append(timestamp, value)
+    return series
+
+
+def test_series_key_identity_ignores_label_order():
+    a = SeriesKey.make("m", {"x": "1", "y": "2"})
+    b = SeriesKey.make("m", {"y": "2", "x": "1"})
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_series_key_str_rendering():
+    assert str(SeriesKey.make("up")) == "up"
+    assert str(SeriesKey.make("up", {"job": "api"})) == 'up{job="api"}'
+
+
+def test_append_and_len():
+    series = make_series([(1, 10), (2, 20)])
+    assert len(series) == 2
+
+
+def test_append_rejects_out_of_order():
+    series = make_series([(5, 1)])
+    with pytest.raises(ValueError):
+        series.append(4, 2)
+
+
+def test_append_allows_equal_timestamps():
+    series = make_series([(5, 1), (5, 2)])
+    assert len(series) == 2
+
+
+def test_latest():
+    assert make_series([]).latest() is None
+    latest = make_series([(1, 10), (3, 30)]).latest()
+    assert latest.timestamp == 3
+    assert latest.value == 30
+
+
+def test_at_returns_newest_at_or_before():
+    series = make_series([(1, 10), (3, 30), (5, 50)])
+    assert series.at(3).value == 30
+    assert series.at(4).value == 30
+    assert series.at(0.5) is None
+    assert series.at(100).value == 50
+
+
+def test_at_respects_staleness():
+    series = make_series([(1, 10)])
+    assert series.at(100, staleness=10) is None
+    assert series.at(10, staleness=10).value == 10
+
+
+def test_window_is_half_open():
+    series = make_series([(1, 10), (2, 20), (3, 30), (4, 40)])
+    window = series.window(1, 3)  # start exclusive, end inclusive
+    assert [(s.timestamp, s.value) for s in window] == [(2, 20), (3, 30)]
+
+
+def test_window_empty_range():
+    series = make_series([(1, 10)])
+    assert series.window(5, 10) == []
+
+
+def test_drop_before():
+    series = make_series([(1, 10), (2, 20), (3, 30)])
+    dropped = series.drop_before(2)
+    assert dropped == 1
+    assert len(series) == 2
+    assert series.at(2).value == 20
+    assert series.drop_before(0) == 0

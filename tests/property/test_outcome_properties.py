@@ -1,0 +1,93 @@
+"""Property-based tests for thresholds, mappings, and validators."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import OutputMapping, ThresholdRanges, Validator, weighted_outcome
+
+
+sorted_thresholds = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=6,
+    unique=True,
+).map(sorted).map(tuple)
+
+
+@given(sorted_thresholds, st.floats(min_value=-1e7, max_value=1e7, allow_nan=False))
+def test_every_value_falls_in_exactly_one_range(thresholds, value):
+    ranges = ThresholdRanges(thresholds)
+    index = ranges.index_of(value)
+    assert 0 <= index < ranges.range_count
+    # The index is consistent with the range boundaries.
+    if index > 0:
+        assert value > thresholds[index - 1]
+    if index < len(thresholds):
+        assert value <= thresholds[index]
+
+
+@given(sorted_thresholds)
+def test_ranges_partition_is_monotone(thresholds):
+    """index_of is monotone: larger values never land in earlier ranges."""
+    ranges = ThresholdRanges(thresholds)
+    probes = sorted(
+        list(thresholds)
+        + [t + 0.5 for t in thresholds]
+        + [t - 0.5 for t in thresholds]
+        + [-1e9, 1e9]
+    )
+    indices = [ranges.index_of(p) for p in probes]
+    assert indices == sorted(indices)
+
+
+@given(
+    sorted_thresholds.filter(lambda t: len(t) >= 1),
+    st.data(),
+)
+def test_output_mapping_returns_declared_results(thresholds, data):
+    results = tuple(
+        data.draw(st.integers(min_value=-10, max_value=10))
+        for _ in range(len(thresholds) + 1)
+    )
+    mapping = OutputMapping(ThresholdRanges(thresholds), results)
+    value = data.draw(st.floats(min_value=-1e7, max_value=1e7, allow_nan=False))
+    assert mapping.map(value) in results
+
+
+@given(st.integers(min_value=1, max_value=100), st.integers(min_value=0, max_value=100))
+def test_boolean_mapping_threshold_semantics(threshold, outcome):
+    mapping = OutputMapping.boolean(float(threshold))
+    assert mapping.map(outcome) == (1 if outcome >= threshold else 0)
+
+
+@given(
+    st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+def test_validator_round_trip_and_agreement(op, bound, value):
+    validator = Validator.parse(f"{op}{bound}")
+    reparsed = Validator.parse(str(validator))
+    assert reparsed.check(value) == validator.check(value)
+    expected = {
+        "<": value < bound,
+        "<=": value <= bound,
+        ">": value > bound,
+        ">=": value >= bound,
+        "==": value == bound,
+        "!=": value != bound,
+    }[op]
+    assert validator.check(value) == (1 if expected else 0)
+
+
+@given(
+    st.lists(st.integers(min_value=-10, max_value=10), min_size=1, max_size=8),
+    st.data(),
+)
+def test_weighted_outcome_bounds(outcomes, data):
+    weights = [
+        data.draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        for _ in outcomes
+    ]
+    result = weighted_outcome(outcomes, weights)
+    exact = sum(o * w for o, w in zip(outcomes, weights))
+    assert abs(result - exact) <= 0.5 + 1e-9  # rounding only

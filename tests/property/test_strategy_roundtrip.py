@@ -1,0 +1,175 @@
+"""Property-based round trip of the whole DSL pipeline.
+
+Generates random (but valid) strategies with the builder, serializes them
+to DSL text, compiles the text back, and asserts the automaton survived:
+states, transitions, checks, timers, validators, routing shares, sticky
+flags, and rollback markers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ExceptionCheck,
+    RoutingConfig,
+    StrategyBuilder,
+    TrafficSplit,
+    simple_basic_check,
+    single_version,
+)
+from repro.core.checks import BasicCheck, MetricCondition, Timer
+from repro.dsl import DeployedService, Deployment, compile_document, serialize
+
+VERSIONS = ["stable", "v1", "v2"]
+
+
+def make_deployment() -> Deployment:
+    deployment = Deployment()
+    deployment.services["svc"] = DeployedService(
+        name="svc",
+        proxy="127.0.0.1:7001",
+        stable="stable",
+        versions={name: f"127.0.0.1:{9000 + i}" for i, name in enumerate(VERSIONS)},
+    )
+    return deployment
+
+
+@st.composite
+def routing_configs(draw):
+    version = draw(st.sampled_from(VERSIONS[1:]))
+    share = draw(st.integers(min_value=1, max_value=99))
+    sticky = draw(st.booleans())
+    return RoutingConfig(
+        splits=[
+            TrafficSplit("stable", float(100 - share)),
+            TrafficSplit(version, float(share)),
+        ],
+        sticky=sticky,
+    )
+
+
+@st.composite
+def basic_checks(draw, name):
+    interval = draw(st.sampled_from([0.5, 1.0, 5.0, 12.0]))
+    repetitions = draw(st.integers(min_value=1, max_value=12))
+    threshold = draw(st.integers(min_value=1, max_value=repetitions))
+    op = draw(st.sampled_from(["<", "<=", ">", ">="]))
+    bound = draw(st.integers(min_value=-100, max_value=100))
+    return simple_basic_check(
+        name,
+        f'metric_{name.replace("-", "_")}{{instance="svc"}}',
+        f"{op}{bound}",
+        interval,
+        repetitions,
+        threshold=threshold,
+    )
+
+
+@st.composite
+def strategies(draw):
+    builder = StrategyBuilder("generated")
+    builder.service(
+        "svc", {name: f"127.0.0.1:{9000 + i}" for i, name in enumerate(VERSIONS)}
+    )
+    phase_count = draw(st.integers(min_value=1, max_value=4))
+    names = [f"phase-{i}" for i in range(phase_count)]
+    for index, name in enumerate(names):
+        state = builder.state(name)
+        state.route("svc", draw(routing_configs()))
+        check_count = draw(st.integers(min_value=0, max_value=2))
+        for check_index in range(check_count):
+            state.check(
+                draw(basic_checks(f"check-{index}-{check_index}")),
+                weight=float(draw(st.integers(min_value=1, max_value=3))),
+            )
+        if draw(st.booleans()):
+            state.check(
+                ExceptionCheck(
+                    f"guard-{index}",
+                    MetricCondition.simple(f'errors{{instance="svc"}}', "<100"),
+                    Timer(1.0, 5),
+                    fallback_state="rollback",
+                ),
+                weight=0.0,
+            )
+        if not state._checks:
+            state.dwell(float(draw(st.integers(min_value=1, max_value=60))))
+        follower = names[index + 1] if index + 1 < len(names) else "done"
+        boundary = float(draw(st.integers(min_value=0, max_value=5)))
+        state.transitions([boundary], ["rollback", follower])
+    builder.state("done").route("svc", single_version(VERSIONS[-1])).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(strategies())
+def test_serialize_compile_round_trip(strategy):
+    text = serialize(strategy, make_deployment())
+    compiled = compile_document(text)
+    original = strategy.automaton
+    restored = compiled.strategy.automaton
+
+    assert set(restored.states) == set(original.states)
+    assert restored.start == original.start
+    assert restored.final_states == original.final_states
+
+    for name, original_state in original.states.items():
+        restored_state = restored.states[name]
+        assert restored_state.final == original_state.final
+        assert restored_state.rollback == original_state.rollback
+
+        if original_state.transitions is not None:
+            assert restored_state.transitions is not None
+            assert (
+                restored_state.transitions.ranges.thresholds
+                == original_state.transitions.ranges.thresholds
+            )
+            assert (
+                restored_state.transitions.targets
+                == original_state.transitions.targets
+            )
+
+        # Checks: names, timers, validators, thresholds, weights.
+        original_checks = {c.name: c for c in original_state.checks}
+        restored_checks = {c.name: c for c in restored_state.checks}
+        assert set(restored_checks) == set(original_checks)
+        original_weights = dict(
+            zip((c.name for c in original_state.checks), original_state.weights)
+        )
+        restored_weights = dict(
+            zip((c.name for c in restored_state.checks), restored_state.weights)
+        )
+        for check_name, original_check in original_checks.items():
+            restored_check = restored_checks[check_name]
+            assert restored_check.timer == original_check.timer
+            assert str(restored_check.condition.validator) == str(
+                original_check.condition.validator
+            )
+            assert restored_weights[check_name] == original_weights[check_name]
+            if isinstance(original_check, ExceptionCheck):
+                assert isinstance(restored_check, ExceptionCheck)
+                assert (
+                    restored_check.fallback_state == original_check.fallback_state
+                )
+            else:
+                assert isinstance(restored_check, BasicCheck)
+                assert restored_check.output.ranges == original_check.output.ranges
+                assert restored_check.output.results == original_check.output.results
+
+        # Routing: per-version shares, stickiness, shadows.
+        for service, original_config in original_state.routing.items():
+            restored_config = restored_state.routing[service]
+            original_shares = {
+                s.version: s.percentage
+                for s in original_config.splits
+                if s.percentage > 0
+            }
+            restored_shares = {
+                s.version: s.percentage
+                for s in restored_config.splits
+                if s.percentage > 0
+            }
+            assert restored_shares == original_shares
+            assert restored_config.sticky == original_config.sticky

@@ -1,0 +1,83 @@
+"""Tests for the engine→proxy controllers."""
+
+import pytest
+
+from repro.core import canary_split, single_version
+from repro.httpcore import HttpServer, Response
+from repro.proxy import (
+    BifrostProxy,
+    HttpProxyController,
+    LocalProxyController,
+    ProxyUnreachable,
+)
+
+
+async def test_local_controller_applies_directly():
+    upstream = HttpServer()
+    upstream.router.set_fallback(lambda r: Response.text("ok"))
+    proxy = BifrostProxy("search", default_upstream="127.0.0.1:1")
+    controller = LocalProxyController({"search": proxy})
+    await controller.apply(
+        "search", canary_split("a", "b", 5.0), {"a": "h:1", "b": "h:2"}
+    )
+    assert proxy.active_config is not None
+    assert proxy.active_config.splits[1].percentage == 5.0
+
+
+async def test_local_controller_unknown_service():
+    controller = LocalProxyController()
+    with pytest.raises(ProxyUnreachable):
+        await controller.apply("ghost", single_version("a"), {"a": "h:1"})
+
+
+async def test_http_controller_configures_over_the_wire():
+    proxy = BifrostProxy("search", default_upstream="127.0.0.1:1")
+    await proxy.start()
+    controller = HttpProxyController({"search": proxy.address})
+    try:
+        await controller.apply(
+            "search", canary_split("a", "b", 10.0), {"a": "h:1", "b": "h:2"}
+        )
+        assert proxy.active_config is not None
+        assert proxy.active_config.splits[1].percentage == 10.0
+    finally:
+        await controller.close()
+        await proxy.stop()
+
+
+async def test_http_controller_unknown_service():
+    controller = HttpProxyController({})
+    try:
+        with pytest.raises(ProxyUnreachable):
+            await controller.apply("ghost", single_version("a"), {"a": "h:1"})
+    finally:
+        await controller.close()
+
+
+async def test_http_controller_unreachable_proxy():
+    controller = HttpProxyController({"search": "127.0.0.1:1"})
+    try:
+        with pytest.raises(ProxyUnreachable):
+            await controller.apply("search", single_version("a"), {"a": "h:1"})
+    finally:
+        await controller.close()
+
+
+async def test_http_controller_rejected_config():
+    proxy = BifrostProxy("search", default_upstream="127.0.0.1:1")
+    await proxy.start()
+    controller = HttpProxyController({"search": proxy.address})
+    try:
+        # Endpoints missing for the referenced version -> proxy returns 400.
+        with pytest.raises(ProxyUnreachable):
+            await controller.apply("search", single_version("a"), {})
+    finally:
+        await controller.close()
+        await proxy.stop()
+
+
+async def test_controller_register():
+    controller = HttpProxyController({})
+    controller.register("svc", "127.0.0.1:9999")
+    assert controller.proxies == {"svc": "127.0.0.1:9999"}
+    await controller.close()

@@ -1,0 +1,171 @@
+"""Tests for the proxy's routing decision logic."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FilterKind,
+    RoutingConfig,
+    ShadowRoute,
+    TrafficSplit,
+    ab_split,
+    canary_split,
+    single_version,
+)
+from repro.httpcore import Headers, Request
+from repro.proxy import CLIENT_COOKIE, FilterChain
+
+
+def request_with_cookie(client_id: str | None = None) -> Request:
+    headers = Headers()
+    if client_id:
+        headers.set("Cookie", f"{CLIENT_COOKIE}={client_id}")
+    return Request("GET", "/products", headers)
+
+
+def test_chain_validates_config():
+    with pytest.raises(Exception):
+        FilterChain(RoutingConfig(splits=[TrafficSplit("v", 50.0)]))
+
+
+def test_cookie_mode_issues_uuid_for_new_clients():
+    chain = FilterChain(single_version("stable"))
+    decision = chain.decide(request_with_cookie())
+    assert decision.version == "stable"
+    assert decision.set_cookie
+    assert decision.client_id is not None
+    import uuid
+
+    uuid.UUID(decision.client_id)  # RFC-compliant UUID (paper section 4.2.2)
+
+
+def test_cookie_mode_reuses_existing_uuid():
+    chain = FilterChain(single_version("stable"))
+    decision = chain.decide(request_with_cookie("existing-id"))
+    assert decision.client_id == "existing-id"
+    assert not decision.set_cookie
+
+
+def test_cookie_bucketing_is_deterministic_per_client():
+    chain = FilterChain(canary_split("stable", "canary", 50.0))
+    versions = {chain.decide(request_with_cookie("client-x")).version for _ in range(20)}
+    assert len(versions) == 1
+
+
+def test_cookie_bucketing_approximates_split():
+    chain = FilterChain(canary_split("stable", "canary", 20.0))
+    count = sum(
+        chain.decide(request_with_cookie(f"client-{i}")).version == "canary"
+        for i in range(2000)
+    )
+    assert 300 <= count <= 500  # ~400 expected
+
+
+def test_sticky_assignment_survives_config_change():
+    store_chain = FilterChain(ab_split("a", "b"))
+    client = "sticky-client"
+    first = store_chain.decide(request_with_cookie(client)).version
+    # New chain with different percentages but the same sticky store.
+    moved = RoutingConfig(
+        splits=[TrafficSplit("a", 1.0), TrafficSplit("b", 99.0)], sticky=True
+    )
+    new_chain = FilterChain(moved, sticky_store=store_chain.sticky_store)
+    assert new_chain.decide(request_with_cookie(client)).version == first
+
+
+def test_sticky_assignment_dropped_when_version_gone():
+    chain = FilterChain(ab_split("a", "b"))
+    client = "client-1"
+    first = chain.decide(request_with_cookie(client)).version
+    other = "b" if first == "a" else "a"
+    replacement = RoutingConfig(
+        splits=[TrafficSplit(other, 50.0), TrafficSplit("c", 50.0)], sticky=True
+    )
+    new_chain = FilterChain(replacement, sticky_store=chain.sticky_store)
+    decision = new_chain.decide(request_with_cookie(client))
+    assert decision.version in (other, "c")
+
+
+def test_non_sticky_does_not_memoize():
+    chain = FilterChain(canary_split("stable", "canary", 50.0))
+    chain.decide(request_with_cookie("client-1"))
+    assert len(chain.sticky_store) == 0
+
+
+def test_header_mode_routes_on_group_header():
+    config = RoutingConfig(
+        splits=[TrafficSplit("a", 50.0), TrafficSplit("b", 50.0)],
+        filter_kind=FilterKind.HEADER,
+        header_name="X-Group",
+    )
+    chain = FilterChain(config)
+    request = Request("GET", "/", Headers([("X-Group", "b")]))
+    assert chain.decide(request).version == "b"
+
+
+def test_header_mode_unknown_or_missing_group_falls_back_to_first():
+    config = RoutingConfig(
+        splits=[TrafficSplit("a", 50.0), TrafficSplit("b", 50.0)],
+        filter_kind=FilterKind.HEADER,
+    )
+    chain = FilterChain(config)
+    assert chain.decide(Request("GET", "/")).version == "a"
+    request = Request("GET", "/", Headers([("X-Bifrost-Group", "ghost")]))
+    assert chain.decide(request).version == "a"
+
+
+def test_header_mode_issues_no_cookie():
+    config = RoutingConfig(
+        splits=[TrafficSplit("a", 100.0)], filter_kind=FilterKind.HEADER
+    )
+    decision = FilterChain(config).decide(Request("GET", "/"))
+    assert decision.client_id is None
+    assert not decision.set_cookie
+
+
+def test_shadow_full_duplication():
+    config = RoutingConfig(
+        splits=[TrafficSplit("stable", 100.0)],
+        shadows=[ShadowRoute("stable", "shadow-v", 100.0)],
+    )
+    chain = FilterChain(config)
+    decision = chain.decide(request_with_cookie("c"))
+    assert [s.target_version for s in decision.shadows] == ["shadow-v"]
+
+
+def test_shadow_sampling_respects_percentage():
+    config = RoutingConfig(
+        splits=[TrafficSplit("stable", 100.0)],
+        shadows=[ShadowRoute("stable", "shadow-v", 30.0)],
+    )
+    chain = FilterChain(config, rng=random.Random(42))
+    shadowed = sum(
+        bool(chain.decide(request_with_cookie(f"c{i}")).shadows) for i in range(1000)
+    )
+    assert 250 <= shadowed <= 350
+
+
+def test_shadow_only_fires_for_source_version():
+    config = RoutingConfig(
+        splits=[TrafficSplit("stable", 50.0), TrafficSplit("canary", 50.0)],
+        shadows=[ShadowRoute("canary", "shadow-v", 100.0)],
+    )
+    chain = FilterChain(config)
+    for i in range(200):
+        decision = chain.decide(request_with_cookie(f"c{i}"))
+        if decision.version == "stable":
+            assert decision.shadows == []
+        else:
+            assert len(decision.shadows) == 1
+
+
+def test_zero_percent_shadow_never_fires():
+    config = RoutingConfig(
+        splits=[TrafficSplit("stable", 100.0)],
+        shadows=[ShadowRoute("stable", "shadow-v", 0.0)],
+    )
+    chain = FilterChain(config, rng=random.Random(1))
+    assert all(
+        not chain.decide(request_with_cookie(f"c{i}")).shadows for i in range(100)
+    )

@@ -1,0 +1,122 @@
+"""Tests for the real and virtual clocks."""
+
+import asyncio
+
+import pytest
+
+from repro.clock import RealClock, VirtualClock
+
+
+def test_real_clock_is_monotonic():
+    clock = RealClock()
+    first = clock.now()
+    second = clock.now()
+    assert second >= first
+
+
+async def test_real_clock_sleep_yields():
+    clock = RealClock()
+    before = clock.now()
+    await clock.sleep(0.01)
+    assert clock.now() - before >= 0.005
+
+
+async def test_virtual_clock_starts_at_zero():
+    assert VirtualClock().now() == 0.0
+    assert VirtualClock(start=100.0).now() == 100.0
+
+
+async def test_virtual_sleep_blocks_until_advanced():
+    clock = VirtualClock()
+    done = []
+
+    async def sleeper():
+        await clock.sleep(10)
+        done.append(clock.now())
+
+    task = asyncio.ensure_future(sleeper())
+    await asyncio.sleep(0)
+    assert not done
+    await clock.advance(9.99)
+    assert not done
+    await clock.advance(0.01)
+    assert done == [10.0]
+    await task
+
+
+async def test_virtual_advance_wakes_in_deadline_order():
+    clock = VirtualClock()
+    order = []
+
+    async def sleeper(name, duration):
+        await clock.sleep(duration)
+        order.append(name)
+
+    tasks = [
+        asyncio.ensure_future(sleeper("late", 3)),
+        asyncio.ensure_future(sleeper("early", 1)),
+        asyncio.ensure_future(sleeper("middle", 2)),
+    ]
+    await asyncio.sleep(0)
+    await clock.advance(5)
+    await asyncio.gather(*tasks)
+    assert order == ["early", "middle", "late"]
+
+
+async def test_virtual_sleep_zero_or_negative_returns_immediately():
+    clock = VirtualClock()
+    await clock.sleep(0)
+    await clock.sleep(-1)
+    assert clock.now() == 0.0
+
+
+async def test_virtual_advance_negative_raises():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        await clock.advance(-1)
+
+
+async def test_virtual_repeating_timer_pattern():
+    """A periodic task rescheduling itself fires once per interval."""
+    clock = VirtualClock()
+    fired = []
+
+    async def periodic():
+        while True:
+            await clock.sleep(5)
+            fired.append(clock.now())
+
+    task = asyncio.ensure_future(periodic())
+    await asyncio.sleep(0)
+    await clock.advance(20)
+    task.cancel()
+    assert fired == [5.0, 10.0, 15.0, 20.0]
+
+
+async def test_pending_sleepers_count():
+    clock = VirtualClock()
+    task = asyncio.ensure_future(clock.sleep(5))
+    await asyncio.sleep(0)
+    assert clock.pending_sleepers == 1
+    await clock.advance(5)
+    assert clock.pending_sleepers == 0
+    await task
+
+
+async def test_virtual_advance_partial_then_rest():
+    clock = VirtualClock()
+    woken = []
+
+    async def sleeper():
+        await clock.sleep(4)
+        woken.append(True)
+
+    task = asyncio.ensure_future(sleeper())
+    await asyncio.sleep(0)
+    await clock.advance(2)
+    assert clock.now() == 2.0
+    assert not woken
+    await clock.advance(2)
+    assert clock.now() == 4.0
+    assert woken
+    await task

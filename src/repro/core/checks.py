@@ -163,8 +163,13 @@ class MetricCondition:
         )
 
     async def evaluate(self, providers: dict[str, MetricsProvider]) -> int:
-        """One execution of f_ci: fetch every query, then decide 0 or 1."""
-        values: dict[str, float | None] = {}
+        """One execution of f_ci: fetch every query, then decide 0 or 1.
+
+        Multi-query conditions fan out concurrently: all provider fetches
+        run under ``asyncio.gather``, so a condition costs roughly its
+        slowest query rather than the sum of all query latencies.
+        """
+        resolved: list[tuple[MetricQuery, MetricsProvider]] = []
         for query in self.queries:
             provider = providers.get(query.provider)
             if provider is None:
@@ -172,11 +177,26 @@ class MetricCondition:
                     f"no provider named {query.provider!r} configured; "
                     f"known: {sorted(providers)}"
                 )
+            resolved.append((query, provider))
+
+        async def fetch(query: MetricQuery, provider: MetricsProvider) -> float | None:
             try:
-                values[query.name] = await provider.query(query.query)
+                return await provider.query(query.query)
             except ProviderError as exc:
                 logger.warning("query %r failed: %s", query.query, exc)
-                values[query.name] = None
+                return None
+
+        if len(resolved) == 1:
+            query, provider = resolved[0]
+            values = {query.name: await fetch(query, provider)}
+        else:
+            fetched = await asyncio.gather(
+                *(fetch(query, provider) for query, provider in resolved)
+            )
+            values = {
+                query.name: value
+                for (query, _), value in zip(resolved, fetched)
+            }
         if self.validator is not None:
             subject = self.subject or self.queries[0].name
             return self.validator.check(values[subject])

@@ -6,6 +6,7 @@ the provider interface the Bifrost engine queries.
 """
 
 from .cadvisor import CpuMeter, ResourceSampler, process_cpu_seconds, process_rss_bytes
+from .compile import compile_query
 from .exposition import parse as parse_exposition
 from .exposition import render as render_exposition
 from .provider import (
@@ -24,6 +25,7 @@ from .server import MetricsServer
 from .store import LabelMatcher, MetricStore
 
 __all__ = [
+    "compile_query",
     "Counter",
     "CpuMeter",
     "evaluate",

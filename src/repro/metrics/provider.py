@@ -20,6 +20,7 @@ from urllib.parse import quote
 
 from ..clock import Clock, RealClock
 from ..httpcore import HttpClient
+from .compile import compile_query
 from .query import evaluate_scalar
 from .store import MetricStore
 
@@ -42,16 +43,38 @@ class MetricsProvider:
 
 
 class LocalPrometheusProvider(MetricsProvider):
-    """Evaluates mini-PromQL against an in-process store."""
+    """Evaluates mini-PromQL against an in-process store.
+
+    Query strings go through the compiled-query cache
+    (:mod:`repro.metrics.compile`), and results are memoized per instant:
+    when parallel strategies issue the same query at the same clock tick
+    against an unchanged store (same ``store.generation``), the expression
+    evaluates once and every other caller gets the cached scalar.  Under a
+    real clock ``now()`` differs between calls, so the cache naturally
+    degrades to a no-op; under the virtual clock of the scalability
+    experiments it collapses N identical per-tick queries into one.
+    """
 
     name = "prometheus"
 
     def __init__(self, store: MetricStore, clock: Clock | None = None):
         self.store = store
         self.clock = clock or RealClock()
+        self._instant_cache: dict[str, float | None] = {}
+        self._instant_key: tuple[float, int] | None = None
 
     async def query(self, query: str) -> float | None:
-        return evaluate_scalar(self.store, query, self.clock.now())
+        now = self.clock.now()
+        key = (now, self.store.generation)
+        if key != self._instant_key:
+            self._instant_key = key
+            self._instant_cache.clear()
+        cache = self._instant_cache
+        if query in cache:
+            return cache[query]
+        value = evaluate_scalar(self.store, compile_query(query), now)
+        cache[query] = value
+        return value
 
 
 class HttpPrometheusProvider(MetricsProvider):

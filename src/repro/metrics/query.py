@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable
 
-from .series import Sample
 from .store import LabelMatcher, MetricStore
 
 #: Instant selectors ignore samples older than this, like Prometheus.
@@ -284,64 +284,84 @@ class _Parser:
 
 
 def parse(query: str) -> Expression:
-    """Parse *query* into an expression tree."""
+    """Parse *query* into an expression tree (always a fresh parse)."""
     tokens = _tokenize(query)
     if not tokens:
         raise QueryError("empty query")
     return _Parser(tokens).parse()
 
 
+@lru_cache(maxsize=4096)
+def compile_query(query: str) -> Expression:
+    """Parse *query*, memoizing the result per query string.
+
+    Check conditions evaluate the same handful of query strings on every
+    timer tick; the AST is immutable (frozen dataclasses), so one parse
+    serves every subsequent evaluation.  Parse errors are not cached —
+    ``lru_cache`` does not memoize raised exceptions.
+    """
+    return parse(query)
+
+
 # -- Evaluation ----------------------------------------------------------------
 
 
-def _rate(samples: list[Sample], window: float) -> float | None:
+def _rate(timestamps: list[float], values: list[float], window: float) -> float | None:
     """Per-second increase of a counter over *window* (2+ samples needed).
 
     Counter resets (value decreasing) are compensated the way Prometheus
     does: each drop adds the previous value to the accumulated increase.
+    Operates on parallel timestamp/value arrays — the range functions never
+    see per-point objects.
     """
-    if len(samples) < 2:
+    if len(values) < 2:
         return None
     increase = 0.0
-    for previous, current in zip(samples, samples[1:]):
-        if current.value >= previous.value:
-            increase += current.value - previous.value
+    previous = values[0]
+    for current in values[1:]:
+        if current >= previous:
+            increase += current - previous
         else:  # counter reset
-            increase += current.value
-    elapsed = samples[-1].timestamp - samples[0].timestamp
+            increase += current
+        previous = current
+    elapsed = timestamps[-1] - timestamps[0]
     if elapsed <= 0:
         return None
     return increase / elapsed
 
 
-_RANGE_IMPL: dict[str, Callable[[list[Sample], float], float | None]] = {
+_RANGE_IMPL: dict[str, Callable[[list[float], list[float], float], float | None]] = {
     "rate": _rate,
-    "increase": lambda samples, window: (
-        None if (value := _rate(samples, window)) is None
-        else value * (samples[-1].timestamp - samples[0].timestamp)
+    "increase": lambda timestamps, values, window: (
+        None if (value := _rate(timestamps, values, window)) is None
+        else value * (timestamps[-1] - timestamps[0])
     ),
-    "avg_over_time": lambda samples, _w: (
-        sum(s.value for s in samples) / len(samples) if samples else None
+    "avg_over_time": lambda _t, values, _w: (
+        sum(values) / len(values) if values else None
     ),
-    "min_over_time": lambda samples, _w: (
-        min(s.value for s in samples) if samples else None
+    "min_over_time": lambda _t, values, _w: (
+        min(values) if values else None
     ),
-    "max_over_time": lambda samples, _w: (
-        max(s.value for s in samples) if samples else None
+    "max_over_time": lambda _t, values, _w: (
+        max(values) if values else None
     ),
-    "sum_over_time": lambda samples, _w: (
-        sum(s.value for s in samples) if samples else None
+    "sum_over_time": lambda _t, values, _w: (
+        sum(values) if values else None
     ),
-    "count_over_time": lambda samples, _w: (
-        float(len(samples)) if samples else None
+    "count_over_time": lambda _t, values, _w: (
+        float(len(values)) if values else None
     ),
 }
 
 
 def evaluate(store: MetricStore, expression: Expression | str, at: float) -> list[VectorSample]:
-    """Evaluate an instant query at time *at* against *store*."""
+    """Evaluate an instant query at time *at* against *store*.
+
+    Strings go through the compiled-query cache; callers on a hot loop can
+    also pass a pre-compiled :data:`Expression` directly.
+    """
     if isinstance(expression, str):
-        expression = parse(expression)
+        expression = compile_query(expression)
     return _eval(store, expression, at)
 
 
@@ -366,19 +386,19 @@ def _eval(store: MetricStore, node: Expression, at: float) -> list[VectorSample]
         if node.window is not None:
             raise QueryError("range selector needs a function like rate()")
         result = []
-        for series in store.select(node.name, list(node.matchers)):
-            sample = series.at(at, staleness=STALENESS)
-            if sample is not None:
-                result.append(VectorSample(series.key.label_dict(), sample.value))
+        for series in store.select(node.name, node.matchers):
+            value = series.value_at(at, staleness=STALENESS)
+            if value is not None:
+                result.append(VectorSample(series.key.label_dict(), value))
         return result
     if isinstance(node, FunctionCall):
         selector = node.argument
         window = selector.window or 0.0
         implementation = _RANGE_IMPL[node.function]
         result = []
-        for series in store.select(selector.name, list(selector.matchers)):
-            samples = series.window(at - window, at)
-            value = implementation(samples, window)
+        for series in store.select(selector.name, selector.matchers):
+            timestamps, values = series.window_arrays(at - window, at)
+            value = implementation(timestamps, values, window)
             if value is not None:
                 result.append(VectorSample(series.key.label_dict(), value))
         return result
@@ -418,7 +438,7 @@ def _histogram_quantile(
     the "clamp to the highest finite bound" rule for the +Inf bucket.
     """
     groups: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]] = {}
-    for series in store.select(node.argument.name, list(node.argument.matchers)):
+    for series in store.select(node.argument.name, node.argument.matchers):
         labels = series.key.label_dict()
         raw_bound = labels.pop("le", None)
         if raw_bound is None:
@@ -427,11 +447,11 @@ def _histogram_quantile(
             bound = float("inf") if raw_bound == "+Inf" else float(raw_bound)
         except ValueError:
             continue
-        sample = series.at(at, staleness=STALENESS)
-        if sample is None:
+        value = series.value_at(at, staleness=STALENESS)
+        if value is None:
             continue
         key = tuple(sorted(labels.items()))
-        groups.setdefault(key, []).append((bound, sample.value))
+        groups.setdefault(key, []).append((bound, value))
 
     result = []
     for key, buckets in groups.items():

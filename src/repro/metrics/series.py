@@ -82,10 +82,44 @@ class TimeSeries:
             return None
         return Sample(self._timestamps[index], self._values[index])
 
-    def window(self, start: float, end: float) -> list[Sample]:
-        """All samples with ``start < timestamp <= end`` (range selector)."""
+    def value_at(self, timestamp: float, staleness: float = float("inf")) -> float | None:
+        """Like :meth:`at` but returns the bare value, allocating nothing."""
+        index = bisect.bisect_right(self._timestamps, timestamp) - 1
+        if index < 0:
+            return None
+        if timestamp - self._timestamps[index] > staleness:
+            return None
+        return self._values[index]
+
+    @property
+    def oldest_timestamp(self) -> float | None:
+        """Timestamp of the first retained sample, or ``None`` when empty."""
+        return self._timestamps[0] if self._timestamps else None
+
+    def window_bounds(self, start: float, end: float) -> tuple[int, int]:
+        """Index bounds ``(lo, hi)`` of samples with ``start < t <= end``.
+
+        The zero-copy primitive behind :meth:`window` and
+        :meth:`window_arrays`: nothing is materialized, callers index the
+        underlying arrays directly.
+        """
         lo = bisect.bisect_right(self._timestamps, start)
         hi = bisect.bisect_right(self._timestamps, end)
+        return lo, hi
+
+    def window_arrays(self, start: float, end: float) -> tuple[list[float], list[float]]:
+        """Timestamp/value array slices for the range selector window.
+
+        Two plain ``list[float]`` slices instead of one :class:`Sample`
+        object per point — the allocation-light path the range functions
+        (``rate``, ``*_over_time``) iterate over.
+        """
+        lo, hi = self.window_bounds(start, end)
+        return self._timestamps[lo:hi], self._values[lo:hi]
+
+    def window(self, start: float, end: float) -> list[Sample]:
+        """All samples with ``start < timestamp <= end`` (range selector)."""
+        lo, hi = self.window_bounds(start, end)
         return [
             Sample(self._timestamps[i], self._values[i]) for i in range(lo, hi)
         ]

@@ -5,14 +5,28 @@ queries (metric name + label matchers).  The Bifrost engine never touches
 this directly; it goes through the query language
 (:mod:`repro.metrics.query`) or over HTTP (:mod:`repro.metrics.server`),
 matching the paper's engine→Prometheus integration.
+
+Selectors are the hot path — every check tick of every parallel strategy
+lands here — so the store keeps a per-metric-name index (``select`` touches
+only series of that name, not all series), memoizes compiled anchored
+regexes for ``=~``/``!~`` matchers, and caches resolved ``(name, matchers)``
+selector results until a new series appears under that name.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
 
 from .series import SeriesKey, TimeSeries
+
+
+@lru_cache(maxsize=1024)
+def _compile_anchored(pattern: str) -> re.Pattern[str]:
+    """Compiled ``^(?:pattern)$`` — shared by every ``=~``/``!~`` matcher."""
+    return re.compile(f"^(?:{pattern})$")
 
 
 @dataclass(frozen=True)
@@ -33,7 +47,7 @@ class LabelMatcher:
             return actual == self.value
         if self.op == "!=":
             return actual != self.value
-        anchored = re.compile(f"^(?:{self.value})$")
+        anchored = _compile_anchored(self.value)
         if self.op == "=~":
             return bool(anchored.match(actual))
         return not anchored.match(actual)
@@ -46,6 +60,12 @@ class MetricStore:
         #: Samples older than ``now - retention`` are dropped on ingest.
         self.retention = retention
         self._series: dict[SeriesKey, TimeSeries] = {}
+        #: Name index: every series bucketed by metric name.
+        self._by_name: dict[str, list[TimeSeries]] = {}
+        #: Resolved selector cache, invalidated per name on series creation.
+        self._selector_cache: dict[str, dict[tuple[LabelMatcher, ...], list[TimeSeries]]] = {}
+        #: Bumped on every mutation; lets callers detect "store changed".
+        self.generation = 0
 
     def record(
         self,
@@ -60,31 +80,53 @@ class MetricStore:
         if series is None:
             series = TimeSeries(key)
             self._series[key] = series
+            self._by_name.setdefault(name, []).append(series)
+            # A new series can change what any cached selector for this
+            # name matches, so resolved selectors start over.
+            self._selector_cache.pop(name, None)
         series.append(timestamp, value)
         if self.retention is not None:
-            series.drop_before(timestamp - self.retention)
+            # O(1) guard: only pay the bisect + list surgery when the
+            # oldest retained sample has actually expired.
+            oldest = series.oldest_timestamp
+            if oldest is not None and oldest < timestamp - self.retention:
+                series.drop_before(timestamp - self.retention)
+        self.generation += 1
 
     def series(self, key: SeriesKey) -> TimeSeries | None:
         return self._series.get(key)
 
-    def select(self, name: str, matchers: list[LabelMatcher] | None = None) -> list[TimeSeries]:
+    def select(
+        self, name: str, matchers: Sequence[LabelMatcher] | None = None
+    ) -> list[TimeSeries]:
         """All series with metric *name* whose labels satisfy *matchers*."""
-        matchers = matchers or []
+        bucket = self._by_name.get(name)
+        if bucket is None:
+            return []
+        if not matchers:
+            return list(bucket)
+        cache_key = tuple(matchers)
+        by_matchers = self._selector_cache.setdefault(name, {})
+        cached = by_matchers.get(cache_key)
+        if cached is not None:
+            return list(cached)
         found = []
-        for key, series in self._series.items():
-            if key.name != name:
-                continue
-            labels = key.label_dict()
+        for series in bucket:
+            labels = series.key.label_dict()
             if all(matcher.matches(labels) for matcher in matchers):
                 found.append(series)
-        return found
+        by_matchers[cache_key] = found
+        return list(found)
 
     def names(self) -> set[str]:
         """All metric names with at least one series."""
-        return {key.name for key in self._series}
+        return set(self._by_name)
 
     def __len__(self) -> int:
         return len(self._series)
 
     def clear(self) -> None:
         self._series.clear()
+        self._by_name.clear()
+        self._selector_cache.clear()
+        self.generation += 1

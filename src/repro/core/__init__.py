@@ -18,11 +18,13 @@ from .checks import (
     Comparison,
     CheckResult,
     CheckRunner,
+    ConditionEvaluation,
     ExceptionCheck,
     ExceptionTriggered,
     Execution,
     MetricCondition,
     MetricQuery,
+    ProviderErrorPolicy,
     Timer,
     simple_basic_check,
 )
@@ -87,6 +89,8 @@ __all__ = [
     "CheckResult",
     "CheckRunner",
     "Comparison",
+    "ConditionEvaluation",
+    "ProviderErrorPolicy",
     "distribution",
     "Engine",
     "Event",

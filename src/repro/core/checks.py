@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import re
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable
 
@@ -103,6 +104,77 @@ class Comparison:
         return f"{self.left} {self.op} {self.right}"
 
 
+_TOLERATE = re.compile(r"^tolerate\((\d+)\)$")
+
+
+@dataclass(frozen=True)
+class ProviderErrorPolicy:
+    """What an exception check does when its monitoring data is unavailable.
+
+    A provider error is not evidence about the release — the canary may be
+    perfectly healthy while Prometheus reboots.  The policy decides how an
+    exception check treats such a tick:
+
+    * ``trigger`` (default, the historical behavior) — unavailable data is
+      treated as a failed execution and trips the fallback immediately;
+      maximally conservative.
+    * ``tolerate(n)`` — up to *n* consecutive data-unavailable executions
+      are recorded as failures but do not trip the fallback; the (n+1)-th
+      consecutive one does.  Any tick with data resets the run.
+    * ``hold`` — a data-unavailable tick is not counted at all (neither
+      success nor failure); the check simply has one observation fewer.
+    """
+
+    mode: str = "trigger"
+    tolerance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("trigger", "tolerate", "hold"):
+            raise CheckError(
+                f"unknown provider-error mode {self.mode!r}; "
+                "expected trigger, tolerate, or hold"
+            )
+        if self.mode == "tolerate" and self.tolerance < 1:
+            raise CheckError(
+                f"tolerate needs a tolerance >= 1, got {self.tolerance}"
+            )
+        if self.mode != "tolerate" and self.tolerance != 0:
+            raise CheckError(f"{self.mode!r} does not take a tolerance")
+
+    @classmethod
+    def parse(cls, text: str) -> "ProviderErrorPolicy":
+        """Parse the DSL form: ``trigger``, ``hold``, or ``tolerate(n)``."""
+        if text in ("trigger", "hold"):
+            return cls(mode=text)
+        match = _TOLERATE.match(text)
+        if match is not None:
+            return cls(mode="tolerate", tolerance=int(match.group(1)))
+        raise CheckError(
+            f"bad onProviderError value {text!r}; "
+            "expected 'trigger', 'hold', or 'tolerate(<n>)'"
+        )
+
+    def __str__(self) -> str:
+        if self.mode == "tolerate":
+            return f"tolerate({self.tolerance})"
+        return self.mode
+
+
+@dataclass(frozen=True)
+class ConditionEvaluation:
+    """One execution of f_ci, with provenance.
+
+    ``result`` is the 0/1 decision exactly as :meth:`MetricCondition.evaluate`
+    returns it (no data can never pass).  ``data_available`` records whether
+    the metrics the decision rule consulted were actually present — the
+    difference between "the check failed" and "we could not look".
+    """
+
+    result: int
+    data_available: bool
+    errors: tuple[str, ...] = ()
+
+
 @dataclass
 class MetricCondition:
     """f_ci — fetch Ω_i from providers and decide pass/fail.
@@ -163,11 +235,21 @@ class MetricCondition:
         )
 
     async def evaluate(self, providers: dict[str, MetricsProvider]) -> int:
-        """One execution of f_ci: fetch every query, then decide 0 or 1.
+        """One execution of f_ci: fetch every query, then decide 0 or 1."""
+        return (await self.evaluate_detailed(providers)).result
+
+    async def evaluate_detailed(
+        self, providers: dict[str, MetricsProvider]
+    ) -> ConditionEvaluation:
+        """One execution of f_ci, distinguishing *failed* from *no data*.
 
         Multi-query conditions fan out concurrently: all provider fetches
         run under ``asyncio.gather``, so a condition costs roughly its
-        slowest query rather than the sum of all query latencies.
+        slowest query rather than the sum of all query latencies.  Any
+        provider exception — ``ProviderError`` or an unexpected one a
+        backend leaks (``ConnectionError``, ``OSError``, ...) — downgrades
+        that metric to "no data" rather than crashing the enactment; only
+        ``CancelledError`` propagates.
         """
         resolved: list[tuple[MetricQuery, MetricsProvider]] = []
         for query in self.queries:
@@ -179,11 +261,23 @@ class MetricCondition:
                 )
             resolved.append((query, provider))
 
+        errors: list[str] = []
+
         async def fetch(query: MetricQuery, provider: MetricsProvider) -> float | None:
             try:
                 return await provider.query(query.query)
+            except asyncio.CancelledError:
+                raise
             except ProviderError as exc:
                 logger.warning("query %r failed: %s", query.query, exc)
+                errors.append(f"{query.name}: {exc}")
+                return None
+            except Exception as exc:
+                logger.exception(
+                    "query %r raised unexpectedly; treating as no data",
+                    query.query,
+                )
+                errors.append(f"{query.name}: {type(exc).__name__}: {exc}")
                 return None
 
         if len(resolved) == 1:
@@ -199,17 +293,29 @@ class MetricCondition:
             }
         if self.validator is not None:
             subject = self.subject or self.queries[0].name
-            return self.validator.check(values[subject])
+            return ConditionEvaluation(
+                result=self.validator.check(values[subject]),
+                data_available=values[subject] is not None,
+                errors=tuple(errors),
+            )
         if self.comparison is not None:
-            return self.comparison.check(
-                values[self.comparison.left], values[self.comparison.right]
+            left = values[self.comparison.left]
+            right = values[self.comparison.right]
+            return ConditionEvaluation(
+                result=self.comparison.check(left, right),
+                data_available=left is not None and right is not None,
+                errors=tuple(errors),
             )
         assert self.predicate is not None
+        available = all(value is not None for value in values.values())
         try:
-            return 1 if self.predicate(values) else 0
+            result = 1 if self.predicate(values) else 0
         except Exception:
             logger.exception("check predicate raised; counting as failure")
-            return 0
+            result = 0
+        return ConditionEvaluation(
+            result=result, data_available=available, errors=tuple(errors)
+        )
 
 
 @dataclass(frozen=True)
@@ -232,12 +338,20 @@ class BasicCheck:
 
 @dataclass
 class ExceptionCheck:
-    """⟨f_ci, Ω_i, τ, s_j⟩ — any failed execution jumps to *fallback_state*."""
+    """⟨f_ci, Ω_i, τ, s_j⟩ — any failed execution jumps to *fallback_state*.
+
+    ``on_provider_error`` governs executions whose monitoring data was
+    unavailable (see :class:`ProviderErrorPolicy`); executions that *saw*
+    data and failed always trigger.
+    """
 
     name: str
     condition: MetricCondition
     timer: Timer
     fallback_state: str
+    on_provider_error: ProviderErrorPolicy = field(
+        default_factory=ProviderErrorPolicy
+    )
 
 
 Check = BasicCheck | ExceptionCheck
@@ -290,11 +404,36 @@ class CheckRunner:
     async def run(self) -> CheckResult:
         executions: list[Execution] = []
         total = 0
+        consecutive_no_data = 0
         timer = self.check.timer
         for _ in range(timer.repetitions):
             await self.clock.sleep(timer.interval)
-            result = await self.check.condition.evaluate(self.providers)
-            execution = Execution(at=self.clock.now(), result=result)
+            evaluation = await self.check.condition.evaluate_detailed(self.providers)
+            at = self.clock.now()
+            if isinstance(self.check, ExceptionCheck) and not evaluation.data_available:
+                policy = self.check.on_provider_error
+                if policy.mode == "hold":
+                    # The tick is not counted: no execution recorded, no
+                    # trigger — the check simply has one observation fewer.
+                    logger.warning(
+                        "check %r held a tick (no data): %s",
+                        self.check.name,
+                        "; ".join(evaluation.errors),
+                    )
+                    continue
+                if policy.mode == "tolerate":
+                    consecutive_no_data += 1
+                    execution = Execution(at=at, result=0)
+                    executions.append(execution)
+                    await self._notify(execution)
+                    if consecutive_no_data > policy.tolerance:
+                        raise ExceptionTriggered(self.check, at)
+                    continue
+                # "trigger": fall through — no data is a failed execution.
+            else:
+                consecutive_no_data = 0
+            result = evaluation.result
+            execution = Execution(at=at, result=result)
             executions.append(execution)
             total += result
             await self._notify(execution)

@@ -33,7 +33,7 @@ from .checks import CheckResult, CheckRunner, ExceptionTriggered
 from .events import Event, EventBus, EventKind
 from .model import ModelError, Strategy
 from .outcome import weighted_outcome
-from .routing import RoutingConfig
+from .routing import RoutingConfig, single_version
 
 logger = logging.getLogger(__name__)
 
@@ -142,6 +142,7 @@ class StrategyExecution:
         bus: EventBus,
         clock: Clock,
         max_visits: int | None = None,
+        safe_routing: dict[str, RoutingConfig] | None = None,
     ):
         if strategy.automaton is None:
             raise ModelError(f"strategy {strategy.name!r} has no automaton")
@@ -152,10 +153,17 @@ class StrategyExecution:
         self.bus = bus
         self.clock = clock
         self.max_visits = max_visits or self.DEFAULT_MAX_VISITS
+        self.safe_routing = dict(safe_routing or {})
         self.status = ExecutionStatus.PENDING
         self.current_state: str | None = None
         self.visits: list[StateVisit] = []
         self._started_at = 0.0
+        #: First routing config this execution applied per service — the
+        #: entry state, used to infer a safe fallback (its majority-share
+        #: version is the pre-rollout stable).
+        self._entry_configs: dict[str, RoutingConfig] = {}
+        #: Last routing config successfully applied per service.
+        self._last_applied: dict[str, RoutingConfig] = {}
         # Operator pause gate: checked between states, so the in-flight
         # phase always completes before the execution holds.
         self._gate = asyncio.Event()
@@ -206,10 +214,19 @@ class StrategyExecution:
             )
         except asyncio.CancelledError:
             self.status = ExecutionStatus.FAILED
+            await self._recover_after_cancel()
             raise
         except Exception as exc:
             self.status = ExecutionStatus.FAILED
             logger.exception("enactment of %s failed", self.strategy.name)
+            try:
+                await self._restore_safe_routing("failed")
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                logger.exception(
+                    "safe-routing recovery for %s failed", self.strategy.name
+                )
             await self._publish(EventKind.STRATEGY_FAILED, {"error": str(exc)})
             return self._report(error=str(exc))
 
@@ -246,6 +263,82 @@ class StrategyExecution:
                 if fallback is not None:
                     fallbacks.add(fallback)
         return fallbacks
+
+    # -- safe-routing recovery -------------------------------------------
+
+    def _safe_config_for(self, service: str) -> RoutingConfig | None:
+        """The routing this service should hold if the enactment dies.
+
+        Precedence: an explicit ``safe_routing`` entry, then the first
+        rollback final state that routes the service (the strategy's own
+        declared safe harbor), then 100% to the majority-share version of
+        the config the execution *entered* with (the pre-rollout stable).
+        """
+        explicit = self.safe_routing.get(service)
+        if explicit is not None:
+            return explicit
+        automaton = self.strategy.automaton
+        assert automaton is not None
+        fallbacks = self._rollback_states()
+        for state in automaton.states.values():
+            if not state.final:
+                continue
+            if (state.rollback or state.name in fallbacks) and service in state.routing:
+                return state.routing[service]
+        entry = self._entry_configs.get(service)
+        if entry is None or not entry.splits:
+            return None
+        majority = max(entry.splits, key=lambda split: split.percentage)
+        return single_version(majority.version)
+
+    async def _restore_safe_routing(self, reason: str) -> None:
+        """Drive every touched service to its safe routing, best effort.
+
+        Called when an enactment fails or is cancelled, so a crash never
+        strands a half-applied canary split.  Each service is attempted
+        independently: one dead proxy must not keep the others stranded.
+        """
+        for service in list(self._entry_configs):
+            config = self._safe_config_for(service)
+            if config is None or self._last_applied.get(service) == config:
+                continue
+            try:
+                endpoints = self._endpoints_for(service, config)
+                await self.controller.apply(service, config, endpoints)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                await self._publish(
+                    EventKind.SAFE_ROUTING_FAILED,
+                    {"service": service, "reason": reason, "error": str(exc)},
+                )
+                continue
+            self._last_applied[service] = config
+            await self._publish(
+                EventKind.SAFE_ROUTING_APPLIED,
+                {"service": service, "reason": reason, "config": config.to_wire()},
+            )
+
+    async def _recover_after_cancel(self) -> None:
+        """Run safe-routing recovery from inside a CancelledError handler.
+
+        The engine's ``cancel`` may re-issue ``task.cancel()`` while this
+        runs (the Python 3.11 swallowed-cancellation workaround), so the
+        recovery is shielded and re-awaited a bounded number of times; if
+        cancellation keeps landing, the recovery itself is abandoned.
+        """
+        recovery = asyncio.ensure_future(self._restore_safe_routing("cancelled"))
+        try:
+            for _ in range(32):
+                try:
+                    await asyncio.shield(recovery)
+                    return
+                except asyncio.CancelledError:
+                    if recovery.done():
+                        return
+        finally:
+            if not recovery.done():
+                recovery.cancel()
 
     async def _execute_state(self, state: State) -> StateVisit:
         visit = StateVisit(state=state.name, entered_at=self.clock.now())
@@ -292,7 +385,11 @@ class StrategyExecution:
     async def _apply_routing(self, state: State) -> None:
         for service_name, config in state.routing.items():
             endpoints = self._endpoints_for(service_name, config)
+            # Count the service as touched *before* applying: a crash
+            # mid-apply may have left the proxy in either config.
+            self._entry_configs.setdefault(service_name, config)
             await self.controller.apply(service_name, config, endpoints)
+            self._last_applied[service_name] = config
             await self._publish(
                 EventKind.ROUTING_APPLIED,
                 {
@@ -406,6 +503,7 @@ class Engine:
         max_visits: int | None = None,
         delay: float = 0.0,
         exclusive: bool = False,
+        safe_routing: dict[str, RoutingConfig] | None = None,
     ) -> str:
         """Validate and start enacting *strategy*; returns an execution id.
 
@@ -420,6 +518,11 @@ class Engine:
         routing; claims turn that into an explicit scheduling decision.
         (The paper's scalability experiment deliberately runs identical
         strategies against one proxy, so sharing stays the default.)
+
+        With *safe_routing* (service name → config), a failed or cancelled
+        enactment drives those services to the given configs instead of the
+        inferred safe state (rollback-state routing, else single-version
+        stable).
         """
         strategy.validate()
         if delay < 0:
@@ -444,6 +547,7 @@ class Engine:
             bus=self.bus,
             clock=self.clock,
             max_visits=max_visits,
+            safe_routing=safe_routing,
         )
         self._executions[execution_id] = execution
 
@@ -500,21 +604,41 @@ class Engine:
             return []
         return list(await asyncio.gather(*self._tasks.values()))
 
+    #: How many times ``cancel`` re-issues ``task.cancel()`` before giving
+    #: up; the workaround for asyncio.wait_for swallowing a cancellation
+    #: that races with the inner future's completion on Python 3.11.
+    MAX_CANCEL_ATTEMPTS = 25
+
     async def cancel(self, execution_id: str) -> None:
         task = self._tasks.get(execution_id)
         if task is None:
             return
-        # asyncio.wait_for (used inside the HTTP client the execution may
-        # currently be blocked in) can swallow a cancellation that races
-        # with the inner future's completion on Python 3.11.  Re-issue the
-        # cancel until the task actually finishes.
-        while not task.done():
+        for _ in range(self.MAX_CANCEL_ATTEMPTS):
+            if task.done():
+                break
             task.cancel()
-            await asyncio.wait([task], timeout=0.1)
-        try:
-            task.result()
-        except (asyncio.CancelledError, Exception):
-            pass
+            # Give the loop a chance to deliver the cancellation (and let
+            # safe-routing recovery finish) via plain yields first: under a
+            # VirtualClock no wall time ever needs to pass, and a real-time
+            # wait per spin would stall virtual-clock test suites.
+            for _ in range(20):
+                if task.done():
+                    break
+                await asyncio.sleep(0)
+            if task.done():
+                break
+            await asyncio.wait([task], timeout=0.05)
+        if task.done():
+            try:
+                task.result()
+            except (asyncio.CancelledError, Exception):
+                pass
+        else:
+            logger.warning(
+                "execution %r still running after %d cancel attempts",
+                execution_id,
+                self.MAX_CANCEL_ATTEMPTS,
+            )
         execution = self._executions.get(execution_id)
         if execution is not None and execution.status in (
             ExecutionStatus.PENDING,

@@ -34,6 +34,7 @@ from ..core.checks import (
     ExceptionCheck,
     MetricCondition,
     MetricQuery,
+    ProviderErrorPolicy,
     Timer,
 )
 from ..core.model import Service, ServiceVersion, Strategy
@@ -51,6 +52,7 @@ from .schema import (
     get_required,
     int_field,
     number_field,
+    optional_str_field,
     reject_unknown_keys,
     str_field,
 )
@@ -96,6 +98,7 @@ _METRIC_KEYS = {
     "weight",
     "type",
     "fallback",
+    "onProviderError",
 }
 
 
@@ -427,6 +430,12 @@ class _Compiler:
             interval = number_field(metric, "intervalTime", metric_path)
             repetitions = int_field(metric, "intervalLimit", metric_path)
             check_type = str_field(metric, "type", metric_path, "basic")
+            policy_raw = optional_str_field(metric, "onProviderError", metric_path)
+            if policy_raw is not None and check_type != "exception":
+                raise DslError(
+                    "'onProviderError' applies only to exception checks",
+                    f"{metric_path}.onProviderError",
+                )
             try:
                 condition = self._parse_condition(metric, name, metric_path)
                 timer = Timer(interval, repetitions)
@@ -443,12 +452,18 @@ class _Compiler:
                     weights.append(number_field(metric, "weight", metric_path, 1.0))
                 elif check_type == "exception":
                     fallback = str_field(metric, "fallback", metric_path)
+                    policy = (
+                        ProviderErrorPolicy.parse(policy_raw)
+                        if policy_raw is not None
+                        else ProviderErrorPolicy()
+                    )
                     checks.append(
                         ExceptionCheck(
                             name=name,
                             condition=condition,
                             timer=timer,
                             fallback_state=fallback,
+                            on_provider_error=policy,
                         )
                     )
                     # An exception check's success count must not shift the
@@ -529,9 +544,7 @@ class _Compiler:
             comparison = _parse_comparison(expression, f"{metric_path}.compare")
             return MetricCondition(queries=tuple(queries), comparison=comparison)
         validator = str_field(metric, "validator", metric_path)
-        subject = metric.get("subject")
-        if subject is not None:
-            subject = expect_str(subject, f"{metric_path}.subject")
+        subject = optional_str_field(metric, "subject", metric_path)
         return MetricCondition(
             queries=tuple(queries),
             validator=Validator.parse(validator),

@@ -74,6 +74,14 @@ def str_field(mapping: dict[str, Any], key: str, path: str, default: str | None 
     return expect_str(mapping[key], f"{path}.{key}")
 
 
+def optional_str_field(mapping: dict[str, Any], key: str, path: str) -> str | None:
+    """A string field that may be absent (``None``), unlike ``str_field``
+    whose ``None`` default means *required*."""
+    if key not in mapping:
+        return None
+    return expect_str(mapping[key], f"{path}.{key}")
+
+
 def number_field(
     mapping: dict[str, Any], key: str, path: str, default: float | None = None
 ) -> float:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..core.automaton import State
-from ..core.checks import BasicCheck, ExceptionCheck
+from ..core.checks import BasicCheck, ExceptionCheck, ProviderErrorPolicy
 from ..core.model import Strategy
 from ..core.routing import RoutingConfig
 from .deployment import Deployment
@@ -167,6 +167,8 @@ def _check_body(check, weight: float) -> dict[str, Any]:
     if isinstance(check, ExceptionCheck):
         metric["type"] = "exception"
         metric["fallback"] = check.fallback_state
+        if check.on_provider_error != ProviderErrorPolicy():
+            metric["onProviderError"] = str(check.on_provider_error)
         if weight:
             metric["weight"] = weight
     else:

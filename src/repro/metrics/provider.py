@@ -16,6 +16,7 @@ seam:
 
 from __future__ import annotations
 
+import asyncio
 from urllib.parse import quote
 
 from ..clock import Clock, RealClock
@@ -78,7 +79,15 @@ class LocalPrometheusProvider(MetricsProvider):
 
 
 class HttpPrometheusProvider(MetricsProvider):
-    """Queries a metrics server's ``/api/v1/query`` endpoint."""
+    """Queries a metrics server's ``/api/v1/query`` endpoint.
+
+    Identical queries issued concurrently are *single-flighted*: the first
+    caller performs the HTTP request and every overlapping caller awaits
+    the same in-flight result — the network analogue of
+    :class:`LocalPrometheusProvider`'s per-(tick, generation) memo.  When
+    N parallel strategies run the same per-tick check, the server sees one
+    request instead of N.
+    """
 
     name = "prometheus"
 
@@ -86,8 +95,42 @@ class HttpPrometheusProvider(MetricsProvider):
         self.base_url = base_url.rstrip("/")
         self._client = client or HttpClient(timeout=10.0)
         self._owns_client = client is None
+        self._inflight: dict[str, asyncio.Future[float | None]] = {}
+        #: How many calls were answered by piggybacking on an in-flight
+        #: request (observability for tests and benchmarks).
+        self.coalesced = 0
 
     async def query(self, query: str) -> float | None:
+        existing = self._inflight.get(query)
+        if existing is not None:
+            self.coalesced += 1
+            # Shield: one cancelled follower must not cancel the shared
+            # fetch out from under the leader and the other followers.
+            return await asyncio.shield(existing)
+        future: asyncio.Future[float | None] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[query] = future
+        try:
+            value = await self._fetch(query)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.cancel()
+            raise
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Followers hold their own reference; mark the exception
+                # retrieved so a follower-less failure does not warn.
+                future.exception()
+            raise
+        else:
+            future.set_result(value)
+            return value
+        finally:
+            self._inflight.pop(query, None)
+
+    async def _fetch(self, query: str) -> float | None:
         url = f"{self.base_url}/api/v1/query?query={quote(query)}"
         try:
             response = await self._client.get(url)

@@ -1,0 +1,46 @@
+"""Resilience layer: policies, wrappers, and deterministic fault injection.
+
+The engine survives flaky dependencies instead of equating them with bad
+releases: see :mod:`repro.resilience.policy` for the building blocks,
+:mod:`repro.resilience.wrappers` for the provider/controller decorators,
+and :mod:`repro.resilience.faults` for the test toolkit that proves it.
+"""
+
+from .faults import (
+    ErrorFault,
+    Fault,
+    FaultSchedule,
+    FaultyController,
+    FaultyProvider,
+    HangFault,
+    LatencyFault,
+)
+from .policy import (
+    BreakerOpenError,
+    BreakerState,
+    CircuitBreaker,
+    ResilienceError,
+    RetryPolicy,
+    Timeout,
+    TimeoutExceeded,
+)
+from .wrappers import ResilientController, ResilientProvider
+
+__all__ = [
+    "BreakerOpenError",
+    "BreakerState",
+    "CircuitBreaker",
+    "ErrorFault",
+    "Fault",
+    "FaultSchedule",
+    "FaultyController",
+    "FaultyProvider",
+    "HangFault",
+    "LatencyFault",
+    "ResilienceError",
+    "ResilientController",
+    "ResilientProvider",
+    "RetryPolicy",
+    "Timeout",
+    "TimeoutExceeded",
+]

@@ -1,0 +1,180 @@
+"""Deterministic fault injection for providers and controllers.
+
+Resilience code is only trustworthy if its failure paths are exercised,
+and failure paths are only testable if failures happen *on schedule*.
+This toolkit wraps the same two seams the resilient wrappers protect:
+
+* :class:`FaultSchedule` — decides, per call, whether a fault fires.
+  Rules are pure functions of ``(call_index, clock_now)``, so a given
+  schedule against a given workload always injects the same faults.
+* :class:`ErrorFault` / :class:`LatencyFault` / :class:`HangFault` — what
+  firing means: raise (any exception type — ``ProviderError``, raw
+  ``ConnectionError``, ...), delay by clock time, or park ~forever (to be
+  killed by a :class:`~repro.resilience.policy.Timeout` or cancellation).
+* :class:`FaultyProvider` / :class:`FaultyController` — the wrappers,
+  recording every injection for assertions.
+
+Everything sleeps on the injected clock, so a "30 s outage" costs a
+virtual-clock test nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..clock import Clock, RealClock
+from ..core.engine import ProxyController
+from ..core.routing import RoutingConfig
+from ..metrics.provider import MetricsProvider, ProviderError
+
+
+@dataclass(frozen=True)
+class ErrorFault:
+    """Raise *exception*(*message*) instead of performing the call."""
+
+    message: str = "injected fault"
+    exception: type[Exception] = ProviderError
+
+    async def apply(self, clock: Clock) -> None:
+        raise self.exception(self.message)
+
+
+@dataclass(frozen=True)
+class LatencyFault:
+    """Delay the call by *seconds* of clock time, then let it proceed."""
+
+    seconds: float
+
+    async def apply(self, clock: Clock) -> None:
+        await clock.sleep(self.seconds)
+
+
+@dataclass(frozen=True)
+class HangFault:
+    """Park the call for effectively forever (default ~32 clock-years).
+
+    Intended to be ended by a timeout policy or task cancellation; if the
+    sleep somehow completes, the call still fails loudly.
+    """
+
+    seconds: float = 1e9
+
+    async def apply(self, clock: Clock) -> None:
+        await clock.sleep(self.seconds)
+        raise ProviderError(f"hung call woke up after {self.seconds}s")
+
+
+Fault = ErrorFault | LatencyFault | HangFault
+
+#: (call_index starting at 1, clock now) -> does this rule's fault fire?
+FaultRule = Callable[[int, float], bool]
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered list of (rule, fault) pairs; first matching rule wins."""
+
+    rules: list[tuple[FaultRule, Fault]] = field(default_factory=list)
+
+    def add(self, rule: FaultRule, fault: Fault | None = None) -> "FaultSchedule":
+        self.rules.append((rule, fault or ErrorFault()))
+        return self
+
+    def fault_for(self, index: int, now: float) -> Fault | None:
+        for rule, fault in self.rules:
+            if rule(index, now):
+                return fault
+        return None
+
+    # -- common shapes ----------------------------------------------------
+
+    @classmethod
+    def never(cls) -> "FaultSchedule":
+        return cls()
+
+    @classmethod
+    def always(cls, fault: Fault | None = None) -> "FaultSchedule":
+        """A dead dependency: every call faults."""
+        return cls().add(lambda index, now: True, fault)
+
+    @classmethod
+    def every(cls, n: int, fault: Fault | None = None) -> "FaultSchedule":
+        """Fail 1 of every *n* calls (call numbers n, 2n, 3n, ...)."""
+        if n < 1:
+            raise ValueError(f"every() needs n >= 1, got {n}")
+        return cls().add(lambda index, now: index % n == 0, fault)
+
+    @classmethod
+    def first(cls, n: int, fault: Fault | None = None) -> "FaultSchedule":
+        """A dependency that is down at startup: the first *n* calls fault."""
+        return cls().add(lambda index, now: index <= n, fault)
+
+    @classmethod
+    def calls(cls, indices: Iterable[int], fault: Fault | None = None) -> "FaultSchedule":
+        """Fault exactly the given 1-based call numbers."""
+        frozen = frozenset(indices)
+        return cls().add(lambda index, now: index in frozen, fault)
+
+    @classmethod
+    def during(
+        cls, start: float, end: float, fault: Fault | None = None
+    ) -> "FaultSchedule":
+        """An outage window on the clock: faults while start <= now < end."""
+        return cls().add(lambda index, now: start <= now < end, fault)
+
+
+class FaultyProvider(MetricsProvider):
+    """Injects scheduled faults in front of any metrics provider."""
+
+    def __init__(
+        self, inner: MetricsProvider, schedule: FaultSchedule, clock: Clock | None = None
+    ):
+        self.inner = inner
+        self.schedule = schedule
+        self.clock = clock or RealClock()
+        self.name = inner.name
+        self.calls = 0
+        #: (call_index, fault) for every injection, for test assertions.
+        self.injected: list[tuple[int, Fault]] = []
+
+    async def query(self, query: str) -> float | None:
+        self.calls += 1
+        fault = self.schedule.fault_for(self.calls, self.clock.now())
+        if fault is not None:
+            self.injected.append((self.calls, fault))
+            await fault.apply(self.clock)
+        return await self.inner.query(query)
+
+    async def close(self) -> None:
+        await self.inner.close()
+
+
+class FaultyController(ProxyController):
+    """Injects scheduled faults in front of any proxy controller.
+
+    Controller faults default to ``RuntimeError`` rather than
+    ``ProviderError`` — a crashing proxy admin endpoint is not a metrics
+    failure, and the engine's recovery paths must cope with either.
+    """
+
+    def __init__(
+        self, inner: ProxyController, schedule: FaultSchedule, clock: Clock | None = None
+    ):
+        self.inner = inner
+        self.schedule = schedule
+        self.clock = clock or RealClock()
+        self.calls = 0
+        self.injected: list[tuple[int, Fault]] = []
+
+    async def apply(
+        self, service: str, config: RoutingConfig, endpoints: dict[str, str]
+    ) -> None:
+        self.calls += 1
+        fault = self.schedule.fault_for(self.calls, self.clock.now())
+        if fault is not None:
+            if isinstance(fault, ErrorFault) and fault.exception is ProviderError:
+                fault = ErrorFault(fault.message, RuntimeError)
+            self.injected.append((self.calls, fault))
+            await fault.apply(self.clock)
+        await self.inner.apply(service, config, endpoints)

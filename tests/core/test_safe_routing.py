@@ -1,0 +1,158 @@
+"""Safe-routing recovery and clock-aware cancellation."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core import (
+    Engine,
+    EventKind,
+    ExecutionStatus,
+    RecordingController,
+    StrategyBuilder,
+    canary_split,
+    single_version,
+)
+from repro.resilience import ErrorFault, FaultSchedule, FaultyController
+
+
+def canary_then_ramp(name="ramp"):
+    """canary(2s) -> ramp(2s) -> done; rollback is the declared safe harbor."""
+    builder = StrategyBuilder(name)
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    # With no checks the outcome is always 0 > -0.5, so "ramp" is taken;
+    # the rollback target exists purely as the declared safe harbor.
+    builder.state("canary").route(
+        "svc", canary_split("stable", "canary", 10.0)
+    ).dwell(2).transitions([-0.5], ["rollback", "ramp"])
+    builder.state("ramp").route(
+        "svc", canary_split("stable", "canary", 50.0)
+    ).dwell(2).goto("done")
+    builder.state("done").route("svc", single_version("canary")).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+def no_rollback_state(name="bare"):
+    """Same shape but with no rollback final state to borrow routing from."""
+    builder = StrategyBuilder(name)
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    builder.state("canary").route(
+        "svc", canary_split("stable", "canary", 10.0)
+    ).dwell(2).goto("done")
+    builder.state("done").route("svc", single_version("canary")).final()
+    return builder.build()
+
+
+async def drive_to_completion(engine, clock, execution_id, step=1.0, limit=100):
+    task = asyncio.ensure_future(engine.wait(execution_id))
+    for _ in range(limit):
+        if task.done():
+            break
+        await clock.advance(step)
+    assert task.done()
+    return task.result()
+
+
+async def test_controller_crash_restores_rollback_routing():
+    """A controller dying mid-strategy leaves the proxy on the safe config."""
+    clock = VirtualClock()
+    recording = RecordingController()
+    # First apply (canary 10%) succeeds, second (ramp 50%) crashes; the
+    # recovery apply afterwards succeeds again.
+    controller = FaultyController(recording, FaultSchedule.calls({2}), clock)
+    engine = Engine(controller=controller, clock=clock)
+    execution_id = engine.enact(canary_then_ramp())
+    await asyncio.sleep(0)
+    report = await drive_to_completion(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.FAILED
+    # The stranded 10% canary split was driven to the rollback state's config.
+    assert recording.latest_for("svc") == single_version("stable")
+    applied = engine.bus.of_kind(EventKind.SAFE_ROUTING_APPLIED)
+    assert [event.data["service"] for event in applied] == ["svc"]
+    assert applied[0].data["reason"] == "failed"
+
+
+async def test_recovery_without_rollback_state_uses_majority_version():
+    clock = VirtualClock()
+    recording = RecordingController()
+    controller = FaultyController(recording, FaultSchedule.calls({2}), clock)
+    engine = Engine(controller=controller, clock=clock)
+    execution_id = engine.enact(no_rollback_state())
+    await asyncio.sleep(0)
+    report = await drive_to_completion(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.FAILED
+    # Entry config was stable 90 / canary 10 -> safe fallback is stable.
+    assert recording.latest_for("svc") == single_version("stable")
+
+
+async def test_explicit_safe_routing_wins():
+    clock = VirtualClock()
+    recording = RecordingController()
+    controller = FaultyController(recording, FaultSchedule.calls({2}), clock)
+    engine = Engine(controller=controller, clock=clock)
+    pinned = canary_split("stable", "canary", 1.0)
+    execution_id = engine.enact(canary_then_ramp(), safe_routing={"svc": pinned})
+    await asyncio.sleep(0)
+    report = await drive_to_completion(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.FAILED
+    assert recording.latest_for("svc") == pinned
+
+
+async def test_recovery_failure_is_reported_not_raised():
+    clock = VirtualClock()
+    recording = RecordingController()
+    # Every apply after the first fails — including the recovery attempt.
+    controller = FaultyController(
+        recording, FaultSchedule().add(lambda index, now: index >= 2), clock
+    )
+    engine = Engine(controller=controller, clock=clock)
+    execution_id = engine.enact(canary_then_ramp())
+    await asyncio.sleep(0)
+    report = await drive_to_completion(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.FAILED
+    failed = engine.bus.of_kind(EventKind.SAFE_ROUTING_FAILED)
+    assert len(failed) == 1 and failed[0].data["service"] == "svc"
+
+
+async def test_cancel_restores_safe_routing():
+    clock = VirtualClock()
+    recording = RecordingController()
+    engine = Engine(controller=recording, clock=clock)
+    execution_id = engine.enact(canary_then_ramp())
+    await asyncio.sleep(0)
+    await clock.advance(1.0)  # inside the canary phase, split applied
+    assert recording.latest_for("svc") == canary_split("stable", "canary", 10.0)
+    await engine.cancel(execution_id)
+    assert engine.execution(execution_id).status is ExecutionStatus.FAILED
+    assert recording.latest_for("svc") == single_version("stable")
+    applied = engine.bus.of_kind(EventKind.SAFE_ROUTING_APPLIED)
+    assert applied and applied[0].data["reason"] == "cancelled"
+
+
+async def test_completed_execution_does_not_touch_routing_again():
+    clock = VirtualClock()
+    recording = RecordingController()
+    engine = Engine(controller=recording, clock=clock)
+    execution_id = engine.enact(canary_then_ramp())
+    await asyncio.sleep(0)
+    report = await drive_to_completion(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.COMPLETED
+    assert not engine.bus.of_kind(EventKind.SAFE_ROUTING_APPLIED)
+    assert recording.latest_for("svc") == single_version("canary")
+
+
+async def test_cancel_under_virtual_clock_is_fast_and_bounded():
+    """Cancelling a virtual-clock execution must not spin on real time."""
+    clock = VirtualClock()
+    engine = Engine(clock=clock)
+    execution_id = engine.enact(canary_then_ramp())
+    await asyncio.sleep(0)
+    started = time.monotonic()
+    await engine.cancel(execution_id)
+    assert time.monotonic() - started < 1.0
+    assert engine.execution(execution_id).status is ExecutionStatus.FAILED

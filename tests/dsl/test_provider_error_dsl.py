@@ -1,0 +1,109 @@
+"""DSL surface for the onProviderError exception-check policy."""
+
+import pytest
+
+from repro.core import ExceptionCheck, ProviderErrorPolicy
+from repro.dsl import DslError, compile_document, serialize
+
+DOC = """
+strategy:
+  name: guarded-canary
+  phases:
+    - phase:
+        name: canary
+        routes:
+          - route:
+              from: search
+              to: canary
+              filters:
+                - traffic:
+                    percentage: 10
+        checks:
+          - metric:
+              name: guard
+              type: exception
+              fallback: rollback
+              onProviderError: {policy}
+              provider: prometheus
+              query: error_rate
+              validator: "<5"
+              intervalTime: 1
+              intervalLimit: 10
+        next: done
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+deployment:
+  services:
+    search:
+      proxy: 127.0.0.1:9000
+      stable: stable
+      versions:
+        stable: 127.0.0.1:8081
+        canary: 127.0.0.1:8082
+"""
+
+
+def compile_with(policy):
+    return compile_document(DOC.format(policy=policy))
+
+
+def guard_check(compiled):
+    state = compiled.strategy.automaton.state("canary")
+    (check,) = state.checks
+    assert isinstance(check, ExceptionCheck)
+    return check
+
+
+def test_compiles_each_policy():
+    assert guard_check(compile_with("trigger")).on_provider_error == ProviderErrorPolicy()
+    assert guard_check(compile_with("hold")).on_provider_error == ProviderErrorPolicy(
+        mode="hold"
+    )
+    assert guard_check(
+        compile_with("tolerate(4)")
+    ).on_provider_error == ProviderErrorPolicy(mode="tolerate", tolerance=4)
+
+
+def test_default_policy_is_trigger():
+    source = DOC.replace("              onProviderError: {policy}\n", "")
+    compiled = compile_document(source)
+    assert guard_check(compiled).on_provider_error == ProviderErrorPolicy()
+
+
+def test_bad_policy_value_is_a_dsl_error():
+    with pytest.raises(DslError, match="onProviderError"):
+        compile_with("whenever")
+
+
+def test_policy_on_basic_check_is_rejected():
+    source = compile_bad_basic_doc()
+    with pytest.raises(DslError, match="exception checks"):
+        compile_document(source)
+
+
+def compile_bad_basic_doc():
+    return (
+        DOC.format(policy="hold")
+        .replace("              type: exception\n", "")
+        .replace("              fallback: rollback\n", "")
+    )
+
+
+def test_serializer_round_trips_the_policy():
+    compiled = compile_with("tolerate(2)")
+    text = serialize(compiled.strategy, compiled.deployment)
+    assert "tolerate(2)" in text
+    recompiled = compile_document(text)
+    assert guard_check(recompiled).on_provider_error == ProviderErrorPolicy(
+        mode="tolerate", tolerance=2
+    )
+
+
+def test_serializer_omits_the_default_policy():
+    compiled = compile_with("trigger")
+    text = serialize(compiled.strategy, compiled.deployment)
+    assert "onProviderError" not in text
+    assert guard_check(compile_document(text)).on_provider_error == ProviderErrorPolicy()

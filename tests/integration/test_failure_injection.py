@@ -3,17 +3,30 @@
 Live testing exists to contain failures; the middleware itself must
 behave sanely when its own dependencies break: unreachable metrics
 providers, dying proxies, crashing upstreams mid-flight.
+
+The second half of this module drives the resilience layer end-to-end
+with the deterministic fault toolkit (:mod:`repro.resilience.faults`)
+under a virtual clock: flaky providers ride through retries, dead
+providers open the circuit breaker and roll the strategy back, and a
+crashing controller still leaves every touched service on its safe
+routing.
 """
 
 import asyncio
+import time
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
+from repro.clock import VirtualClock
 from repro.core import (
     Engine,
+    EventKind,
     ExceptionCheck,
     ExecutionStatus,
     MetricCondition,
+    ProviderErrorPolicy,
+    RecordingController,
     StrategyBuilder,
     Timer,
     canary_split,
@@ -21,8 +34,17 @@ from repro.core import (
     single_version,
 )
 from repro.httpcore import HttpClient, HttpServer, Response
-from repro.metrics import HttpPrometheusProvider, MetricsServer
+from repro.metrics import HttpPrometheusProvider, MetricsServer, StaticProvider
 from repro.proxy import BifrostProxy, HttpProxyController, LocalProxyController
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    FaultSchedule,
+    FaultyController,
+    FaultyProvider,
+    ResilientProvider,
+    RetryPolicy,
+)
 
 
 def canary_strategy(endpoints, interval=0.1, repetitions=3):
@@ -175,3 +197,169 @@ async def test_proxy_serves_stable_while_upstream_canary_dies():
 
 async def _ok(tag):
     return Response.from_json({"version": tag})
+
+
+# -- resilience layer end-to-end (virtual clock, fault toolkit) -----------
+
+
+def guarded_canary(policy=None, repetitions=5):
+    """Canary guarded by an exception check; rollback is the safe harbor."""
+    builder = StrategyBuilder("resilient-canary")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    check = ExceptionCheck(
+        "guard",
+        MetricCondition.simple("up_metric", ">0", provider="static"),
+        Timer(1.0, repetitions),
+        fallback_state="rollback",
+        on_provider_error=policy or ProviderErrorPolicy(),
+    )
+    builder.state("canary").route(
+        "svc", canary_split("stable", "canary", 10.0)
+    ).check(check).transitions([0], ["rollback", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+async def drive(engine, clock, execution_id, step=0.5, limit=400):
+    task = asyncio.ensure_future(engine.wait(execution_id))
+    for _ in range(limit):
+        if task.done():
+            break
+        await clock.advance(step)
+    assert task.done(), "execution did not finish while driving the clock"
+    return task.result()
+
+
+async def test_flaky_provider_canary_completes_under_retry():
+    """1-of-3 queries failing is a flaky dependency, not a bad release."""
+    started = time.monotonic()
+    clock = VirtualClock()
+    flaky = FaultyProvider(
+        StaticProvider({"up_metric": 1.0}), FaultSchedule.every(3), clock
+    )
+    engine = Engine(controller=RecordingController(), clock=clock)
+    engine.register_provider(
+        "static",
+        ResilientProvider(flaky, clock, bus=engine.bus, retry=RetryPolicy(seed=7)),
+    )
+    execution_id = engine.enact(guarded_canary())
+    await asyncio.sleep(0)
+    report = await drive(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.COMPLETED
+    assert report.path == ["canary", "done"]
+    # The flakiness was real (injections happened, retries fired) ...
+    assert flaky.injected
+    assert engine.bus.of_kind(EventKind.PROVIDER_RETRY)
+    # ... and the whole run cost virtually no wall time.
+    assert time.monotonic() - started < 1.0
+
+
+async def test_dead_provider_opens_breaker_and_rolls_back_to_safe_routing():
+    """A permanently dead provider must end ROLLED_BACK with the breaker
+    open and the touched service restored to stable — never FAILED."""
+    started = time.monotonic()
+    clock = VirtualClock()
+    dead = FaultyProvider(
+        StaticProvider({"up_metric": 1.0}), FaultSchedule.always(), clock
+    )
+    breaker = CircuitBreaker(
+        clock, window=10, failure_rate=0.5, min_calls=3, cooldown=120.0
+    )
+    controller = RecordingController()
+    engine = Engine(controller=controller, clock=clock)
+    engine.register_provider(
+        "static",
+        ResilientProvider(
+            dead,
+            clock,
+            bus=engine.bus,
+            retry=RetryPolicy(attempts=2, base_delay=0.2, seed=3),
+            breaker=breaker,
+        ),
+    )
+    # Tolerate one blip so the breaker demonstrably opens *before* the
+    # exception policy gives up and triggers the rollback.
+    strategy = guarded_canary(ProviderErrorPolicy(mode="tolerate", tolerance=1))
+    execution_id = engine.enact(strategy)
+    await asyncio.sleep(0)
+    report = await drive(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.ROLLED_BACK
+    assert report.path == ["canary", "rollback"]
+    assert report.visits[0].via_exception
+    assert breaker.state is BreakerState.OPEN
+    assert engine.bus.of_kind(EventKind.CIRCUIT_OPENED)
+    # The rollback state's routing drove the service back to stable.
+    assert controller.latest_for("svc") == single_version("stable")
+    assert time.monotonic() - started < 1.0
+
+
+async def test_controller_death_mid_strategy_restores_safe_routing():
+    """The proxy controller crashing mid-enactment must not strand the
+    canary split: recovery drives the service to the rollback routing."""
+    clock = VirtualClock()
+    recording = RecordingController()
+    # Apply 1 (canary split) works; apply 2 (the transition after the
+    # check phase) crashes; the recovery apply works again.
+    controller = FaultyController(recording, FaultSchedule.calls({2}), clock)
+    engine = Engine(controller=controller, clock=clock)
+    engine.register_provider("static", StaticProvider({"up_metric": 1.0}))
+    execution_id = engine.enact(guarded_canary())
+    await asyncio.sleep(0)
+    report = await drive(engine, clock, execution_id)
+    assert report.status is ExecutionStatus.FAILED
+    assert recording.latest_for("svc") == single_version("stable")
+    applied = engine.bus.of_kind(EventKind.SAFE_ROUTING_APPLIED)
+    assert [event.data["service"] for event in applied] == ["svc"]
+
+
+async def test_breaker_lifecycle_closed_open_half_open_closed():
+    """An outage window exercises the full breaker state machine."""
+    clock = VirtualClock()
+    # Down between t=2 and t=8, healthy before and after.
+    outage = FaultyProvider(
+        StaticProvider({"up_metric": 1.0}), FaultSchedule.during(2.0, 8.0), clock
+    )
+    bus_engine = Engine(clock=clock)
+    breaker = CircuitBreaker(
+        clock, window=4, failure_rate=0.5, min_calls=2, cooldown=5.0
+    )
+    provider = ResilientProvider(
+        outage,
+        clock,
+        bus=bus_engine.bus,
+        retry=RetryPolicy(attempts=1, seed=0),
+        breaker=breaker,
+    )
+
+    async def poll():
+        try:
+            return await provider.query("up_metric")
+        except Exception:
+            return None
+
+    results = []
+    for _ in range(16):
+        task = asyncio.ensure_future(poll())
+        await clock.advance(1.0)
+        results.append(task.result() if task.done() else await task)
+    kinds = [event.kind for event in bus_engine.bus.history]
+    assert EventKind.CIRCUIT_OPENED in kinds
+    assert EventKind.CIRCUIT_HALF_OPEN in kinds
+    assert EventKind.CIRCUIT_CLOSED in kinds
+    assert breaker.state is BreakerState.CLOSED
+    assert results[0] == 1.0 and results[-1] == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31), key=st.text(max_size=16))
+def test_retry_backoff_schedule_is_deterministic_per_seed(seed, key):
+    policy = RetryPolicy(attempts=6, base_delay=0.25, jitter=0.5, seed=seed)
+    assert policy.schedule(key) == policy.schedule(key)
+    replica = RetryPolicy(attempts=6, base_delay=0.25, jitter=0.5, seed=seed)
+    assert replica.schedule(key) == policy.schedule(key)
+    undithered = RetryPolicy(attempts=6, base_delay=0.25, jitter=0.0, seed=seed)
+    for jittered, raw in zip(policy.schedule(key), undithered.schedule(key)):
+        assert raw * 0.5 <= jittered <= raw

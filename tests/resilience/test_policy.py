@@ -1,0 +1,197 @@
+"""Unit tests for retry, timeout, and circuit-breaker policies."""
+
+import asyncio
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import VirtualClock
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    ResilienceError,
+    RetryPolicy,
+    Timeout,
+    TimeoutExceeded,
+)
+
+
+# -- RetryPolicy ----------------------------------------------------------
+
+
+def test_retry_schedule_is_deterministic():
+    policy = RetryPolicy(attempts=5, base_delay=1.0, seed=42)
+    assert policy.schedule("q") == policy.schedule("q")
+    assert RetryPolicy(attempts=5, base_delay=1.0, seed=42).schedule("q") == policy.schedule("q")
+
+
+def test_retry_schedule_varies_by_key_and_seed():
+    policy = RetryPolicy(attempts=4, base_delay=1.0, seed=0)
+    assert policy.schedule("a") != policy.schedule("b")
+    assert policy.schedule("a") != RetryPolicy(attempts=4, base_delay=1.0, seed=1).schedule("a")
+
+
+def test_retry_delays_grow_and_cap():
+    policy = RetryPolicy(
+        attempts=10, base_delay=1.0, multiplier=2.0, max_delay=8.0, jitter=0.0
+    )
+    assert policy.schedule() == (1.0, 2.0, 4.0, 8.0, 8.0, 8.0, 8.0, 8.0, 8.0)
+
+
+def test_retry_jitter_shaves_at_most_the_fraction():
+    policy = RetryPolicy(attempts=6, base_delay=2.0, jitter=0.25, seed=3)
+    for attempt in range(policy.retries):
+        raw = min(2.0 * 2.0**attempt, policy.max_delay)
+        delay = policy.delay(attempt, "key")
+        assert raw * 0.75 <= delay <= raw
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    key=st.text(max_size=20),
+    attempts=st.integers(min_value=1, max_value=8),
+)
+def test_retry_schedule_property_deterministic_and_bounded(seed, key, attempts):
+    policy = RetryPolicy(attempts=attempts, base_delay=0.5, jitter=0.3, seed=seed)
+    first = policy.schedule(key)
+    assert first == policy.schedule(key)
+    assert len(first) == attempts - 1
+    for delay in first:
+        assert 0.0 <= delay <= policy.max_delay
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ResilienceError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ResilienceError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ResilienceError):
+        RetryPolicy(multiplier=0.5)
+
+
+# -- Timeout --------------------------------------------------------------
+
+
+async def test_timeout_fires_on_virtual_clock():
+    clock = VirtualClock()
+
+    async def hung():
+        await clock.sleep(1000.0)
+
+    guard = asyncio.ensure_future(Timeout(5.0).guard(clock, hung()))
+    await clock.advance(5.0)
+    with pytest.raises(TimeoutExceeded):
+        await guard
+
+
+async def test_timeout_passes_fast_calls_through():
+    clock = VirtualClock()
+
+    async def quick():
+        await clock.sleep(1.0)
+        return 7.0
+
+    guard = asyncio.ensure_future(Timeout(5.0).guard(clock, quick()))
+    await clock.advance(1.0)
+    assert await guard == 7.0
+    assert clock.pending_sleepers == 0  # the timer sleeper was cancelled
+
+
+async def test_timeout_propagates_call_exceptions():
+    clock = VirtualClock()
+
+    async def broken():
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError):
+        await Timeout(5.0).guard(clock, broken())
+
+
+def test_timeout_validation():
+    with pytest.raises(ResilienceError):
+        Timeout(0.0)
+
+
+# -- CircuitBreaker -------------------------------------------------------
+
+
+def make_breaker(clock, **overrides):
+    settings = dict(window=10, failure_rate=0.5, min_calls=3, cooldown=30.0, probes=1)
+    settings.update(overrides)
+    return CircuitBreaker(clock, **settings)
+
+
+def test_breaker_opens_on_failure_rate():
+    clock = VirtualClock()
+    breaker = make_breaker(clock)
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED  # only 2 calls, min is 3
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+
+
+async def test_breaker_half_open_probe_closes_on_success():
+    clock = VirtualClock()
+    breaker = make_breaker(clock, cooldown=10.0)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    await clock.advance(9.0)
+    assert not breaker.allow()  # cool-down not elapsed
+    await clock.advance(1.0)
+    assert breaker.allow()
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.allow()  # only one probe at a time
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.failure_fraction == 0.0  # window cleared
+
+
+async def test_breaker_half_open_probe_failure_reopens():
+    clock = VirtualClock()
+    breaker = make_breaker(clock, cooldown=10.0)
+    for _ in range(3):
+        breaker.record_failure()
+    await clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert not breaker.allow()
+    # The cool-down restarted at the probe failure.
+    await clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_breaker_sliding_window_forgets_old_failures():
+    clock = VirtualClock()
+    breaker = make_breaker(clock, window=4, min_calls=4, failure_rate=0.5)
+    breaker.record_failure()
+    breaker.record_failure()
+    for _ in range(4):  # pushes the failures out of the window
+        breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_breaker_records_transitions():
+    clock = VirtualClock()
+    breaker = make_breaker(clock)
+    for _ in range(3):
+        breaker.record_failure()
+    assert [(old.value, new.value) for _, old, new in breaker.transitions] == [
+        ("closed", "open")
+    ]
+
+
+def test_breaker_validation():
+    clock = VirtualClock()
+    with pytest.raises(ResilienceError):
+        CircuitBreaker(clock, failure_rate=0.0)
+    with pytest.raises(ResilienceError):
+        CircuitBreaker(clock, cooldown=0.0)
+    with pytest.raises(ResilienceError):
+        CircuitBreaker(clock, window=0)

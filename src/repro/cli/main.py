@@ -4,6 +4,10 @@ Subcommands:
 
 * ``bifrost validate <file>`` — compile a strategy document and report
   its structure (exit 1 on errors).
+* ``bifrost lint <files...>`` — static analysis: run the full rule
+  catalogue (``docs/lint.md``) and render diagnostics as text, JSON, or
+  SARIF.  Exit 0 when clean, 3 on errors, 4 on warnings with
+  ``--strict``.
 * ``bifrost render <file>`` — print the automaton (``--mermaid`` emits a
   Mermaid state diagram like the paper's Figure 2).
 * ``bifrost run <file>`` — enact a strategy locally: configures proxies
@@ -58,6 +62,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="forecast expected rollout time assuming per-state success "
         "probability P (e.g. 0.9)",
+    )
+
+    lint = commands.add_parser("lint", help="static analysis of strategy documents")
+    lint.add_argument("files", type=Path, nargs="+")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 4 when warnings remain (errors always exit 3)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only run these rule codes (comma-separated; prefixes like "
+        "BF3 select a whole group)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="never report these rule codes (comma-separated, prefixes allowed)",
     )
 
     render = commands.add_parser("render", help="print a strategy's automaton")
@@ -118,10 +149,24 @@ def _load_document(path: Path):
 
 
 def cmd_validate(args) -> int:
+    """Validate a document.
+
+    Output convention: every machine-relevant verdict — ``OK``,
+    ``INVALID``, and verification findings — goes to stdout, so scripts
+    can parse one stream; stderr is reserved for operational failures
+    (unreadable file, ...).
+    """
+    from ..dsl.yaml_lite import loads
+
     try:
-        compiled = _load_document(args.file)
+        text = args.file.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc}")
+    try:
+        document = loads(text)
+        compiled = compile_document(document)
     except (DslError, YamlError) as exc:
-        print(f"INVALID: {exc}", file=sys.stderr)
+        print(f"INVALID: {exc}")
         return 1
     automaton = compiled.strategy.automaton
     states = len(automaton.states)
@@ -132,14 +177,14 @@ def cmd_validate(args) -> int:
     print(f"  services: {', '.join(sorted(compiled.strategy.services))}")
     exit_code = 0
     if args.verify:
-        from ..core.verify import Severity, verify_strategy
+        from ..lint import lint_document
 
-        findings = verify_strategy(compiled.strategy)
-        if not findings:
+        result = lint_document(document, file=str(args.file))
+        if not result.diagnostics:
             print("verification: no findings")
-        for finding in findings:
-            print(f"  {finding}")
-        if any(f.severity is Severity.ERROR for f in findings):
+        for diagnostic in result.diagnostics:
+            print(f"  {diagnostic}")
+        if result.errors:
             exit_code = 3
     if args.forecast is not None:
         from ..core.reasoning import forecast_rollout, optimistic_probabilities
@@ -152,6 +197,49 @@ def cmd_validate(args) -> int:
             f"probability {forecast.rollback_probability:.1%}"
         )
     return exit_code
+
+
+def cmd_lint(args) -> int:
+    from ..lint import (
+        LintConfig,
+        LintResult,
+        lint_path,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+
+    config = LintConfig.from_flags(select=args.select, ignore=args.ignore)
+    results = [lint_path(str(path), config=config) for path in args.files]
+    if args.format == "text":
+        print("\n\n".join(render_text(result) for result in results))
+    elif args.format == "json":
+        import json as json_module
+
+        if len(results) == 1:
+            print(render_json(results[0]))
+        else:
+            files = [json_module.loads(render_json(result)) for result in results]
+            totals = {
+                name: sum(entry["summary"][name] for entry in files)
+                for name in ("error", "warning", "info")
+            }
+            print(
+                json_module.dumps(
+                    {"files": files, "summary": totals}, indent=2
+                )
+            )
+    else:  # sarif — diagnostics carry their file, so one merged run works
+        merged = LintResult(
+            [d for result in results for d in result.diagnostics]
+        )
+        print(render_sarif(merged))
+    codes = {result.exit_code(strict=args.strict) for result in results}
+    if 3 in codes:
+        return 3
+    if 4 in codes:
+        return 4
+    return 0
 
 
 def cmd_render(args) -> int:
@@ -280,6 +368,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "validate":
         return cmd_validate(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "render":
         return cmd_render(args)
     if args.command == "run":

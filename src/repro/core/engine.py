@@ -38,6 +38,24 @@ from .routing import RoutingConfig, single_version
 logger = logging.getLogger(__name__)
 
 
+class StrategyRejectedError(Exception):
+    """The lint engine found blocking ERROR diagnostics in a strategy.
+
+    Raised by :meth:`Engine.enact` unless ``allow_findings=True``; the
+    offending diagnostics are on :attr:`diagnostics`.
+    """
+
+    def __init__(self, strategy: str, diagnostics):
+        self.diagnostics = list(diagnostics)
+        details = "; ".join(
+            f"{d.code} ({d.name}): {d.message}" for d in self.diagnostics
+        )
+        super().__init__(
+            f"strategy {strategy!r} has {len(self.diagnostics)} blocking "
+            f"lint finding(s): {details}"
+        )
+
+
 class ServiceClaimedError(Exception):
     """A strategy touches a service another execution holds exclusively."""
 
@@ -504,6 +522,7 @@ class Engine:
         delay: float = 0.0,
         exclusive: bool = False,
         safe_routing: dict[str, RoutingConfig] | None = None,
+        allow_findings: bool = False,
     ) -> str:
         """Validate and start enacting *strategy*; returns an execution id.
 
@@ -523,8 +542,21 @@ class Engine:
         enactment drives those services to the given configs instead of the
         inferred safe state (rollback-state routing, else single-version
         stable).
+
+        With *allow_findings*, enactment proceeds even when the lint
+        engine reports blocking ERROR diagnostics (a strategy that cannot
+        finish, a metric query that cannot compile, ...); by default such
+        strategies are rejected with :class:`StrategyRejectedError`.
         """
         strategy.validate()
+        if not allow_findings:
+            from ..lint import lint_strategy
+
+            blocking = lint_strategy(
+                strategy, safe_routing=safe_routing
+            ).blocking()
+            if blocking:
+                raise StrategyRejectedError(strategy.name, blocking)
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
         routed_services = self._routed_services(strategy)

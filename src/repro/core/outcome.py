@@ -36,8 +36,20 @@ class ThresholdRanges:
     thresholds: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
+        for threshold in self.thresholds:
+            # NaN defeats ordering comparisons, so an explicit finiteness
+            # check must come first or ⟨nan, 1⟩ would slip through as
+            # "sorted" and make index_of unstable.
+            if not math.isfinite(threshold):
+                raise OutcomeError(
+                    f"thresholds must be finite numbers: {self.thresholds}"
+                )
         for left, right in zip(self.thresholds, self.thresholds[1:]):
-            if left >= right:
+            if left == right:
+                raise OutcomeError(
+                    f"duplicate threshold {left}: {self.thresholds}"
+                )
+            if left > right:
                 raise OutcomeError(
                     f"thresholds must be strictly increasing: {self.thresholds}"
                 )

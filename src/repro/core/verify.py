@@ -1,31 +1,28 @@
-"""Static verification of release strategies.
+"""Static verification of release strategies — legacy compatibility shim.
 
-"Additional verification and validation tools can be built on top of our
-work" (paper section 7).  This module is that layer: beyond the
-structural validation in :meth:`Automaton.validate`, it inspects a
-strategy for release-engineering smells and safety gaps:
+The analysis itself moved to :mod:`repro.lint`, a rule-based engine with
+stable ``BFxxx`` codes, source-located diagnostics, configurable
+severities, and a ``bifrost lint`` CLI.  This module keeps the seed's
+API working on top of it:
 
-* **no-rollback** (error) — a state runs checks but no rollback-flagged
-  final state is reachable from it: a bad outcome has nowhere safe to go.
-* **possible-live-lock** (warning) — a state can loop on itself and all
-  its other edges lead back into loops; enactment may never terminate.
-* **unroutable-version** (warning) — a declared version no state ever
-  routes traffic (or shadows) to.
-* **unmonitored-exposure** (warning) — a state exposes a non-stable
-  version to live traffic but runs no checks; problems would go unnoticed
-  until a later phase.
-* **sticky-discontinuity** (info) — a sticky state is followed by a
-  non-sticky state routing the same service, so user↔version assignments
-  may churn.
+* :func:`verify_strategy` runs the lint engine and reports only the five
+  rules the old verifier had, as :class:`Finding` objects under their
+  legacy rule names (``no-rollback``, ``possible-live-lock``,
+  ``unroutable-version``, ``unmonitored-exposure``,
+  ``sticky-discontinuity``);
+* :func:`strategy_graph` still builds the networkx view of an automaton
+  (the lint engine has its own dependency-free graph pass, but the
+  networkx projection remains useful for analysis notebooks).
 
-The analysis is conservative (graph reachability via networkx); findings
-are advice, not enforcement.
+New code should call :func:`repro.lint.lint_strategy` (or ``bifrost
+lint`` on documents) and get the full rule catalogue.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from types import SimpleNamespace
 
 import networkx
 
@@ -69,165 +66,32 @@ def strategy_graph(automaton: Automaton) -> "networkx.DiGraph":
 
 
 def verify_strategy(strategy: Strategy | Automaton) -> list[Finding]:
-    """Run every rule; returns findings sorted by severity."""
-    automaton = strategy.automaton if isinstance(strategy, Strategy) else strategy
+    """Run the legacy rule subset; returns findings sorted by severity."""
+    from ..lint import lint_strategy
+    from ..lint.registry import LEGACY_RULES
+
+    if isinstance(strategy, Strategy):
+        automaton = strategy.automaton
+        subject = strategy
+    else:
+        automaton = strategy
+        # The lint model reads .services/.automaton; give a bare automaton
+        # the same shape so graph rules run and service rules are no-ops.
+        subject = SimpleNamespace(name="", services={}, automaton=strategy)
     assert automaton is not None
     automaton.validate()
-    graph = strategy_graph(automaton)
-    findings: list[Finding] = []
-    findings.extend(_check_rollback_reachability(automaton, graph))
-    findings.extend(_check_live_lock(automaton, graph))
-    findings.extend(_check_unmonitored_exposure(automaton))
-    findings.extend(_check_sticky_discontinuity(automaton))
-    if isinstance(strategy, Strategy):
-        findings.extend(_check_unroutable_versions(strategy))
+
+    result = lint_strategy(subject)
+    findings = [
+        Finding(
+            severity=Severity(diagnostic.severity.value),
+            rule=LEGACY_RULES[diagnostic.code],
+            state=diagnostic.state,
+            message=diagnostic.message,
+        )
+        for diagnostic in result.diagnostics
+        if diagnostic.code in LEGACY_RULES
+    ]
     order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
     findings.sort(key=lambda finding: (order[finding.severity], finding.state or ""))
-    return findings
-
-
-def _check_rollback_reachability(automaton: Automaton, graph) -> list[Finding]:
-    rollback_states = {
-        name for name, state in automaton.states.items() if state.rollback
-    }
-    findings = []
-    if not rollback_states:
-        checked = [
-            name for name, state in automaton.states.items() if state.checks
-        ]
-        if checked:
-            findings.append(
-                Finding(
-                    Severity.ERROR,
-                    "no-rollback",
-                    None,
-                    "the strategy runs checks but declares no rollback state; "
-                    "a failing release has no safe exit",
-                )
-            )
-        return findings
-    for name, state in automaton.states.items():
-        if state.final or not state.checks:
-            continue
-        reachable = networkx.descendants(graph, name)
-        if not (reachable & rollback_states):
-            findings.append(
-                Finding(
-                    Severity.ERROR,
-                    "no-rollback",
-                    name,
-                    "checks run here but no rollback state is reachable; "
-                    "a bad outcome cannot be reverted",
-                )
-            )
-    return findings
-
-
-def _check_live_lock(automaton: Automaton, graph) -> list[Finding]:
-    findings = []
-    final_states = automaton.final_states
-    for cycle_nodes in networkx.simple_cycles(graph):
-        # A cycle is a live-lock risk when no state in it has an edge
-        # leaving the cycle toward absorption.
-        cycle = set(cycle_nodes)
-        escapes = False
-        for node in cycle:
-            for successor in graph.successors(node):
-                if successor not in cycle and (
-                    successor in final_states
-                    or networkx.has_path(graph, successor, next(iter(final_states)))
-                    or any(
-                        networkx.has_path(graph, successor, final)
-                        for final in final_states
-                    )
-                ):
-                    escapes = True
-                    break
-            if escapes:
-                break
-        if not escapes:
-            findings.append(
-                Finding(
-                    Severity.WARNING,
-                    "possible-live-lock",
-                    sorted(cycle)[0],
-                    f"cycle {sorted(cycle)} has no exit toward a final state",
-                )
-            )
-    return findings
-
-
-def _check_unmonitored_exposure(automaton: Automaton) -> list[Finding]:
-    findings = []
-    for name, state in automaton.states.items():
-        if state.final or state.checks:
-            continue
-        for service, config in state.routing.items():
-            exposed = [
-                split.version
-                for split in config.splits[1:]  # first split = stable by convention
-                if split.percentage > 0
-            ]
-            if exposed:
-                findings.append(
-                    Finding(
-                        Severity.WARNING,
-                        "unmonitored-exposure",
-                        name,
-                        f"routes {exposed} of service {service!r} to live "
-                        "traffic without any checks",
-                    )
-                )
-    return findings
-
-
-def _check_sticky_discontinuity(automaton: Automaton) -> list[Finding]:
-    findings = []
-    for name, state in automaton.states.items():
-        if state.transitions is None:
-            continue
-        for service, config in state.routing.items():
-            if not config.sticky:
-                continue
-            for target in set(state.transitions.targets):
-                successor = automaton.states.get(target)
-                if successor is None or target == name:
-                    continue
-                follow_config = successor.routing.get(service)
-                if follow_config is not None and not follow_config.sticky and not successor.final:
-                    findings.append(
-                        Finding(
-                            Severity.INFO,
-                            "sticky-discontinuity",
-                            name,
-                            f"sticky routing of {service!r} is followed by "
-                            f"non-sticky state {target!r}; assignments may churn",
-                        )
-                    )
-    return findings
-
-
-def _check_unroutable_versions(strategy: Strategy) -> list[Finding]:
-    assert strategy.automaton is not None
-    routed: dict[str, set[str]] = {name: set() for name in strategy.services}
-    for state in strategy.automaton.states.values():
-        for service, config in state.routing.items():
-            for split in config.splits:
-                routed[service].add(split.version)
-            for shadow in config.shadows:
-                routed[service].add(shadow.source_version)
-                routed[service].add(shadow.target_version)
-    findings = []
-    for service_name, service in strategy.services.items():
-        unused = set(service.versions) - routed.get(service_name, set())
-        for version in sorted(unused):
-            findings.append(
-                Finding(
-                    Severity.WARNING,
-                    "unroutable-version",
-                    None,
-                    f"version {version!r} of service {service_name!r} is "
-                    "declared but never routed or shadowed",
-                )
-            )
     return findings

@@ -134,7 +134,7 @@ def compile_document(source: str | dict[str, Any]) -> CompiledStrategy:
     """Compile DSL text (or an already-parsed document) into the model."""
     document = loads(source) if isinstance(source, str) else source
     root = expect_map(document, "document")
-    reject_unknown_keys(root, {"strategy", "deployment"}, "document")
+    reject_unknown_keys(root, {"strategy", "deployment", "lint"}, "document")
     deployment = parse_deployment(get_required(root, "deployment", "document"))
     strategy_raw = expect_map(get_required(root, "strategy", "document"), "strategy")
     reject_unknown_keys(strategy_raw, {"name", "phases"}, "strategy")

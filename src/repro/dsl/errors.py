@@ -8,10 +8,13 @@ class DslError(Exception):
 
     Carries the path into the document (``strategy.phases[2].route``) so a
     release engineer can find the offending element without reading a
-    stack trace.
+    stack trace, and — when the document was parsed from text — the
+    1-based source line of the offending node.
     """
 
-    def __init__(self, message: str, path: str = ""):
+    def __init__(self, message: str, path: str = "", line: int | None = None):
         self.path = path
+        self.line = line
         prefix = f"{path}: " if path else ""
-        super().__init__(f"{prefix}{message}")
+        suffix = f" (line {line})" if line is not None else ""
+        super().__init__(f"{prefix}{message}{suffix}")

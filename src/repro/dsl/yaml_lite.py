@@ -32,6 +32,60 @@ class YamlError(Exception):
         super().__init__(f"{prefix}{message}")
 
 
+class LocatedMap(dict):
+    """A parsed block mapping that remembers where it came from.
+
+    Behaves exactly like a ``dict`` (equality, iteration, serialization)
+    but additionally records the 1-based source line of the mapping itself
+    (``line``) and of every key (``key_lines``), so downstream tooling —
+    the lint engine in particular — can point diagnostics at the offending
+    YAML line instead of an abstract document path.
+    """
+
+    __slots__ = ("line", "key_lines")
+
+    def __init__(self, line: int | None = None):
+        super().__init__()
+        self.line = line
+        self.key_lines: dict[str, int] = {}
+
+
+class LocatedList(list):
+    """A parsed block sequence carrying its source line per item."""
+
+    __slots__ = ("line", "item_lines")
+
+    def __init__(self, line: int | None = None):
+        super().__init__()
+        self.line = line
+        self.item_lines: list[int] = []
+
+
+def node_line(value: Any) -> int | None:
+    """The source line a parsed node started on, if it is known."""
+    return getattr(value, "line", None)
+
+
+def key_line(mapping: Any, key: str) -> int | None:
+    """The source line of ``key:`` within a parsed mapping, if known.
+
+    Falls back to the mapping's own line so callers always get *some*
+    anchor when the mapping was parsed from text.
+    """
+    lines = getattr(mapping, "key_lines", None)
+    if lines is not None and key in lines:
+        return lines[key]
+    return node_line(mapping)
+
+
+def item_line(sequence: Any, index: int) -> int | None:
+    """The source line of ``sequence[index]``, if it is known."""
+    lines = getattr(sequence, "item_lines", None)
+    if lines is not None and 0 <= index < len(lines):
+        return lines[index]
+    return node_line(sequence)
+
+
 @dataclass(frozen=True)
 class _Line:
     number: int  # 1-based, for error messages
@@ -180,7 +234,8 @@ class _Parser:
         return parse_scalar(line.content, line.number)
 
     def _parse_mapping(self, indent: int) -> dict[str, Any]:
-        mapping: dict[str, Any] = {}
+        first = self._peek()
+        mapping = LocatedMap(first.number if first is not None else None)
         while True:
             line = self._peek()
             if line is None or line.indent < indent:
@@ -202,6 +257,7 @@ class _Parser:
                 raise YamlError(f"duplicate mapping key {key!r}", line.number)
             remainder = line.content[match.end():].strip()
             self._index += 1
+            mapping.key_lines[key] = line.number
             if remainder:
                 mapping[key] = parse_scalar(remainder, line.number)
             else:
@@ -223,7 +279,8 @@ class _Parser:
         return self._parse_block(line.indent)
 
     def _parse_sequence(self, indent: int) -> list[Any]:
-        items: list[Any] = []
+        first = self._peek()
+        items = LocatedList(first.number if first is not None else None)
         while True:
             line = self._peek()
             if line is None or line.indent != indent:
@@ -235,6 +292,7 @@ class _Parser:
                 return items
             if line.content == "-":
                 self._index += 1
+                items.item_lines.append(line.number)
                 nested = self._peek()
                 if nested is None or nested.indent <= indent:
                     items.append(None)
@@ -245,6 +303,7 @@ class _Parser:
                 return items
             remainder = line.content[2:].strip()
             item_indent = indent + 2
+            items.item_lines.append(line.number)
             if _KEY.match(remainder):
                 # "- key: value": the item is a mapping whose first entry is
                 # inline; rewrite the line and parse a mapping at item depth.

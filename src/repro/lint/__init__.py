@@ -1,0 +1,52 @@
+"""Strategy static analysis (``bifrost lint``).
+
+Supersedes the ad-hoc ``repro.core.verify`` checks with a rule-based
+engine: stable ``BFxxx`` codes, severities, per-rule enable/disable and
+severity overrides (document ``lint:`` section or CLI flags), source-line
+spans resolved from the YAML parser, and text / JSON / SARIF renderers.
+
+Typical use::
+
+    from repro.lint import lint_text, LintConfig
+
+    result = lint_text(open("strategy.yaml").read(), file="strategy.yaml")
+    for diagnostic in result.diagnostics:
+        print(diagnostic)
+    raise SystemExit(result.exit_code(strict=True))
+
+``repro.core.verify.verify_strategy`` remains as a thin compatibility
+shim over :func:`lint_strategy`, reporting only the rules the old
+verifier had, under their legacy names.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    LintConfig,
+    LintConfigError,
+    Severity,
+    SourceSpan,
+)
+from .engine import LintResult, lint_document, lint_path, lint_strategy, lint_text
+from .model import LintModel
+from .registry import LEGACY_RULES, RULES, Rule
+from .render import render_json, render_sarif, render_text
+
+__all__ = [
+    "Diagnostic",
+    "LEGACY_RULES",
+    "LintConfig",
+    "LintConfigError",
+    "LintModel",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "Severity",
+    "SourceSpan",
+    "lint_document",
+    "lint_path",
+    "lint_strategy",
+    "lint_text",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

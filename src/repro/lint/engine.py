@@ -1,0 +1,225 @@
+"""The lint engine: entry points, rule running, result aggregation.
+
+Four entry points, layered so each delegates to the next:
+
+* :func:`lint_path` — read a file and lint its text;
+* :func:`lint_text` — parse DSL text (a parse failure becomes BF001);
+* :func:`lint_document` — lint a parsed document: merge the document's
+  ``lint:`` section with the caller's config, run every rule over the
+  tolerant :class:`~repro.lint.model.LintModel`, then attempt a full
+  compile — a failure becomes BF002 *unless* a more specific rule already
+  reported an error, so a document that lints clean is guaranteed to
+  compile;
+* :func:`lint_strategy` — lint an in-memory strategy (used by the legacy
+  ``verify_strategy`` shim and the enactment gate).
+
+The engine never raises on strategy content: parser, compiler, and rule
+crashes all degrade into diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..core.model import Strategy
+from ..core.routing import RoutingConfig
+from ..dsl.errors import DslError
+from ..dsl.yaml_lite import YamlError, key_line, loads
+from .diagnostics import Diagnostic, LintConfig, LintConfigError, Severity, SourceSpan
+from .model import LintModel
+from .registry import CHECKS, RULES
+from .rules import BAD_LINT_CONFIG, COMPILE_ERROR, PARSE_ERROR  # registers all rules
+
+
+@dataclass
+class LintResult:
+    """Every diagnostic of one lint run, ordered by source line."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    file: str | None = None
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def blocking(self) -> list[Diagnostic]:
+        """ERROR diagnostics of blocking rules — these gate enactment."""
+        return [
+            d
+            for d in self.errors
+            if d.code in RULES and RULES[d.code].blocking
+        ]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CLI convention: 0 clean, 3 errors, 4 warnings under --strict."""
+        if self.errors:
+            return 3
+        if strict and self.warnings:
+            return 4
+        return 0
+
+    def summary(self) -> dict[str, int]:
+        return {
+            severity.value: self.count(severity)
+            for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        }
+
+
+def lint_path(path: str, config: LintConfig | None = None) -> LintResult:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        return LintResult(
+            [
+                PARSE_ERROR.diagnostic(
+                    f"cannot read {path}: {exc}",
+                    span=SourceSpan(file=str(path)),
+                )
+            ],
+            file=str(path),
+        )
+    return lint_text(text, file=str(path), config=config)
+
+
+def lint_text(
+    text: str,
+    file: str | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    try:
+        document = loads(text)
+    except YamlError as exc:
+        span = SourceSpan(line=getattr(exc, "line", None), file=file)
+        return LintResult(
+            [PARSE_ERROR.diagnostic(f"document does not parse: {exc}", span=span)],
+            file=file,
+        )
+    return lint_document(document, file=file, config=config)
+
+
+def lint_document(
+    document: Any,
+    file: str | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    diagnostics: list[Diagnostic] = []
+
+    effective = LintConfig()
+    if isinstance(document, dict):
+        try:
+            effective = LintConfig.from_document(document.get("lint"))
+        except LintConfigError as exc:
+            diagnostics.append(
+                BAD_LINT_CONFIG.diagnostic(
+                    str(exc),
+                    span=SourceSpan(line=key_line(document, "lint"), file=file),
+                )
+            )
+    if config is not None:
+        effective = effective.merged(config)
+
+    model = LintModel.from_document(document, file=file)
+    diagnostics.extend(_run_rules(model, effective))
+
+    # A clean lint must imply a compilable document: when the compiler
+    # rejects it and no rule produced an error, surface the compiler's own
+    # message as BF002 rather than letting the document pass silently.
+    if not any(d.severity is Severity.ERROR for d in diagnostics):
+        try:
+            from ..dsl.compiler import compile_document
+
+            compile_document(document)
+        except DslError as exc:
+            if effective.enabled(COMPILE_ERROR.code):
+                span = SourceSpan(line=getattr(exc, "line", None), file=file)
+                diagnostics.append(
+                    COMPILE_ERROR.diagnostic(
+                        f"document does not compile: {exc}", span=span
+                    )
+                )
+        except Exception as exc:  # defensive: lint must not crash
+            if effective.enabled(COMPILE_ERROR.code):
+                diagnostics.append(
+                    COMPILE_ERROR.diagnostic(
+                        f"document does not compile: {exc}",
+                        span=SourceSpan(file=file),
+                    )
+                )
+
+    return _finish(diagnostics, file)
+
+
+def lint_strategy(
+    strategy: Strategy,
+    safe_routing: dict[str, RoutingConfig] | None = None,
+    config: LintConfig | None = None,
+) -> LintResult:
+    model = LintModel.from_strategy(strategy, safe_routing=safe_routing)
+    diagnostics = _run_rules(model, config or LintConfig())
+    return _finish(diagnostics, None)
+
+
+# -- internals --------------------------------------------------------------
+
+
+def _run_rules(model: LintModel, config: LintConfig) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for entry, check in sorted(CHECKS, key=lambda pair: pair[0].code):
+        if not config.enabled(entry.code):
+            continue
+        override = config.severities.get(entry.code)
+        try:
+            found = list(check(model, config))
+        except Exception as exc:  # a rule bug must not take down the run
+            diagnostics.append(
+                entry.diagnostic(
+                    f"internal error while running {entry.code}: {exc!r}",
+                    severity=Severity.WARNING,
+                )
+            )
+            continue
+        for diagnostic in found:
+            if override is not None and diagnostic.severity is not override:
+                diagnostic = replace(diagnostic, severity=override)
+            diagnostics.append(diagnostic)
+    return diagnostics
+
+
+def _finish(diagnostics: list[Diagnostic], file: str | None) -> LintResult:
+    unique: dict[tuple, Diagnostic] = {}
+    for diagnostic in diagnostics:
+        key = (
+            diagnostic.code,
+            diagnostic.state,
+            diagnostic.message,
+            diagnostic.span.line if diagnostic.span else None,
+        )
+        unique.setdefault(key, diagnostic)
+    ordered = sorted(
+        unique.values(),
+        key=lambda d: (
+            d.span.line if d.span and d.span.line is not None else 10**9,
+            d.code,
+            d.state or "",
+            d.message,
+        ),
+    )
+    return LintResult(ordered, file=file)
+
+
+__all__ = [
+    "LintResult",
+    "lint_document",
+    "lint_path",
+    "lint_strategy",
+    "lint_text",
+]

@@ -1,0 +1,117 @@
+"""Diagnostic renderers: text, JSON, and SARIF 2.1.0.
+
+All three take a :class:`~repro.lint.engine.LintResult` and return a
+string; the CLI picks one via ``--format``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import Severity
+from .engine import LintResult
+from .registry import RULES
+
+#: SARIF levels for our severities ("info" is "note" in SARIF).
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for diagnostic in result.diagnostics:
+        lines.append(str(diagnostic))
+        if diagnostic.fix is not None:
+            lines.append(f"  fix: {diagnostic.fix}")
+        for message, span in diagnostic.related:
+            lines.append(f"  see {span}: {message}")
+    counts = result.summary()
+    if any(counts.values()):
+        lines.append(
+            "found "
+            + ", ".join(
+                f"{count} {name}{'s' if count != 1 else ''}"
+                for name, count in counts.items()
+                if count or name == "error"
+            )
+        )
+    else:
+        target = result.file or "strategy"
+        lines.append(f"{target}: no findings")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "file": result.file,
+            "summary": result.summary(),
+            "diagnostics": [d.to_dict() for d in result.diagnostics],
+        },
+        indent=2,
+        sort_keys=False,
+    )
+
+
+def render_sarif(result: LintResult) -> str:
+    """Minimal SARIF 2.1.0 log — one run, one result per diagnostic."""
+    used = sorted({d.code for d in result.diagnostics})
+    rules = [
+        {
+            "id": code,
+            "name": RULES[code].name if code in RULES else code,
+            "shortDescription": {
+                "text": RULES[code].summary if code in RULES else ""
+            },
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[RULES[code].severity]
+                if code in RULES
+                else "warning"
+            },
+        }
+        for code in used
+    ]
+    results = []
+    for diagnostic in result.diagnostics:
+        entry: dict = {
+            "ruleId": diagnostic.code,
+            "level": _SARIF_LEVELS[diagnostic.severity],
+            "message": {"text": diagnostic.message},
+        }
+        if diagnostic.span is not None and diagnostic.span.file is not None:
+            location: dict = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diagnostic.span.file}
+                }
+            }
+            if diagnostic.span.line is not None:
+                location["physicalLocation"]["region"] = {
+                    "startLine": diagnostic.span.line
+                }
+            entry["locations"] = [location]
+        if diagnostic.state is not None:
+            entry["properties"] = {"state": diagnostic.state}
+        results.append(entry)
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "bifrost-lint",
+                        "informationUri": "https://example.invalid/bifrost",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+__all__ = ["render_json", "render_sarif", "render_text"]

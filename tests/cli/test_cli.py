@@ -62,8 +62,12 @@ def test_validate_ok(valid_file, capsys):
 
 
 def test_validate_invalid(invalid_file, capsys):
-    assert main(["validate", str(invalid_file)]) == 1
-    assert "INVALID" in capsys.readouterr().err
+    """Machine-relevant verdicts (INVALID included) go to stdout."""
+    captured_before = main(["validate", str(invalid_file)])
+    streams = capsys.readouterr()
+    assert captured_before == 1
+    assert "INVALID" in streams.out
+    assert streams.err == ""
 
 
 def test_validate_missing_file(tmp_path):
@@ -117,6 +121,65 @@ deployment:
     path.write_text(document)
     assert main(["validate", str(path), "--verify"]) == 3
     assert "no-rollback" in capsys.readouterr().out
+
+
+def test_lint_clean_file_exits_zero(valid_file, capsys):
+    # VALID_DOC routes 50% unchecked, so ignore the advisory exposure
+    # warning to get a clean strict run.
+    assert (
+        main(["lint", str(valid_file), "--strict", "--ignore", "BF305,BF203"])
+        == 0
+    )
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_warnings_exit_four_only_with_strict(valid_file, capsys):
+    assert main(["lint", str(valid_file)]) == 0
+    assert main(["lint", str(valid_file), "--strict"]) == 4
+    out = capsys.readouterr().out
+    assert "BF305" in out  # unmonitored exposure of v2
+
+
+def test_lint_errors_exit_three_and_json_reports_lines(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "broken.yaml"
+    path.write_text(
+        VALID_DOC.format(proxy="127.0.0.1:7001").replace(
+            "next: done", "next: ghost"
+        )
+    )
+    assert main(["lint", str(path), "--format", "json"]) == 3
+    payload = json.loads(capsys.readouterr().out)
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert "BF107" in codes  # unknown state 'ghost'
+    assert all(
+        d["line"] is not None
+        for d in payload["diagnostics"]
+        if d["code"] == "BF107"
+    )
+
+
+def test_lint_multiple_files_aggregates(tmp_path, valid_file, capsys):
+    import json
+
+    bad = tmp_path / "bad.yaml"
+    bad.write_text("a:\n\tb: 1\n")
+    assert (
+        main(["lint", str(valid_file), str(bad), "--format", "json"]) == 3
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["files"]) == 2
+    assert payload["summary"]["error"] >= 1
+
+
+def test_lint_sarif_output(valid_file, capsys):
+    import json
+
+    assert main(["lint", str(valid_file), "--format", "sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["tool"]["driver"]["name"] == "bifrost-lint"
 
 
 def test_render_text(valid_file, capsys):

@@ -32,6 +32,18 @@ def test_transitions_targets_must_match_ranges():
     Transitions.build([3.0], ["low", "high"])
 
 
+def test_transitions_reject_unsorted_duplicate_and_nan_thresholds():
+    """Malformed threshold lists die at construction, not at enactment."""
+    from repro.core import OutcomeError
+
+    with pytest.raises(OutcomeError, match="strictly increasing"):
+        Transitions.build([5.0, 3.0], ["a", "b", "c"])
+    with pytest.raises(OutcomeError, match="duplicate"):
+        Transitions.build([3.0, 3.0], ["a", "b", "c"])
+    with pytest.raises(OutcomeError, match="finite"):
+        Transitions.build([float("nan"), 1.0], ["a", "b", "c"])
+
+
 def test_transitions_next_state_fig2_state_b():
     # State b: thresholds (3, 4): <=3 -> g, (3,4] -> c, >4 -> d.
     transitions = Transitions.build([3.0, 4.0], ["g", "c", "d"])

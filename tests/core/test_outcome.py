@@ -37,6 +37,25 @@ def test_thresholds_must_strictly_increase():
         ThresholdRanges((5.0, 1.0))
 
 
+def test_thresholds_must_be_finite():
+    # NaN defeats ordering comparisons (nan >= x is always False), so the
+    # sortedness check alone would accept ⟨nan, 1⟩ and make index_of
+    # unstable; the explicit finiteness check must reject it first.
+    with pytest.raises(OutcomeError):
+        ThresholdRanges((float("nan"), 1.0))
+    with pytest.raises(OutcomeError):
+        ThresholdRanges((float("nan"),))
+    with pytest.raises(OutcomeError):
+        ThresholdRanges((float("inf"),))
+
+
+def test_duplicate_and_unsorted_thresholds_have_distinct_errors():
+    with pytest.raises(OutcomeError, match="duplicate threshold"):
+        ThresholdRanges((3.0, 3.0))
+    with pytest.raises(OutcomeError, match="strictly increasing"):
+        ThresholdRanges((5.0, 1.0))
+
+
 def test_describe_ranges():
     ranges = ThresholdRanges((2.0, 4.0))
     assert ranges.describe(0) == "(-inf, 2.0]"

@@ -1,0 +1,307 @@
+"""Tests for the lint engine: entry points, config plumbing, renderers,
+the clean-implies-compilable invariant, and the enactment gate."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Engine,
+    StrategyBuilder,
+    StrategyRejectedError,
+    canary_split,
+    simple_basic_check,
+    single_version,
+)
+from repro.lint import (
+    LintConfig,
+    Severity,
+    lint_path,
+    lint_strategy,
+    lint_text,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+DEPLOYMENT = """\
+deployment:
+  services:
+    frontend:
+      proxy: 127.0.0.1:7001
+      stable: v1
+      versions:
+        v1: 127.0.0.1:9001
+        v2: 127.0.0.1:9002
+"""
+
+# The acceptance-criteria document: an unreachable state, an overlapping
+# threshold range, and a malformed metric query, with known line numbers.
+ACCEPTANCE_DOC = (
+    """\
+strategy:
+  name: acceptance
+  phases:
+    - phase:
+        name: canary
+        routes:
+          - route:
+              from: frontend
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 10
+        checks:
+          - metric:
+              name: errors
+              query: "rate(((("
+              validator: "<5"
+              intervalTime: 30
+              intervalLimit: 4
+        transitions:
+          thresholds: [5, 3]
+          targets: [rollback, canary, done]
+    - phase:
+        name: orphan
+        next: done
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+"""
+    + DEPLOYMENT
+)
+QUERY_LINE = 16  # query: "rate((((""
+THRESHOLDS_LINE = 21  # thresholds: [5, 3]
+ORPHAN_LINE = 24  # name: orphan
+
+
+def test_acceptance_three_codes_with_line_numbers_in_text_and_json():
+    result = lint_text(ACCEPTANCE_DOC, file="acceptance.yaml")
+    expected = {
+        "BF301": QUERY_LINE,
+        "BF105": THRESHOLDS_LINE,
+        "BF101": ORPHAN_LINE,
+    }
+    by_code = {d.code: d for d in result.diagnostics if d.code in expected}
+    assert set(by_code) == set(expected)
+    for code, line in expected.items():
+        assert by_code[code].span.line == line, code
+        assert by_code[code].severity is Severity.ERROR
+
+    text = render_text(result)
+    for code, line in expected.items():
+        assert f"acceptance.yaml:{line}" in text
+        assert code in text
+
+    payload = json.loads(render_json(result))
+    json_lines = {d["code"]: d.get("line") for d in payload["diagnostics"]}
+    for code, line in expected.items():
+        assert json_lines[code] == line
+
+    assert result.exit_code() == 3
+
+
+def test_parse_failure_is_bf001_with_line():
+    result = lint_text("a:\n\tb: 1\n", file="bad.yaml")
+    [diagnostic] = result.diagnostics
+    assert diagnostic.code == "BF001"
+    assert diagnostic.span.line == 2
+    assert result.exit_code() == 3
+
+
+def test_unreadable_file_is_bf001(tmp_path):
+    result = lint_path(str(tmp_path / "ghost.yaml"))
+    [diagnostic] = result.diagnostics
+    assert diagnostic.code == "BF001"
+    assert "cannot read" in diagnostic.message
+
+
+def test_compile_failure_without_rule_errors_is_bf002():
+    # Structurally fine for every rule, but the check lacks a validator,
+    # which only the compiler rejects.
+    document = (
+        """\
+strategy:
+  name: t
+  phases:
+    - phase:
+        name: canary
+        checks:
+          - metric:
+              name: m
+              query: up
+              intervalTime: 1
+              intervalLimit: 2
+        next: done
+        onFailure: rollback
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+"""
+        + DEPLOYMENT
+    )
+    result = lint_text(document, file="t.yaml")
+    assert "BF002" in {d.code for d in result.diagnostics}
+
+
+def test_clean_lint_implies_compilable_so_no_bf002_next_to_rule_errors():
+    result = lint_text(ACCEPTANCE_DOC, file="t.yaml")
+    codes = {d.code for d in result.diagnostics}
+    # The document does not compile, but specific rules already explain
+    # why with better locations — BF002 stays out of the way.
+    assert "BF002" not in codes
+
+
+def test_document_lint_section_ignore_and_severity_override():
+    base = (
+        """\
+strategy:
+  name: t
+  phases:
+    - phase:
+        name: blind
+        duration: 5
+        routes:
+          - route:
+              from: frontend
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 25
+        next: done
+    - final:
+        name: done
+"""
+        + DEPLOYMENT
+    )
+    plain = lint_text(base, file="t.yaml")
+    assert "BF305" in {d.code for d in plain.diagnostics}
+
+    ignored = base + "lint:\n  ignore: [BF305]\n"
+    result = lint_text(ignored, file="t.yaml")
+    assert "BF305" not in {d.code for d in result.diagnostics}
+
+    promoted = base + "lint:\n  severity:\n    BF305: error\n"
+    result = lint_text(promoted, file="t.yaml")
+    [diagnostic] = [d for d in result.diagnostics if d.code == "BF305"]
+    assert diagnostic.severity is Severity.ERROR
+    assert result.exit_code() == 3
+
+
+def test_malformed_lint_section_is_bf003_not_a_crash():
+    document = ACCEPTANCE_DOC + "lint:\n  bogus: true\n"
+    result = lint_text(document, file="t.yaml")
+    assert "BF003" in {d.code for d in result.diagnostics}
+
+
+def test_cli_config_overrides_document_select():
+    config = LintConfig.from_flags(select=["BF3"])
+    result = lint_text(ACCEPTANCE_DOC, file="t.yaml", config=config)
+    codes = {d.code for d in result.diagnostics}
+    assert "BF301" in codes
+    assert codes <= {"BF301", "BF302", "BF303", "BF304", "BF305"}
+
+
+def test_lint_is_deterministic():
+    first = lint_text(ACCEPTANCE_DOC, file="t.yaml")
+    second = lint_text(ACCEPTANCE_DOC, file="t.yaml")
+    assert [str(d) for d in first.diagnostics] == [
+        str(d) for d in second.diagnostics
+    ]
+
+
+def test_strict_exit_code_for_warnings():
+    document = (
+        """\
+strategy:
+  name: t
+  phases:
+    - phase:
+        name: blind
+        duration: 5
+        routes:
+          - route:
+              from: frontend
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 25
+        next: done
+    - final:
+        name: done
+"""
+        + DEPLOYMENT
+    )
+    result = lint_text(document, file="t.yaml")
+    assert result.errors == []
+    assert result.warnings
+    assert result.exit_code() == 0
+    assert result.exit_code(strict=True) == 4
+
+
+def test_sarif_output_shape():
+    result = lint_text(ACCEPTANCE_DOC, file="acceptance.yaml")
+    log = json.loads(render_sarif(result))
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"BF101", "BF105", "BF301"} <= rule_ids
+    result_entry = next(
+        entry for entry in run["results"] if entry["ruleId"] == "BF301"
+    )
+    region = result_entry["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == QUERY_LINE
+
+
+# -- the enactment gate ------------------------------------------------------
+
+
+def bad_query_strategy():
+    builder = StrategyBuilder("gated")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    builder.state("canary").route("svc", canary_split("stable", "canary", 5.0)).check(
+        simple_basic_check("c", "rate((((", "<5", 1, 3)
+    ).transitions([0.5], ["rollback", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    builder.state("rollback").route("svc", single_version("stable")).final(
+        rollback=True
+    )
+    return builder.build()
+
+
+async def test_engine_refuses_blocking_findings():
+    engine = Engine()
+    with pytest.raises(StrategyRejectedError) as excinfo:
+        engine.enact(bad_query_strategy())
+    assert any(d.code == "BF301" for d in excinfo.value.diagnostics)
+    assert "BF301" in str(excinfo.value)
+    await engine.shutdown()
+
+
+async def test_engine_allow_findings_overrides_the_gate():
+    engine = Engine()
+    execution_id = engine.enact(bad_query_strategy(), allow_findings=True)
+    assert execution_id.startswith("gated#")
+    await engine.cancel(execution_id)
+    await engine.shutdown()
+
+
+async def test_engine_still_enacts_strategies_with_advisory_findings():
+    # No rollback state is an ERROR finding, but an advisory one — the
+    # legacy test suite enacts such strategies and the gate must let them.
+    builder = StrategyBuilder("advisory")
+    builder.service("svc", {"stable": "h:1", "canary": "h:2"})
+    builder.state("canary").route("svc", canary_split("stable", "canary", 5.0)).check(
+        simple_basic_check("c", "up", "<5", 1, 3)
+    ).transitions([0.5], ["done", "done"])
+    builder.state("done").route("svc", single_version("canary")).final()
+    strategy = builder.build()
+    assert lint_strategy(strategy).errors  # BF104 fires...
+    engine = Engine()
+    execution_id = engine.enact(strategy)  # ...but does not block
+    await engine.cancel(execution_id)
+    await engine.shutdown()

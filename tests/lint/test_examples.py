@@ -1,0 +1,33 @@
+"""Every YAML strategy shipped under examples/ must lint clean.
+
+If an example legitimately needs to demonstrate a finding, add it to
+EXPECTED_FINDINGS with the rule codes it is allowed to trip — anything
+not listed must produce zero diagnostics even at --strict.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_path
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.yaml")
+)
+
+#: path name -> set of rule codes the example is expected to trip.
+EXPECTED_FINDINGS: dict[str, set[str]] = {}
+
+
+def test_examples_exist():
+    assert EXAMPLES, "no YAML examples found — did examples/ move?"
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_lints_clean_or_matches_manifest(path):
+    result = lint_path(str(path))
+    expected = EXPECTED_FINDINGS.get(path.name, set())
+    unexpected = [d for d in result.diagnostics if d.code not in expected]
+    assert not unexpected, "\n".join(str(d) for d in unexpected)
+    missing = expected - {d.code for d in result.diagnostics}
+    assert not missing, f"manifest expects {sorted(missing)} but they no longer fire"

@@ -1,0 +1,158 @@
+"""Parallel-check cost model: shared scheduler vs one task per check.
+
+The paper's Figure 9/10 sweep runs hundreds to thousands of parallel
+checks; the seed engine paid one asyncio task plus one parked timer per
+check for the whole state duration.  This benchmark races the shared
+:class:`~repro.core.scheduler.CheckScheduler` against the per-task
+reference runner (``CheckRunner.run_sequential``) on identical check
+populations under a :class:`VirtualClock`, and records what each mode
+keeps alive between ticks:
+
+* per-task — N tasks parked on N clock timers;
+* scheduler — one driver parked on one timer, regardless of N.
+
+Artifacts: ``benchmarks/output/check_sweep.json`` plus the tracked
+repo-root ``BENCH_check_sweep.json``.
+
+``BIFROST_BENCH_CHECKS`` caps the sweep top (CI smoke runs reduced);
+``BIFROST_BENCH_FULL=1`` extends it to 1024 checks.
+"""
+
+import asyncio
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+from repro.clock import VirtualClock
+from repro.core import CheckRunner, CheckScheduler, simple_basic_check
+from repro.metrics import StaticProvider
+
+from .conftest import full_sweeps
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+INTERVAL = 5.0
+TICKS = 8
+
+
+def sweep_points() -> list[int]:
+    points = [64, 128, 256, 512]
+    if full_sweeps():
+        points.append(1024)
+    cap = int(os.environ.get("BIFROST_BENCH_CHECKS", "0"))
+    if cap:
+        points = [n for n in points if n <= cap] or [cap]
+    return points
+
+
+def _checks(count: int):
+    return [
+        simple_basic_check(
+            f"c{i}", "q", "<5", interval=INTERVAL, repetitions=TICKS,
+            threshold=1, provider="static",
+        )
+        for i in range(count)
+    ]
+
+
+def _peak_rss_kib() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+async def _enact(count: int, mode: str) -> dict:
+    """Run *count* parallel checks to completion; sample idle-state costs."""
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    checks = _checks(count)
+    scheduler = CheckScheduler(clock) if mode == "scheduler" else None
+    start = time.perf_counter()
+    if scheduler is not None:
+        waiters = [scheduler.schedule(check, providers) for check in checks]
+    else:
+        waiters = [
+            asyncio.ensure_future(
+                CheckRunner(check, providers, clock).run_sequential()
+            )
+            for check in checks
+        ]
+    # Let everything park on its first deadline, then sample the idle cost.
+    for _ in range(3):
+        await asyncio.sleep(0)
+    tasks_idle = len(asyncio.all_tasks()) - 1  # minus this coordinator
+    timers_idle = clock.pending_sleepers
+    tasks_peak = tasks_idle
+    timers_peak = timers_idle
+    for _ in range(TICKS):
+        await clock.advance(INTERVAL)
+        tasks_peak = max(tasks_peak, len(asyncio.all_tasks()) - 1)
+        timers_peak = max(timers_peak, clock.pending_sleepers)
+    results = await asyncio.gather(*waiters)
+    wall = time.perf_counter() - start
+    if scheduler is not None:
+        await scheduler.close()
+    assert len(results) == count
+    assert all(result.mapped == 1 for result in results)
+    return {
+        "wall_s": round(wall, 4),
+        "tasks_alive_idle": tasks_idle,
+        "pending_timers_idle": timers_idle,
+        "tasks_alive_peak_between_ticks": tasks_peak,
+        "process_peak_rss_kib": _peak_rss_kib(),
+    }
+
+
+def test_check_sweep_scheduler_vs_per_task(artifact_writer):
+    points = []
+    for count in sweep_points():
+        per_task = asyncio.run(_enact(count, "per_task"))
+        scheduler = asyncio.run(_enact(count, "scheduler"))
+        speedup = per_task["wall_s"] / scheduler["wall_s"]
+        points.append(
+            {
+                "checks": count,
+                "per_task": per_task,
+                "scheduler": scheduler,
+                "speedup": round(speedup, 2),
+            }
+        )
+        # Cost model: the per-task baseline parks one timer (and one task)
+        # per check; the scheduler parks one timer however many checks run.
+        assert per_task["pending_timers_idle"] == count
+        assert per_task["tasks_alive_idle"] >= count
+        assert scheduler["pending_timers_idle"] == 1
+        assert scheduler["tasks_alive_idle"] <= 4  # driver + wake plumbing
+
+    top = points[-1]
+    # Flat idle-task count across the sweep: O(1), not O(checks).
+    idle_counts = {p["scheduler"]["tasks_alive_idle"] for p in points}
+    assert max(idle_counts) <= 4
+
+    results = {
+        "benchmark": "check_sweep",
+        "workload": {
+            "interval_s": INTERVAL,
+            "ticks_per_check": TICKS,
+            "check_counts": [p["checks"] for p in points],
+        },
+        "points": points,
+        "top": {
+            "checks": top["checks"],
+            "speedup": top["speedup"],
+            "scheduler_tasks_alive_idle": top["scheduler"]["tasks_alive_idle"],
+            "scheduler_pending_timers_idle": top["scheduler"]["pending_timers_idle"],
+        },
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    rendered = json.dumps(results, indent=2)
+    artifact_writer("check_sweep.json", rendered)
+    (REPO_ROOT / "BENCH_check_sweep.json").write_text(rendered + "\n", encoding="utf-8")
+
+    if top["checks"] >= 500:
+        assert top["speedup"] >= 2.0, (
+            f"scheduler only {top['speedup']:.2f}x faster at "
+            f"{top['checks']} checks (need >= 2x)"
+        )
+    else:  # reduced CI smoke: still must not be slower
+        assert top["speedup"] >= 1.0

@@ -88,3 +88,57 @@ def test_weighted_outcome(benchmark):
     outcomes = [1, 0, 1, 1, 5, -5]
     weights = [1.0, 2.0, 1.0, 0.5, 1.0, 1.0]
     benchmark(weighted_outcome, outcomes, weights)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_series_append_trim_cycle(benchmark):
+    """Retention-style workload: the ring's O(1) amortized trim hot loop."""
+    from repro.metrics.series import SeriesKey, TimeSeries
+
+    def cycle():
+        series = TimeSeries(SeriesKey.make("m"))
+        for t in range(2000):
+            series.append(float(t), 1.0)
+            if t >= 100:
+                series.drop_before(float(t - 100))
+        return len(series)
+
+    assert benchmark(cycle) == 101
+
+
+@pytest.mark.benchmark(group="micro")
+def test_series_window_read(benchmark):
+    """Range-selector reads over a wrapped ring (the rate() hot path)."""
+    from repro.metrics.series import SeriesKey, TimeSeries
+
+    series = TimeSeries(SeriesKey.make("m"))
+    for t in range(20_000):
+        series.append(float(t), float(t))
+    series.drop_before(4_000.0)  # start pointer advances: windows wrap
+    for t in range(20_000, 24_000):
+        series.append(float(t), float(t))
+
+    def read():
+        timestamps, values = series.window_arrays(10_000.0, 22_000.0)
+        return len(timestamps) + len(values)
+
+    assert benchmark(read) == 24_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_histogram_quantile_cached_layout(benchmark):
+    """Per-tick quantile over 20 histograms with the layout cache warm."""
+    store = MetricStore()
+    at = 60.0
+    for instance in range(20):
+        for le, count in (
+            ("0.1", 10.0), ("0.25", 40.0), ("0.5", 70.0),
+            ("1", 90.0), ("2.5", 98.0), ("+Inf", 100.0),
+        ):
+            store.record(
+                "latency_bucket", count, at,
+                {"instance": f"inst-{instance}", "le": le},
+            )
+    expression = parse("histogram_quantile(0.95, latency_bucket)")
+    result = benchmark(evaluate_scalar, store, expression, at)
+    assert result is not None and result > 0

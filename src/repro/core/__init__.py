@@ -16,6 +16,7 @@ from .checks import (
     Check,
     CheckError,
     Comparison,
+    CheckProgress,
     CheckResult,
     CheckRunner,
     ConditionEvaluation,
@@ -40,6 +41,7 @@ from .engine import (
     StrategyRejectedError,
 )
 from .events import Event, EventBus, EventKind, JsonlEventWriter
+from .scheduler import CheckScheduler
 from .model import ModelError, Service, ServiceVersion, Strategy
 from .outcome import (
     OutcomeError,
@@ -87,8 +89,10 @@ __all__ = [
     "canary_split",
     "Check",
     "CheckError",
+    "CheckProgress",
     "CheckResult",
     "CheckRunner",
+    "CheckScheduler",
     "Comparison",
     "ConditionEvaluation",
     "ProviderErrorPolicy",

@@ -380,6 +380,86 @@ class CheckResult:
 ExecutionObserver = Callable[[Check, Execution], Awaitable[None] | None]
 
 
+@dataclass(frozen=True)
+class TickOutcome:
+    """What one timer tick did to a check's run.
+
+    ``execution`` is ``None`` for held ticks (``onProviderError: hold``);
+    ``triggered`` means the tick trips the exception-check fallback (after
+    the observer has seen the recorded execution, matching the historical
+    per-task runner ordering).
+    """
+
+    execution: Execution | None
+    triggered: bool
+
+
+class CheckProgress:
+    """Mutable per-run state of one check's timed loop.
+
+    The single source of truth for tick semantics — execution recording,
+    0/1 aggregation, and the :class:`ProviderErrorPolicy` bookkeeping —
+    shared by the sequential per-task runner and the shared
+    :class:`~repro.core.scheduler.CheckScheduler` so both enactment paths
+    are observationally identical by construction.
+    """
+
+    def __init__(self, check: Check):
+        self.check = check
+        self.executions: list[Execution] = []
+        self.total = 0
+        self.consecutive_no_data = 0
+
+    def apply(self, evaluation: ConditionEvaluation, at: float) -> TickOutcome:
+        """Fold one condition evaluation into the run; returns the tick's fate."""
+        check = self.check
+        if isinstance(check, ExceptionCheck) and not evaluation.data_available:
+            policy = check.on_provider_error
+            if policy.mode == "hold":
+                # The tick is not counted: no execution recorded, no
+                # trigger — the check simply has one observation fewer.
+                logger.warning(
+                    "check %r held a tick (no data): %s",
+                    check.name,
+                    "; ".join(evaluation.errors),
+                )
+                return TickOutcome(execution=None, triggered=False)
+            if policy.mode == "tolerate":
+                self.consecutive_no_data += 1
+                execution = Execution(at=at, result=0)
+                self.executions.append(execution)
+                return TickOutcome(
+                    execution=execution,
+                    triggered=self.consecutive_no_data > policy.tolerance,
+                )
+            # "trigger": fall through — no data is a failed execution.
+        else:
+            self.consecutive_no_data = 0
+        result = evaluation.result
+        execution = Execution(at=at, result=result)
+        self.executions.append(execution)
+        self.total += result
+        return TickOutcome(
+            execution=execution,
+            triggered=isinstance(check, ExceptionCheck) and result == 0,
+        )
+
+    def result(self) -> CheckResult:
+        """The final :class:`CheckResult` once every repetition ran."""
+        if isinstance(self.check, BasicCheck):
+            mapped = self.check.output.map(self.total)
+        else:
+            # All n executions of an exception check succeeded: the
+            # aggregated outcome equals n (paper section 3.2).
+            mapped = self.total
+        return CheckResult(
+            self.check,
+            aggregated=self.total,
+            mapped=mapped,
+            executions=self.executions,
+        )
+
+
 class CheckRunner:
     """Executes one check's timed loop.
 
@@ -387,6 +467,11 @@ class CheckRunner:
     sums the 0/1 results, and maps them through Out_ci.  For an exception
     check, the first failing execution raises :class:`ExceptionTriggered`,
     which the state executor turns into an immediate fallback transition.
+
+    :meth:`run` dispatches through a :class:`CheckScheduler` (one timer
+    heap, no task per check); :meth:`run_sequential` is the historical
+    one-loop-per-check implementation, kept as the behavioral reference
+    the scheduler is tested against.
     """
 
     def __init__(
@@ -402,50 +487,30 @@ class CheckRunner:
         self.observer = observer
 
     async def run(self) -> CheckResult:
-        executions: list[Execution] = []
-        total = 0
-        consecutive_no_data = 0
+        from .scheduler import CheckScheduler
+
+        scheduler = CheckScheduler(self.clock)
+        try:
+            return await scheduler.schedule(
+                self.check, self.providers, observer=self.observer
+            )
+        finally:
+            await scheduler.close()
+
+    async def run_sequential(self) -> CheckResult:
+        """Reference implementation: one dedicated timer loop per check."""
+        progress = CheckProgress(self.check)
         timer = self.check.timer
         for _ in range(timer.repetitions):
             await self.clock.sleep(timer.interval)
             evaluation = await self.check.condition.evaluate_detailed(self.providers)
             at = self.clock.now()
-            if isinstance(self.check, ExceptionCheck) and not evaluation.data_available:
-                policy = self.check.on_provider_error
-                if policy.mode == "hold":
-                    # The tick is not counted: no execution recorded, no
-                    # trigger — the check simply has one observation fewer.
-                    logger.warning(
-                        "check %r held a tick (no data): %s",
-                        self.check.name,
-                        "; ".join(evaluation.errors),
-                    )
-                    continue
-                if policy.mode == "tolerate":
-                    consecutive_no_data += 1
-                    execution = Execution(at=at, result=0)
-                    executions.append(execution)
-                    await self._notify(execution)
-                    if consecutive_no_data > policy.tolerance:
-                        raise ExceptionTriggered(self.check, at)
-                    continue
-                # "trigger": fall through — no data is a failed execution.
-            else:
-                consecutive_no_data = 0
-            result = evaluation.result
-            execution = Execution(at=at, result=result)
-            executions.append(execution)
-            total += result
-            await self._notify(execution)
-            if isinstance(self.check, ExceptionCheck) and result == 0:
-                raise ExceptionTriggered(self.check, execution.at)
-        if isinstance(self.check, BasicCheck):
-            mapped = self.check.output.map(total)
-        else:
-            # All n executions of an exception check succeeded: the
-            # aggregated outcome equals n (paper section 3.2).
-            mapped = total
-        return CheckResult(self.check, aggregated=total, mapped=mapped, executions=executions)
+            outcome = progress.apply(evaluation, at)
+            if outcome.execution is not None:
+                await self._notify(outcome.execution)
+            if outcome.triggered:
+                raise ExceptionTriggered(self.check, at)
+        return progress.result()
 
     async def _notify(self, execution: Execution) -> None:
         if self.observer is None:

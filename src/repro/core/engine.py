@@ -29,11 +29,12 @@ from dataclasses import dataclass, field
 from ..clock import Clock, RealClock
 from ..metrics.provider import MetricsProvider
 from .automaton import State
-from .checks import CheckResult, CheckRunner, ExceptionTriggered
+from .checks import CheckResult, ExceptionTriggered
 from .events import Event, EventBus, EventKind
 from .model import ModelError, Strategy
 from .outcome import weighted_outcome
 from .routing import RoutingConfig, single_version
+from .scheduler import CheckScheduler
 
 logger = logging.getLogger(__name__)
 
@@ -161,6 +162,7 @@ class StrategyExecution:
         clock: Clock,
         max_visits: int | None = None,
         safe_routing: dict[str, RoutingConfig] | None = None,
+        scheduler: CheckScheduler | None = None,
     ):
         if strategy.automaton is None:
             raise ModelError(f"strategy {strategy.name!r} has no automaton")
@@ -170,6 +172,10 @@ class StrategyExecution:
         self.controller = controller
         self.bus = bus
         self.clock = clock
+        #: Shared timer heap for every check tick; engine executions all
+        #: dispatch through the engine's scheduler so N parallel strategies
+        #: with M checks each cost one pending timer, not N·M.
+        self.scheduler = scheduler or CheckScheduler(clock)
         self.max_visits = max_visits or self.DEFAULT_MAX_VISITS
         self.safe_routing = dict(safe_routing or {})
         self.status = ExecutionStatus.PENDING
@@ -428,48 +434,63 @@ class StrategyExecution:
     async def _run_checks(self, state: State) -> list[CheckResult]:
         """Run all checks in parallel; dwell at least the explicit duration.
 
-        An exception check failure cancels every other check task and
-        propagates :class:`ExceptionTriggered` — the immediate-rollback
-        semantics of the model.
+        Every check is dispatched through the shared
+        :class:`~repro.core.scheduler.CheckScheduler` — one heap entry per
+        check instead of one task per check.  An exception check failure
+        cancels every other scheduled check and propagates
+        :class:`ExceptionTriggered` — the immediate-rollback semantics of
+        the model.
         """
-        try:
-            async with asyncio.TaskGroup() as group:
-                check_tasks = [
-                    group.create_task(self._run_single_check(check))
-                    for check in state.checks
-                ]
-                if state.duration is not None:
-                    group.create_task(self.clock.sleep(state.duration))
-        except ExceptionGroup as group_exc:
-            triggered = group_exc.subgroup(ExceptionTriggered)
-            if triggered is not None:
-                raise triggered.exceptions[0] from None
-            raise
-        return [task.result() for task in check_tasks]
-
-    async def _run_single_check(self, check) -> CheckResult:
-        async def observer(observed_check, execution) -> None:
-            await self._publish(
-                EventKind.CHECK_EXECUTED,
-                {
-                    "state": self.current_state,
-                    "check": observed_check.name,
-                    "result": execution.result,
-                },
+        futures = [
+            self.scheduler.schedule(
+                check,
+                self.providers,
+                observer=self._check_observer,
+                on_complete=self._check_completed,
             )
+            for check in state.checks
+        ]
+        awaitables: list[asyncio.Future] = list(futures)
+        if state.duration is not None:
+            awaitables.append(
+                asyncio.ensure_future(self.clock.sleep(state.duration))
+            )
+        try:
+            results = await asyncio.gather(*awaitables)
+        except BaseException:
+            # gather does not cancel siblings on a plain exception; tear
+            # down every still-scheduled check (and the dwell sleep), and
+            # retrieve losers' exceptions so none goes unobserved when two
+            # checks trigger on the same tick.
+            for waiter in awaitables:
+                if waiter.done():
+                    if not waiter.cancelled():
+                        waiter.exception()
+                else:
+                    waiter.cancel()
+            raise
+        return list(results[: len(futures)])
 
-        runner = CheckRunner(check, self.providers, self.clock, observer)
-        result = await runner.run()
+    async def _check_observer(self, check, execution) -> None:
+        await self._publish(
+            EventKind.CHECK_EXECUTED,
+            {
+                "state": self.current_state,
+                "check": check.name,
+                "result": execution.result,
+            },
+        )
+
+    async def _check_completed(self, result: CheckResult) -> None:
         await self._publish(
             EventKind.CHECK_COMPLETED,
             {
                 "state": self.current_state,
-                "check": check.name,
+                "check": result.check.name,
                 "aggregated": result.aggregated,
                 "mapped": result.mapped,
             },
         )
-        return result
 
     async def _publish(self, kind: EventKind, data: dict) -> None:
         await self.bus.publish(
@@ -505,6 +526,8 @@ class Engine:
         self.controller = controller or RecordingController()
         self.clock = clock or RealClock()
         self.bus = bus or EventBus()
+        #: One timer heap shared by every execution this engine runs.
+        self.scheduler = CheckScheduler(self.clock)
         self.providers: dict[str, MetricsProvider] = {}
         self._executions: dict[str, StrategyExecution] = {}
         self._tasks: dict[str, asyncio.Task[ExecutionReport]] = {}
@@ -580,6 +603,7 @@ class Engine:
             clock=self.clock,
             max_visits=max_visits,
             safe_routing=safe_routing,
+            scheduler=self.scheduler,
         )
         self._executions[execution_id] = execution
 
@@ -685,5 +709,6 @@ class Engine:
         """Cancel every running execution and close providers."""
         for execution_id in list(self._tasks):
             await self.cancel(execution_id)
+        await self.scheduler.close()
         for provider in self.providers.values():
             await provider.close()

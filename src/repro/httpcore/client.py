@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any
 
 from .errors import ConnectionClosed, HttpError, RequestTimeout
@@ -20,25 +21,44 @@ from .message import Request, Response, read_response
 
 
 class _Pool:
-    """Idle keep-alive connections for one ``host:port``."""
+    """Idle keep-alive connections for one ``host:port``.
+
+    Connections are stacked LIFO — the most recently used (and therefore
+    least likely to have been closed by the server's keep-alive timer) is
+    reused first — with the monotonic instant each one went idle, so both
+    ends of the list can be aged out cheaply: stale candidates pop off the
+    top on acquire, the oldest idlers fall off the bottom on release.
+    """
 
     __slots__ = ("connections",)
 
     def __init__(self) -> None:
-        self.connections: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self.connections: list[
+            tuple[asyncio.StreamReader, asyncio.StreamWriter, float]
+        ] = []
 
 
 class HttpClient:
     """A pooled HTTP client.
 
     One instance can talk to many hosts; idle connections are kept per
-    ``host:port`` up to *pool_size*.  The client is safe for concurrent use
-    from many tasks (each in-flight request owns its connection).
+    ``host:port`` up to *pool_size* and at most *idle_timeout* seconds —
+    long-idle sockets are the ones a server's keep-alive timer has most
+    likely already closed, and retiring them client-side avoids burning
+    the stale-connection retry on a request that could have gone straight
+    to a fresh socket.  The client is safe for concurrent use from many
+    tasks (each in-flight request owns its connection).
     """
 
-    def __init__(self, pool_size: int = 32, timeout: float = 30.0):
+    def __init__(
+        self,
+        pool_size: int = 32,
+        timeout: float = 30.0,
+        idle_timeout: float = 60.0,
+    ):
         self.pool_size = pool_size
         self.timeout = timeout
+        self.idle_timeout = idle_timeout
         self._pools: dict[str, _Pool] = {}
         self._closed = False
 
@@ -121,8 +141,17 @@ class HttpClient:
         """Return ``(reused, connection)``; *reused* drives retry policy."""
         if not force_new:
             pool = self._pools.get(key)
+            deadline = time.monotonic() - self.idle_timeout
             while pool and pool.connections:
-                reader, writer = pool.connections.pop()
+                reader, writer, released_at = pool.connections.pop()
+                if released_at < deadline:
+                    # Idle past the keep-alive budget: everything below it
+                    # on the LIFO stack is older still, so drain the lot.
+                    _close_now(writer)
+                    for _, stale_writer, _ in pool.connections:
+                        _close_now(stale_writer)
+                    pool.connections.clear()
+                    break
                 if not writer.is_closing() and not reader.at_eof():
                     return True, (reader, writer)
                 _close_now(writer)
@@ -136,16 +165,30 @@ class HttpClient:
             _close_now(connection[1])
             return
         pool = self._pools.setdefault(key, _Pool())
-        if len(pool.connections) >= self.pool_size:
+        now = time.monotonic()
+        # Age out the oldest idlers so a burst followed by a quiet period
+        # does not pin pool_size sockets open forever.
+        deadline = now - self.idle_timeout
+        connections = pool.connections
+        while connections and connections[0][2] < deadline:
+            _close_now(connections.pop(0)[1])
+        if len(connections) >= self.pool_size:
             _close_now(connection[1])
         else:
-            pool.connections.append(connection)
+            connections.append((connection[0], connection[1], now))
+
+    def idle_connections(self, key: str | None = None) -> int:
+        """How many keep-alive connections are parked (observability)."""
+        if key is not None:
+            pool = self._pools.get(key)
+            return len(pool.connections) if pool else 0
+        return sum(len(pool.connections) for pool in self._pools.values())
 
     async def close(self) -> None:
         """Close all idle pooled connections and reject further use."""
         self._closed = True
         for pool in self._pools.values():
-            for _, writer in pool.connections:
+            for _, writer, _ in pool.connections:
                 _close_now(writer)
             pool.connections.clear()
         self._pools.clear()

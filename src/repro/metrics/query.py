@@ -27,7 +27,9 @@ import re
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable
+from weakref import WeakKeyDictionary
 
+from .series import TimeSeries
 from .store import LabelMatcher, MetricStore
 
 #: Instant selectors ignore samples older than this, like Prometheus.
@@ -427,6 +429,49 @@ def _eval(store: MetricStore, node: Expression, at: float) -> list[VectorSample]
     raise QueryError(f"cannot evaluate node {node!r}")
 
 
+#: Grouped/sorted histogram bucket layouts, cached per store and selector.
+#: A layout is pure structure — which bucket series exist, grouped by their
+#: labels minus ``le`` and sorted by bound — so it only changes when a new
+#: series appears; it is keyed on ``store.series_generation`` and survives
+#: every sample append.  Values per tick are still read live through
+#: ``series.value_at``.
+_BucketLayout = list[
+    tuple[tuple[tuple[str, str], ...], list[tuple[float, TimeSeries]]]
+]
+_LAYOUT_CACHES: "WeakKeyDictionary[MetricStore, dict]" = WeakKeyDictionary()
+
+
+def _bucket_layout(store: MetricStore, selector: Selector) -> _BucketLayout:
+    """The selector's bucket series grouped and sorted, cached per store."""
+    caches = _LAYOUT_CACHES.get(store)
+    if caches is None:
+        caches = {}
+        _LAYOUT_CACHES[store] = caches
+    cache_key = (selector.name, selector.matchers)
+    generation = store.series_generation
+    cached = caches.get(cache_key)
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+    groups: dict[tuple[tuple[str, str], ...], list[tuple[float, TimeSeries]]] = {}
+    for series in store.select(selector.name, selector.matchers):
+        labels = series.key.label_dict()
+        raw_bound = labels.pop("le", None)
+        if raw_bound is None:
+            continue  # not a bucket series
+        try:
+            bound = float("inf") if raw_bound == "+Inf" else float(raw_bound)
+        except ValueError:
+            continue
+        key = tuple(sorted(labels.items()))
+        groups.setdefault(key, []).append((bound, series))
+    layout: _BucketLayout = [
+        (key, sorted(buckets, key=lambda pair: pair[0]))
+        for key, buckets in groups.items()
+    ]
+    caches[cache_key] = (generation, layout)
+    return layout
+
+
 def _histogram_quantile(
     store: MetricStore, node: HistogramQuantile, at: float
 ) -> list[VectorSample]:
@@ -436,26 +481,21 @@ def _histogram_quantile(
     per instance), and the quantile is linearly interpolated inside the
     bucket where the target rank falls — Prometheus' algorithm, including
     the "clamp to the highest finite bound" rule for the +Inf bucket.
+    The grouping and sorting are cached per selector (see
+    :func:`_bucket_layout`); each evaluation only reads current bucket
+    counts and interpolates.
     """
-    groups: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]] = {}
-    for series in store.select(node.argument.name, node.argument.matchers):
-        labels = series.key.label_dict()
-        raw_bound = labels.pop("le", None)
-        if raw_bound is None:
-            continue  # not a bucket series
-        try:
-            bound = float("inf") if raw_bound == "+Inf" else float(raw_bound)
-        except ValueError:
-            continue
-        value = series.value_at(at, staleness=STALENESS)
-        if value is None:
-            continue
-        key = tuple(sorted(labels.items()))
-        groups.setdefault(key, []).append((bound, value))
-
     result = []
-    for key, buckets in groups.items():
-        buckets.sort()
+    for key, layout in _bucket_layout(store, node.argument):
+        # Stale/empty series drop out per tick, exactly as the uncached
+        # path dropped ``None`` values before grouping.
+        buckets = [
+            (bound, value)
+            for bound, series in layout
+            if (value := series.value_at(at, staleness=STALENESS)) is not None
+        ]
+        if not buckets:
+            continue
         total = buckets[-1][1] if buckets else 0.0
         if total <= 0 or buckets[-1][0] != float("inf"):
             continue  # empty histogram, or malformed (no +Inf bucket)

@@ -4,12 +4,24 @@ The paper models monitoring data Ω as a tuple of metrics, each a time series
 of values.  :class:`TimeSeries` is that primitive: an append-only sequence of
 ``(timestamp, value)`` samples identified by a metric name plus a label set,
 exactly like a Prometheus series.
+
+Storage is a pair of ``array('d')`` ring buffers (timestamps and values)
+rather than Python lists: a sample costs 16 bytes of packed doubles instead
+of two pointers plus two boxed floats (~64 bytes), and retention trims
+(:meth:`TimeSeries.drop_before`) advance the ring's start index in O(1)
+amortized instead of shifting every surviving element with ``del lst[:i]``.
+The window primitives stay ring-aware: :meth:`TimeSeries.window_bounds`
+binary-searches logical indices without materializing anything, and
+:meth:`TimeSeries.window_arrays` hands back at most two C-level slice
+copies for the range functions to iterate.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from array import array
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -41,32 +53,109 @@ class Sample:
     value: float
 
 
-@dataclass
-class TimeSeries:
-    """An append-only, time-ordered series of samples."""
+#: Smallest ring capacity allocated once a series holds data.
+_MIN_CAPACITY = 16
 
-    key: SeriesKey
-    _timestamps: list[float] = field(default_factory=list)
-    _values: list[float] = field(default_factory=list)
+_EMPTY = array("d")
+
+
+class TimeSeries:
+    """An append-only, time-ordered series of samples on ring buffers."""
+
+    __slots__ = ("key", "_ts", "_vs", "_start", "_size")
+
+    def __init__(self, key: SeriesKey):
+        self.key = key
+        self._ts = array("d")  # timestamps, physical ring order
+        self._vs = array("d")  # values, parallel to _ts
+        self._start = 0  # physical index of the logical first sample
+        self._size = 0  # live samples (<= capacity == len(_ts))
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.key}, samples={self._size})"
+
+    # -- ring primitives ---------------------------------------------------
+
+    def _linearized(self, buffer: array) -> array:
+        """The live samples of *buffer* in logical order (a copy)."""
+        start, size = self._start, self._size
+        end = start + size
+        capacity = len(buffer)
+        if end <= capacity:
+            return buffer[start:end]
+        return buffer[start:capacity] + buffer[: end - capacity]
+
+    def _resize(self, capacity: int) -> None:
+        """Re-home the live samples into fresh buffers of *capacity*."""
+        pad = array("d", bytes(8 * (capacity - self._size)))
+        self._ts = self._linearized(self._ts) + pad
+        self._vs = self._linearized(self._vs) + pad
+        self._start = 0
+
+    def _bisect_right(self, timestamp: float) -> int:
+        """Logical count of samples with ``t <= timestamp``."""
+        ts, start, size = self._ts, self._start, self._size
+        end = start + size
+        capacity = len(ts)
+        if end <= capacity:  # contiguous run
+            return bisect_right(ts, timestamp, start, end) - start
+        wrap = end - capacity
+        if ts[0] <= timestamp:  # boundary sample of the wrapped run
+            return (capacity - start) + bisect_right(ts, timestamp, 0, wrap)
+        return bisect_right(ts, timestamp, start, capacity) - start
+
+    def _bisect_left(self, timestamp: float) -> int:
+        """Logical count of samples with ``t < timestamp``."""
+        ts, start, size = self._ts, self._start, self._size
+        end = start + size
+        capacity = len(ts)
+        if end <= capacity:
+            return bisect_left(ts, timestamp, start, end) - start
+        wrap = end - capacity
+        if ts[0] < timestamp:
+            return (capacity - start) + bisect_left(ts, timestamp, 0, wrap)
+        return bisect_left(ts, timestamp, start, capacity) - start
+
+    def _slice(self, buffer: array, lo: int, hi: int) -> array:
+        """Logical ``buffer[lo:hi]`` as at most two C-level slice copies."""
+        if lo >= hi:
+            return _EMPTY[:]
+        capacity = len(buffer)
+        physical_lo = (self._start + lo) % capacity
+        physical_hi = physical_lo + (hi - lo)
+        if physical_hi <= capacity:
+            return buffer[physical_lo:physical_hi]
+        return buffer[physical_lo:capacity] + buffer[: physical_hi - capacity]
+
+    # -- public API --------------------------------------------------------
 
     def append(self, timestamp: float, value: float) -> None:
         """Record one sample; timestamps must be non-decreasing."""
-        if self._timestamps and timestamp < self._timestamps[-1]:
-            raise ValueError(
-                f"out-of-order sample for {self.key}: "
-                f"{timestamp} < {self._timestamps[-1]}"
-            )
-        self._timestamps.append(timestamp)
-        self._values.append(value)
+        size = self._size
+        capacity = len(self._ts)
+        if size:
+            last = self._ts[(self._start + size - 1) % capacity]
+            if timestamp < last:
+                raise ValueError(
+                    f"out-of-order sample for {self.key}: {timestamp} < {last}"
+                )
+        if size == capacity:
+            self._resize(max(_MIN_CAPACITY, capacity * 2))
+            capacity = len(self._ts)
+        position = (self._start + size) % capacity
+        self._ts[position] = timestamp
+        self._vs[position] = value
+        self._size = size + 1
 
     def __len__(self) -> int:
-        return len(self._timestamps)
+        return self._size
 
     def latest(self) -> Sample | None:
         """The most recent sample, or ``None`` for an empty series."""
-        if not self._timestamps:
+        if not self._size:
             return None
-        return Sample(self._timestamps[-1], self._values[-1])
+        position = (self._start + self._size - 1) % len(self._ts)
+        return Sample(self._ts[position], self._vs[position])
 
     def at(self, timestamp: float, staleness: float = float("inf")) -> Sample | None:
         """The newest sample at or before *timestamp*.
@@ -75,60 +164,70 @@ class TimeSeries:
         *staleness* seconds relative to *timestamp* (Prometheus applies a
         5-minute staleness window in the same spot).
         """
-        index = bisect.bisect_right(self._timestamps, timestamp) - 1
+        index = self._bisect_right(timestamp) - 1
         if index < 0:
             return None
-        if timestamp - self._timestamps[index] > staleness:
+        position = (self._start + index) % len(self._ts)
+        found = self._ts[position]
+        if timestamp - found > staleness:
             return None
-        return Sample(self._timestamps[index], self._values[index])
+        return Sample(found, self._vs[position])
 
     def value_at(self, timestamp: float, staleness: float = float("inf")) -> float | None:
         """Like :meth:`at` but returns the bare value, allocating nothing."""
-        index = bisect.bisect_right(self._timestamps, timestamp) - 1
+        index = self._bisect_right(timestamp) - 1
         if index < 0:
             return None
-        if timestamp - self._timestamps[index] > staleness:
+        position = (self._start + index) % len(self._ts)
+        if timestamp - self._ts[position] > staleness:
             return None
-        return self._values[index]
+        return self._vs[position]
 
     @property
     def oldest_timestamp(self) -> float | None:
         """Timestamp of the first retained sample, or ``None`` when empty."""
-        return self._timestamps[0] if self._timestamps else None
+        return self._ts[self._start] if self._size else None
 
     def window_bounds(self, start: float, end: float) -> tuple[int, int]:
-        """Index bounds ``(lo, hi)`` of samples with ``start < t <= end``.
+        """Logical index bounds ``(lo, hi)`` of samples with ``start < t <= end``.
 
         The zero-copy primitive behind :meth:`window` and
-        :meth:`window_arrays`: nothing is materialized, callers index the
-        underlying arrays directly.
+        :meth:`window_arrays`: nothing is materialized, callers slice the
+        ring through the accessors.
         """
-        lo = bisect.bisect_right(self._timestamps, start)
-        hi = bisect.bisect_right(self._timestamps, end)
-        return lo, hi
+        return self._bisect_right(start), self._bisect_right(end)
 
-    def window_arrays(self, start: float, end: float) -> tuple[list[float], list[float]]:
+    def window_arrays(self, start: float, end: float) -> tuple[Sequence[float], Sequence[float]]:
         """Timestamp/value array slices for the range selector window.
 
-        Two plain ``list[float]`` slices instead of one :class:`Sample`
+        Two packed ``array('d')`` slices instead of one :class:`Sample`
         object per point — the allocation-light path the range functions
         (``rate``, ``*_over_time``) iterate over.
         """
         lo, hi = self.window_bounds(start, end)
-        return self._timestamps[lo:hi], self._values[lo:hi]
+        return self._slice(self._ts, lo, hi), self._slice(self._vs, lo, hi)
 
     def window(self, start: float, end: float) -> list[Sample]:
         """All samples with ``start < timestamp <= end`` (range selector)."""
-        lo, hi = self.window_bounds(start, end)
-        return [
-            Sample(self._timestamps[i], self._values[i]) for i in range(lo, hi)
-        ]
+        timestamps, values = self.window_arrays(start, end)
+        return [Sample(t, v) for t, v in zip(timestamps, values)]
 
     def drop_before(self, timestamp: float) -> int:
-        """Discard samples older than *timestamp*; returns how many."""
-        index = bisect.bisect_left(self._timestamps, timestamp)
+        """Discard samples older than *timestamp*; returns how many.
+
+        Amortized O(1) beyond the index search: the ring's start pointer
+        advances past the dropped prefix, and the buffers are compacted
+        only when occupancy falls below a quarter of a non-trivial
+        capacity (hysteresis keeps trim/append cycles from thrashing).
+        """
+        index = self._bisect_left(timestamp)
         if index == 0:
             return 0
-        del self._timestamps[:index]
-        del self._values[:index]
+        capacity = len(self._ts)
+        self._start = (self._start + index) % capacity
+        self._size -= index
+        if self._size == 0:
+            self._start = 0
+        if capacity > 4 * _MIN_CAPACITY and self._size * 4 <= capacity:
+            self._resize(max(_MIN_CAPACITY, self._size * 2))
         return index

@@ -21,6 +21,7 @@ from ..clock import Clock, RealClock
 from ..httpcore import HttpClient, HttpServer, Request, Response
 from .query import QueryError, evaluate
 from .scraper import Scraper
+from .series import SeriesKey
 from .store import MetricStore
 
 
@@ -46,6 +47,13 @@ class MetricsServer(HttpServer):
         self.router.post("/api/v1/ingest")(self._handle_ingest)
         self.router.get("/api/v1/series")(self._handle_series)
         self.router.get("/healthz")(self._handle_health)
+        #: Per-(tick, generation) memo of rendered query responses — the
+        #: HTTP twin of ``LocalPrometheusProvider``'s instant cache.  When
+        #: N parallel strategies hit the server with the same query at the
+        #: same clock instant against an unchanged store, the expression
+        #: evaluates (and serializes) once.
+        self._query_cache: dict[str, bytes] = {}
+        self._query_cache_key: tuple[float, int] | None = None
 
     async def start(self, scrape: bool = True) -> None:
         await super().start()
@@ -62,43 +70,84 @@ class MetricsServer(HttpServer):
             return Response.from_json(
                 {"status": "error", "error": "missing query parameter"}, 400
             )
-        try:
-            vector = evaluate(self.store, query, self.clock.now())
-        except QueryError as exc:
-            return Response.from_json({"status": "error", "error": str(exc)}, 400)
-        scalar = sum(sample.value for sample in vector) if vector else None
-        return Response.from_json(
-            {
-                "status": "success",
-                "data": {
-                    "value": scalar,
-                    "vector": [
-                        {"labels": sample.labels, "value": sample.value}
-                        for sample in vector
-                    ],
-                },
-            }
-        )
+        now = self.clock.now()
+        cache_key = (now, self.store.generation)
+        if cache_key != self._query_cache_key:
+            self._query_cache_key = cache_key
+            self._query_cache.clear()
+        body = self._query_cache.get(query)
+        if body is None:
+            try:
+                vector = evaluate(self.store, query, now)
+            except QueryError as exc:
+                return Response.from_json(
+                    {"status": "error", "error": str(exc)}, 400
+                )
+            scalar = sum(sample.value for sample in vector) if vector else None
+            response = Response.from_json(
+                {
+                    "status": "success",
+                    "data": {
+                        "value": scalar,
+                        "vector": [
+                            {"labels": sample.labels, "value": sample.value}
+                            for sample in vector
+                        ],
+                    },
+                }
+            )
+            self._query_cache[query] = response.body
+            return response
+        response = Response(status=200, body=body)
+        response.headers.setdefault("Content-Type", "application/json")
+        return response
 
     async def _handle_ingest(self, request: Request) -> Response:
+        """Push-style ingestion: the whole batch lands, or none of it does.
+
+        Every sample is validated — shape, types, label map, and timestamp
+        ordering against both the store's current series and earlier
+        samples in the same batch — *before* anything is recorded, so a
+        bad sample mid-list cannot leave a partial ingest behind the 400.
+        No await separates validation from recording; under asyncio's
+        single thread the batch is atomic.
+        """
         samples = request.json()
         if not isinstance(samples, list):
             return Response.from_json(
                 {"status": "error", "error": "expected a JSON list"}, 400
             )
         now = self.clock.now()
+        validated: list[tuple[str, float, float, dict]] = []
+        last_seen: dict[SeriesKey, float] = {}
         for sample in samples:
             try:
-                self.store.record(
-                    sample["name"],
-                    float(sample["value"]),
-                    float(sample.get("timestamp", now)),
-                    sample.get("labels") or {},
-                )
+                name = sample["name"]
+                if not isinstance(name, str):
+                    raise TypeError(f"metric name must be a string, got {name!r}")
+                labels = sample.get("labels") or {}
+                if not isinstance(labels, dict):
+                    raise TypeError(f"labels must be an object, got {labels!r}")
+                value = float(sample["value"])
+                timestamp = float(sample.get("timestamp", now))
+                key = SeriesKey.make(name, labels)
+                floor = last_seen.get(key)
+                if floor is None:
+                    series = self.store.series(key)
+                    latest = series.latest() if series is not None else None
+                    floor = latest.timestamp if latest is not None else None
+                if floor is not None and timestamp < floor:
+                    raise ValueError(
+                        f"out-of-order sample: {timestamp} < {floor}"
+                    )
+                last_seen[key] = timestamp
             except (KeyError, TypeError, ValueError) as exc:
                 return Response.from_json(
                     {"status": "error", "error": f"bad sample {sample!r}: {exc}"}, 400
                 )
+            validated.append((name, value, timestamp, labels))
+        for name, value, timestamp, labels in validated:
+            self.store.record(name, value, timestamp, labels)
         return Response.from_json({"status": "success", "ingested": len(samples)})
 
     async def _handle_series(self, request: Request) -> Response:

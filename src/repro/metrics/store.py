@@ -66,6 +66,12 @@ class MetricStore:
         self._selector_cache: dict[str, dict[tuple[LabelMatcher, ...], list[TimeSeries]]] = {}
         #: Bumped on every mutation; lets callers detect "store changed".
         self.generation = 0
+        #: Bumped only when the *shape* of the store changes (a series is
+        #: created or the store is cleared) — sample appends leave it
+        #: untouched.  Structural caches (histogram bucket layouts,
+        #: resolved selectors) key on this instead of :attr:`generation`,
+        #: which advances on every single sample.
+        self.series_generation = 0
 
     def record(
         self,
@@ -84,6 +90,7 @@ class MetricStore:
             # A new series can change what any cached selector for this
             # name matches, so resolved selectors start over.
             self._selector_cache.pop(name, None)
+            self.series_generation += 1
         series.append(timestamp, value)
         if self.retention is not None:
             # O(1) guard: only pay the bisect + list surgery when the
@@ -130,3 +137,4 @@ class MetricStore:
         self._by_name.clear()
         self._selector_cache.clear()
         self.generation += 1
+        self.series_generation += 1

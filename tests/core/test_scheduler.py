@@ -1,0 +1,174 @@
+"""Unit tests for the shared check scheduler.
+
+Behavioral coverage for :class:`repro.core.scheduler.CheckScheduler` —
+timer fan-in (many checks, one parked sleep), cancellation/preemption,
+completion callbacks, and driver lifecycle.  Equivalence with the per-task
+reference runner is property-tested in
+``tests/property/test_scheduler_equivalence.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.core import (
+    CheckScheduler,
+    ExceptionCheck,
+    ExceptionTriggered,
+    MetricCondition,
+    Timer,
+    simple_basic_check,
+)
+from repro.metrics import StaticProvider
+
+
+def make_check(name="c", interval=5.0, repetitions=4, query="q"):
+    return simple_basic_check(
+        name, query, "<5", interval=interval, repetitions=repetitions,
+        provider="static",
+    )
+
+
+async def test_many_idle_checks_park_one_timer():
+    """N scheduled checks between ticks cost one clock sleeper, not N."""
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    scheduler = CheckScheduler(clock)
+    futures = [
+        scheduler.schedule(make_check(name=f"c{i}"), providers)
+        for i in range(50)
+    ]
+    await asyncio.sleep(0)
+    await asyncio.sleep(0)
+    assert scheduler.pending_checks == 50
+    assert clock.pending_sleepers == 1  # the driver's single parked sleep
+    await clock.advance(20.0)
+    results = await asyncio.gather(*futures)
+    assert all(result.mapped == 1 for result in results)
+    assert scheduler.pending_checks == 0
+
+
+async def test_interleaved_intervals_tick_in_deadline_order():
+    clock = VirtualClock()
+    provider = StaticProvider({"fast": 1.0, "slow": 1.0})
+    providers = {"static": provider}
+    scheduler = CheckScheduler(clock)
+    fast = scheduler.schedule(
+        make_check("fast", interval=2.0, repetitions=3, query="fast"), providers
+    )
+    slow = scheduler.schedule(
+        make_check("slow", interval=5.0, repetitions=1, query="slow"), providers
+    )
+    await asyncio.sleep(0)
+    await clock.advance(6.0)
+    fast_result, slow_result = await asyncio.gather(fast, slow)
+    assert [e.at for e in fast_result.executions] == [2.0, 4.0, 6.0]
+    assert [e.at for e in slow_result.executions] == [5.0]
+    assert provider.query_log == ["fast", "fast", "slow", "fast"]
+
+
+async def test_cancelling_future_deschedules_check():
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    scheduler = CheckScheduler(clock)
+    doomed = scheduler.schedule(make_check("doomed"), providers)
+    survivor = scheduler.schedule(make_check("survivor"), providers)
+    await asyncio.sleep(0)
+    doomed.cancel()
+    await asyncio.sleep(0)
+    assert scheduler.pending_checks == 1
+    await clock.advance(20.0)
+    result = await survivor
+    assert result.mapped == 1
+    with pytest.raises(asyncio.CancelledError):
+        await doomed
+
+
+async def test_exception_check_fails_only_its_own_future():
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"bad": 99.0, "q": 1.0})}
+    scheduler = CheckScheduler(clock)
+    tripwire = scheduler.schedule(
+        ExceptionCheck(
+            name="tripwire",
+            condition=MetricCondition.simple("bad", "<5", provider="static"),
+            timer=Timer(3.0, 10),
+            fallback_state="rollback",
+        ),
+        providers,
+    )
+    steady = scheduler.schedule(make_check("steady"), providers)
+    await asyncio.sleep(0)
+    await clock.advance(20.0)
+    with pytest.raises(ExceptionTriggered) as exc_info:
+        await tripwire
+    assert exc_info.value.at == 3.0
+    assert (await steady).mapped == 1
+
+
+async def test_on_complete_runs_before_future_resolves():
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    scheduler = CheckScheduler(clock)
+    order = []
+
+    async def on_complete(result):
+        order.append(("callback", result.mapped))
+
+    future = scheduler.schedule(
+        make_check(interval=1.0, repetitions=1), providers, on_complete=on_complete
+    )
+    future.add_done_callback(lambda _: order.append(("resolved",)))
+    await asyncio.sleep(0)
+    await clock.advance(1.0)
+    await future
+    assert order == [("callback", 1), ("resolved",)]
+
+
+async def test_driver_exits_when_idle_and_restarts_on_schedule():
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    scheduler = CheckScheduler(clock)
+    first = scheduler.schedule(make_check(interval=1.0, repetitions=1), providers)
+    await asyncio.sleep(0)
+    await clock.advance(1.0)
+    await first
+    for _ in range(5):  # let the driver observe the empty heap and return
+        await asyncio.sleep(0)
+    assert scheduler._driver.done()
+    assert clock.pending_sleepers == 0  # nothing parked while idle
+    second = scheduler.schedule(make_check(interval=2.0, repetitions=2), providers)
+    await asyncio.sleep(0)
+    await clock.advance(4.0)
+    assert (await second).aggregated == 2
+    await scheduler.close()
+
+
+async def test_close_cancels_everything():
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    scheduler = CheckScheduler(clock)
+    futures = [scheduler.schedule(make_check(f"c{i}"), providers) for i in range(3)]
+    await asyncio.sleep(0)
+    await scheduler.close()
+    assert scheduler.pending_checks == 0
+    for future in futures:
+        assert future.cancelled()
+
+
+async def test_observer_failure_fails_that_check():
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    scheduler = CheckScheduler(clock)
+
+    def observer(check, execution):
+        raise RuntimeError("observer broke")
+
+    broken = scheduler.schedule(make_check(), providers, observer=observer)
+    healthy = scheduler.schedule(make_check("ok"), providers)
+    await asyncio.sleep(0)
+    await clock.advance(20.0)
+    with pytest.raises(RuntimeError):
+        await broken
+    assert (await healthy).mapped == 1

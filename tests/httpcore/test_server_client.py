@@ -240,3 +240,71 @@ def test_split_url_variants():
         _split_url("https://secure")
     with pytest.raises(ValueError):
         _split_url("http://:80/")
+
+
+async def test_idle_connections_observability():
+    async with make_server() as server, HttpClient() as client:
+        key = server.address
+        assert client.idle_connections() == 0
+        await client.get(f"http://{server.address}/ping")
+        assert client.idle_connections() == 1
+        assert client.idle_connections(key) == 1
+        assert client.idle_connections("other:80") == 0
+
+
+async def test_stale_idle_connection_evicted_on_acquire():
+    async with make_server() as server, HttpClient(idle_timeout=60.0) as client:
+        await client.get(f"http://{server.address}/ping")
+        pool = client._pools[server.address]
+        reader, old_writer, released_at = pool.connections[0]
+        # Backdate the idle instant past the keep-alive budget.
+        pool.connections[0] = (reader, old_writer, released_at - 120.0)
+        response = await client.get(f"http://{server.address}/ping")
+        assert response.status == 200
+        assert old_writer.is_closing()  # the stale socket was retired
+        assert client.idle_connections() == 1  # a fresh one was pooled
+        assert pool.connections[0][1] is not old_writer
+
+
+async def test_stale_acquire_drains_older_stack_entries():
+    """Everything below a stale LIFO top is older still — all must go."""
+    async with make_server() as server, HttpClient(idle_timeout=60.0) as client:
+        await asyncio.gather(
+            *[client.get(f"http://{server.address}/ping") for _ in range(3)]
+        )
+        pool = client._pools[server.address]
+        assert len(pool.connections) == 3
+        old_writers = [writer for _, writer, _ in pool.connections]
+        pool.connections[:] = [
+            (reader, writer, released_at - 120.0)
+            for reader, writer, released_at in pool.connections
+        ]
+        await client.get(f"http://{server.address}/ping")
+        assert all(writer.is_closing() for writer in old_writers)
+        assert client.idle_connections() == 1
+
+
+async def test_release_ages_out_oldest_idler():
+    """A burst then a quiet period must not pin sockets open forever."""
+    async with make_server() as server, HttpClient(idle_timeout=60.0) as client:
+        await asyncio.gather(
+            *[client.get(f"http://{server.address}/ping") for _ in range(3)]
+        )
+        pool = client._pools[server.address]
+        reader, oldest_writer, released_at = pool.connections[0]
+        pool.connections[0] = (reader, oldest_writer, released_at - 120.0)
+        # The next request reuses the fresh LIFO top; releasing it back
+        # sweeps the expired connection off the bottom of the stack.
+        await client.get(f"http://{server.address}/ping")
+        assert oldest_writer.is_closing()
+        assert client.idle_connections() == 2
+        assert all(not w.is_closing() for _, w, _ in pool.connections)
+
+
+async def test_fresh_connections_survive_idle_sweeps():
+    async with make_server() as server, HttpClient(idle_timeout=60.0) as client:
+        for _ in range(4):
+            await client.get(f"http://{server.address}/ping")
+        # Sequential keep-alive traffic: one warm connection, never evicted.
+        assert client.idle_connections() == 1
+        assert server.requests_handled == 4

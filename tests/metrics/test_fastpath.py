@@ -116,8 +116,8 @@ def test_window_bounds_and_arrays_match_window():
     timestamps, values = series.window_arrays(2.0, 7.0)
     samples = series.window(2.0, 7.0)
     assert hi - lo == len(samples) == len(timestamps) == len(values)
-    assert timestamps == [s.timestamp for s in samples]
-    assert values == [s.value for s in samples]
+    assert list(timestamps) == [s.timestamp for s in samples]
+    assert list(values) == [s.value for s in samples]
     assert timestamps[0] == 3.0 and timestamps[-1] == 7.0  # start exclusive
 
 
@@ -185,3 +185,62 @@ async def test_instant_cache_caches_empty_results_too():
     before = store.select_calls
     assert await provider.query("missing") is None
     assert store.select_calls == before
+
+
+# -- histogram bucket layout cache --------------------------------------------------
+
+
+def _record_histogram(store, at, counts, instance="a"):
+    for bound, count in counts.items():
+        store.record(
+            "latency_bucket", count, at, {"le": bound, "instance": instance}
+        )
+
+
+def test_histogram_layout_cache_hits_across_appends():
+    store = CountingStore()
+    _record_histogram(store, 1.0, {"0.1": 5.0, "0.5": 9.0, "+Inf": 10.0})
+    query = "histogram_quantile(0.5, latency_bucket)"
+    first = evaluate_scalar(store, query, at=1.0)
+    calls = store.select_calls
+    # New samples on existing series keep the layout valid: later
+    # evaluations interpolate fresh counts without re-grouping buckets.
+    _record_histogram(store, 2.0, {"0.1": 50.0, "0.5": 90.0, "+Inf": 100.0})
+    second = evaluate_scalar(store, query, at=2.0)
+    assert store.select_calls == calls  # layout served from cache
+    assert first is not None and second is not None
+    assert 0.1 <= first <= 0.5 and 0.1 <= second <= 0.5
+
+
+def test_histogram_layout_cache_invalidated_by_new_series():
+    store = MetricStore()
+    _record_histogram(store, 1.0, {"0.1": 1.0, "+Inf": 4.0}, instance="a")
+    query = "histogram_quantile(0.5, latency_bucket)"
+    from repro.metrics.query import evaluate
+
+    assert len(evaluate(store, query, 1.0)) == 1
+    _record_histogram(store, 2.0, {"0.1": 2.0, "+Inf": 2.0}, instance="b")
+    # The new instance's buckets must appear immediately.
+    assert len(evaluate(store, query, 2.0)) == 2
+
+
+def test_histogram_layout_cache_tracks_values_live():
+    """The cache stores structure only — counts are read at query time."""
+    store = MetricStore()
+    _record_histogram(store, 1.0, {"0.1": 10.0, "1.0": 10.0, "+Inf": 10.0})
+    query = "histogram_quantile(0.9, latency_bucket)"
+    assert evaluate_scalar(store, query, at=1.0) == pytest.approx(0.09)
+    # All new mass lands in the (0.1, 1.0] bucket: the quantile must move.
+    _record_histogram(store, 2.0, {"0.1": 10.0, "1.0": 100.0, "+Inf": 100.0})
+    moved = evaluate_scalar(store, query, at=2.0)
+    assert moved is not None and moved > 0.5
+
+
+def test_histogram_layout_cache_respects_staleness():
+    store = MetricStore()
+    _record_histogram(store, 1.0, {"0.1": 1.0, "+Inf": 2.0})
+    query = "histogram_quantile(0.5, latency_bucket)"
+    assert evaluate_scalar(store, query, at=1.0) is not None
+    # Far past the staleness horizon the cached layout still exists, but
+    # every bucket reads as no-data: the histogram drops out of the result.
+    assert evaluate_scalar(store, query, at=1000.0) is None

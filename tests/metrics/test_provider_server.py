@@ -157,3 +157,145 @@ async def test_http_provider_unreachable_raises():
             await provider.query("up")
     finally:
         await provider.close()
+
+
+# -- atomic ingest ----------------------------------------------------------------
+
+
+async def test_ingest_bad_sample_mid_batch_records_nothing():
+    """A 400 batch is all-or-nothing: valid leading samples must not land."""
+    clock = VirtualClock(start=5.0)
+    server = MetricsServer(clock=clock)
+    server.store.record("sales", 1.0, 1.0, {"version": "a"})
+    generation = server.store.generation
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.post(
+                f"http://{server.address}/api/v1/ingest",
+                json_body=[
+                    {"name": "sales", "value": 2.0, "labels": {"version": "a"}},
+                    {"name": "sales", "value": "not-a-number"},
+                    {"name": "sales", "value": 3.0, "labels": {"version": "a"}},
+                ],
+            )
+            assert response.status == 400
+            assert "bad sample" in response.json()["error"]
+    finally:
+        await server.stop()
+    # The leading valid sample was not recorded behind the 400.
+    assert server.store.generation == generation
+    series = server.store.select("sales")[0]
+    assert series.latest().value == 1.0
+
+
+async def test_ingest_rejects_out_of_order_against_store_atomically():
+    clock = VirtualClock(start=50.0)
+    server = MetricsServer(clock=clock)
+    server.store.record("m", 1.0, 40.0)
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.post(
+                f"http://{server.address}/api/v1/ingest",
+                json_body=[
+                    {"name": "m", "value": 2.0, "timestamp": 45.0},
+                    {"name": "m", "value": 3.0, "timestamp": 30.0},  # behind 45
+                ],
+            )
+            assert response.status == 400
+            assert "out-of-order" in response.json()["error"]
+    finally:
+        await server.stop()
+    assert len(server.store.select("m")[0]) == 1  # neither sample landed
+
+
+async def test_ingest_out_of_order_within_batch_same_series():
+    """Ordering is validated against earlier samples in the same batch too."""
+    server = MetricsServer(clock=VirtualClock(start=10.0))
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.post(
+                f"http://{server.address}/api/v1/ingest",
+                json_body=[
+                    {"name": "fresh", "value": 1.0, "timestamp": 9.0},
+                    {"name": "fresh", "value": 2.0, "timestamp": 8.0},
+                ],
+            )
+            assert response.status == 400
+    finally:
+        await server.stop()
+    assert server.store.select("fresh") == []
+
+
+async def test_ingest_same_timestamp_is_accepted():
+    """Non-decreasing, not strictly increasing: duplicates must pass."""
+    server = MetricsServer(clock=VirtualClock(start=10.0))
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.post(
+                f"http://{server.address}/api/v1/ingest",
+                json_body=[
+                    {"name": "m", "value": 1.0, "timestamp": 9.0},
+                    {"name": "m", "value": 2.0, "timestamp": 9.0},
+                ],
+            )
+            assert response.json() == {"status": "success", "ingested": 2}
+    finally:
+        await server.stop()
+    assert len(server.store.select("m")[0]) == 2
+
+
+# -- server-side query cache ------------------------------------------------------
+
+
+class _CountingStore(MetricStore):
+    """MetricStore that counts selector evaluations."""
+
+    def __init__(self):
+        super().__init__()
+        self.select_calls = 0
+
+    def select(self, name, matchers=None):
+        self.select_calls += 1
+        return super().select(name, matchers)
+
+
+async def test_server_query_cache_collapses_identical_queries_per_tick():
+    clock = VirtualClock(start=10.0)
+    server = MetricsServer(clock=clock)
+    server.store = _CountingStore()
+    server.store.record("hits", 7.0, 9.0, {"instance": "a"})
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            url = f"http://{server.address}/api/v1/query?query=hits"
+            first = await client.get(url)
+            calls_after_first = server.store.select_calls
+            second = await client.get(url)
+            # Same tick, unchanged store: the second response is served
+            # from the rendered-body memo without touching the store.
+            assert server.store.select_calls == calls_after_first
+            assert second.json() == first.json()
+            assert second.headers.get("Content-Type") == "application/json"
+    finally:
+        await server.stop()
+
+
+async def test_server_query_cache_invalidated_by_mutation_and_tick():
+    clock = VirtualClock(start=10.0)
+    server = MetricsServer(clock=clock)
+    server.store.record("hits", 1.0, 9.0)
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            url = f"http://{server.address}/api/v1/query?query=hits"
+            assert (await client.get(url)).json()["data"]["value"] == 1.0
+            server.store.record("hits", 5.0, 10.0)  # same tick, store changed
+            assert (await client.get(url)).json()["data"]["value"] == 5.0
+            await clock.advance(400.0)  # past staleness: cache must not mask it
+            assert (await client.get(url)).json()["data"]["value"] is None
+    finally:
+        await server.stop()

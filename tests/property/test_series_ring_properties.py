@@ -1,0 +1,176 @@
+"""Ring-buffer ``TimeSeries`` vs a list-backed reference model.
+
+The ring buffer in :mod:`repro.metrics.series` earns its keep through
+physical-index arithmetic (wrap-aware bisect, two-piece slices, start
+pointer trims).  These properties drive random interleavings of the whole
+public API against a trivially-correct list model and demand identical
+observable behavior at every step — if the index math is off by one
+anywhere, some interleaving here finds it.
+"""
+
+import bisect
+
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.series import Sample, SeriesKey, TimeSeries, _MIN_CAPACITY
+
+
+class ListSeries:
+    """The obviously-correct reference: a plain sorted list of samples."""
+
+    def __init__(self):
+        self.samples: list[tuple[float, float]] = []
+
+    def append(self, timestamp, value):
+        if self.samples and timestamp < self.samples[-1][0]:
+            raise ValueError("out of order")
+        self.samples.append((timestamp, value))
+
+    def __len__(self):
+        return len(self.samples)
+
+    def latest(self):
+        return self.samples[-1] if self.samples else None
+
+    @property
+    def oldest_timestamp(self):
+        return self.samples[0][0] if self.samples else None
+
+    def at(self, timestamp, staleness=float("inf")):
+        index = bisect.bisect_right([s[0] for s in self.samples], timestamp) - 1
+        if index < 0:
+            return None
+        found, value = self.samples[index]
+        if timestamp - found > staleness:
+            return None
+        return (found, value)
+
+    def window(self, start, end):
+        return [s for s in self.samples if start < s[0] <= end]
+
+    def drop_before(self, timestamp):
+        kept = [s for s in self.samples if s[0] >= timestamp]
+        dropped = len(self.samples) - len(kept)
+        self.samples = kept
+        return dropped
+
+
+timestamps = st.floats(min_value=-5.0, max_value=120.0, allow_nan=False)
+values = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+staleness = st.one_of(st.just(float("inf")), st.floats(min_value=0.0, max_value=30.0))
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.floats(min_value=0.0, max_value=3.0), values),
+        st.tuples(st.just("drop_before"), timestamps),
+        st.tuples(st.just("at"), timestamps, staleness),
+        st.tuples(st.just("value_at"), timestamps, staleness),
+        st.tuples(st.just("window"), timestamps, st.floats(min_value=0.0, max_value=40.0)),
+    ),
+    max_size=150,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_ring_series_matches_list_model(ops):
+    ring = TimeSeries(SeriesKey.make("m"))
+    model = ListSeries()
+    now = 0.0
+    for op in ops:
+        if op[0] == "append":
+            # Non-negative deltas keep timestamps monotone; zero deltas
+            # exercise duplicate-timestamp bisects.
+            _, delta, value = op
+            now += delta
+            ring.append(now, value)
+            model.append(now, value)
+        elif op[0] == "drop_before":
+            assert ring.drop_before(op[1]) == model.drop_before(op[1])
+        elif op[0] == "at":
+            _, t, stale = op
+            found = ring.at(t, staleness=stale)
+            expected = model.at(t, staleness=stale)
+            assert (found and (found.timestamp, found.value)) == (expected or None)
+        elif op[0] == "value_at":
+            _, t, stale = op
+            expected = model.at(t, staleness=stale)
+            assert ring.value_at(t, staleness=stale) == (expected and expected[1])
+        else:
+            _, start, width = op
+            end = start + width
+            expected = model.window(start, end)
+            assert [(s.timestamp, s.value) for s in ring.window(start, end)] == expected
+            lo, hi = ring.window_bounds(start, end)
+            assert hi - lo == len(expected)
+            ts, vs = ring.window_arrays(start, end)
+            assert list(ts) == [s[0] for s in expected]
+            assert list(vs) == [s[1] for s in expected]
+        # Invariants checked after every single operation.
+        assert len(ring) == len(model)
+        assert ring.oldest_timestamp == model.oldest_timestamp
+        latest = ring.latest()
+        assert (latest and (latest.timestamp, latest.value)) == (model.latest() or None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=2.0, allow_nan=False), max_size=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_drop_then_refill_keeps_order_checks(deltas, drop_at_step):
+    """Appends after trims must still reject out-of-order timestamps."""
+    ring = TimeSeries(SeriesKey.make("m"))
+    model = ListSeries()
+    now = 0.0
+    for step, delta in enumerate(deltas):
+        now += delta
+        ring.append(now, float(step))
+        model.append(now, float(step))
+        if step == drop_at_step:
+            cutoff = now / 2.0
+            assert ring.drop_before(cutoff) == model.drop_before(cutoff)
+    assert [(s.timestamp, s.value) for s in ring.window(-1.0, now + 1.0)] == model.samples
+
+
+def test_trim_shrinks_capacity_back_down():
+    """A retention-style workload must not pin the grown buffer forever."""
+    ring = TimeSeries(SeriesKey.make("m"))
+    for t in range(10_000):
+        ring.append(float(t), 1.0)
+    grown = len(ring._ts)
+    assert grown >= 10_000
+    ring.drop_before(9_990.0)
+    assert len(ring) == 10
+    # Shrink hysteresis: capacity follows occupancy back down.
+    assert len(ring._ts) <= max(_MIN_CAPACITY, 4 * len(ring))
+    # The survivors are intact and ordered.
+    assert [s.timestamp for s in ring.window(-1.0, 1e6)] == [
+        float(t) for t in range(9_990, 10_000)
+    ]
+
+
+def test_steady_state_retention_capacity_is_bounded():
+    """append+drop_before cycling (the scraper's pattern) stays O(window)."""
+    ring = TimeSeries(SeriesKey.make("m"))
+    for t in range(50_000):
+        ring.append(float(t), 1.0)
+        if t >= 100:
+            ring.drop_before(float(t - 100))
+    assert len(ring) == 101
+    assert len(ring._ts) <= 1024  # far below the 50k samples ever appended
+
+
+def test_wrapped_ring_window_returns_samples():
+    """Force physical wrap-around, then read windows spanning the seam."""
+    ring = TimeSeries(SeriesKey.make("m"))
+    for t in range(12):
+        ring.append(float(t), float(t * 10))
+    ring.drop_before(8.0)  # start pointer advances, no shrink at this size
+    for t in range(12, 22):
+        ring.append(float(t), float(t * 10))  # writes wrap physically
+    window = ring.window(9.0, 20.0)
+    assert [s.timestamp for s in window] == [float(t) for t in range(10, 21)]
+    assert [s.value for s in window] == [float(t * 10) for t in range(10, 21)]
+    assert ring.at(13.5) == Sample(13.0, 130.0)
+    assert ring.value_at(8.0) == 80.0

@@ -13,7 +13,7 @@ import logging
 import time
 
 from ..httpcore import Handler, HttpClient, HttpServer, Request, Response
-from ..metrics import Registry, render_exposition
+from ..metrics import Registry, render_exposition_lines
 
 
 class InstrumentedService(HttpServer):
@@ -101,7 +101,12 @@ class InstrumentedService(HttpServer):
         self.processing_seconds.observe(time.monotonic() - started)
 
     async def _handle_metrics(self, request: Request) -> Response:
-        return Response.text(render_exposition(self.registry))
+        body = bytearray()
+        for line in render_exposition_lines(self.registry):
+            body += line.encode("utf-8")
+        response = Response(status=200, body=bytes(body))
+        response.headers.set("Content-Type", "text/plain; charset=utf-8")
+        return response
 
     async def _handle_health(self, request: Request) -> Response:
         return Response.from_json({"status": "up", "service": self.name})

@@ -76,8 +76,6 @@ class HttpClient:
         A request that fails on a reused (possibly stale) connection is
         retried once on a fresh connection; a failure there propagates.
         """
-        if self._closed:
-            raise ConnectionClosed("client is closed")
         host, port, target = _split_url(url)
         request_headers = headers.copy() if isinstance(headers, Headers) else Headers(headers)
         if json_body is not None:
@@ -85,7 +83,21 @@ class HttpClient:
             request_headers.setdefault("Content-Type", "application/json")
         request_headers.setdefault("Host", f"{host}:{port}")
         request = Request(method=method.upper(), target=target, headers=request_headers, body=body)
+        return await self.send(request, host, port, timeout=timeout)
 
+    async def send(
+        self, request: Request, host: str, port: int, timeout: float | None = None
+    ) -> Response:
+        """Round-trip a pre-built *request* to ``host:port`` (hot path).
+
+        Unlike :meth:`request`, nothing is copied: the caller transfers
+        ownership of the request (headers included) and must have set any
+        ``Host`` header it wants — the Bifrost proxy builds its forward
+        headers exactly once and hands them straight to the wire.  Retry
+        semantics on a stale pooled connection match :meth:`request`.
+        """
+        if self._closed:
+            raise ConnectionClosed("client is closed")
         deadline = self.timeout if timeout is None else timeout
         key = f"{host}:{port}"
         reused, connection = await self._acquire(key, host, port)

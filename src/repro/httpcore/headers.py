@@ -63,10 +63,25 @@ class Headers:
         """All fields in insertion order, with original casing."""
         return list(self._items)
 
+    def raw_items(self) -> list[tuple[str, str]]:
+        """The internal field list itself — zero-copy iteration on hot
+        paths (serialization, proxy forwarding).  Treat as read-only."""
+        return self._items
+
     def copy(self) -> "Headers":
         clone = Headers()
         clone._items = list(self._items)
         return clone
+
+    @classmethod
+    def from_raw(cls, items: list[tuple[str, str]]) -> "Headers":
+        """Adopt an already-normalized ``(name, value)`` list without
+        copying or re-validating it.  The caller transfers ownership —
+        the proxy's forward-header overlay builds one list per request
+        and wraps it here instead of copy-then-mutate."""
+        headers = cls()
+        headers._items = items
+        return headers
 
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and self.get(name) is not None

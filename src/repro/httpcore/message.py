@@ -65,21 +65,46 @@ class Request:
     http_version: str = "HTTP/1.1"
     #: Path parameters extracted by the router (e.g. ``{"id": "42"}``).
     path_params: dict[str, str] = field(default_factory=dict)
+    # Per-object parse caches, keyed on the raw input so header or target
+    # mutation invalidates them.  The proxy reads ``cookies`` and ``path``
+    # several times per request; each used to re-parse from scratch.
+    _url_cache: tuple[str, object] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _cookie_cache: tuple[str | None, dict[str, str]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _split_target(self):
+        cached = self._url_cache
+        if cached is None or cached[0] != self.target:
+            cached = (self.target, urlsplit(self.target))
+            self._url_cache = cached
+        return cached[1]
 
     @property
     def path(self) -> str:
         """The path component of the request target (no query string)."""
-        return urlsplit(self.target).path or "/"
+        return self._split_target().path or "/"
 
     @property
     def query(self) -> dict[str, str]:
         """Query-string parameters; later duplicates win."""
-        return dict(parse_qsl(urlsplit(self.target).query))
+        return dict(parse_qsl(self._split_target().query))
 
     @property
     def cookies(self) -> dict[str, str]:
-        """Cookies sent by the client via the ``Cookie`` header."""
-        return parse_cookie_header(self.headers.get("Cookie"))
+        """Cookies sent by the client via the ``Cookie`` header.
+
+        Parsed once per distinct ``Cookie`` header value; callers must not
+        mutate the returned mapping.
+        """
+        raw = self.headers.get("Cookie")
+        cached = self._cookie_cache
+        if cached is None or cached[0] != raw:
+            cached = (raw, parse_cookie_header(raw))
+            self._cookie_cache = cached
+        return cached[1]
 
     def json(self) -> Any:
         """Decode the body as JSON; raises :class:`ProtocolError` if invalid."""
@@ -100,13 +125,19 @@ class Request:
         )
 
     def serialize(self) -> bytes:
-        """Render the request as HTTP/1.1 wire bytes."""
-        headers = self.headers.copy()
-        headers.set("Content-Length", str(len(self.body)))
-        lines = [f"{self.method} {self.target} {self.http_version}"]
-        lines.extend(f"{name}: {value}" for name, value in headers.items())
-        head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
-        return head + self.body
+        """Render the request as HTTP/1.1 wire bytes.
+
+        Single join + single encode: no header copy, no per-line encode.
+        Any caller-supplied ``Content-Length`` is superseded by the actual
+        body length (matching the old copy-and-set behaviour).
+        """
+        parts = [f"{self.method} {self.target} {self.http_version}\r\n"]
+        append = parts.append
+        for name, value in self.headers.raw_items():
+            if name.lower() != "content-length":
+                append(f"{name}: {value}\r\n")
+        append(f"Content-Length: {len(self.body)}\r\n\r\n")
+        return "".join(parts).encode("latin-1") + self.body
 
 
 @dataclass
@@ -173,13 +204,15 @@ class Response:
         )
 
     def serialize(self) -> bytes:
-        """Render the response as HTTP/1.1 wire bytes."""
-        headers = self.headers.copy()
-        headers.set("Content-Length", str(len(self.body)))
-        lines = [f"{self.http_version} {self.status} {self.reason}"]
-        lines.extend(f"{name}: {value}" for name, value in headers.items())
-        head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
-        return head + self.body
+        """Render the response as HTTP/1.1 wire bytes (single join +
+        single encode, no header copy — see :meth:`Request.serialize`)."""
+        parts = [f"{self.http_version} {self.status} {self.reason}\r\n"]
+        append = parts.append
+        for name, value in self.headers.raw_items():
+            if name.lower() != "content-length":
+                append(f"{name}: {value}\r\n")
+        append(f"Content-Length: {len(self.body)}\r\n\r\n")
+        return "".join(parts).encode("latin-1") + self.body
 
 
 async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
@@ -201,15 +234,29 @@ async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
 
 
 def _parse_headers(lines: list[str]) -> Headers:
+    return _parse_header_lines(lines, 0)
+
+
+def _parse_header_lines(lines: list[str], start: int) -> Headers:
+    """Parse header field lines into :class:`Headers`.
+
+    Appends straight onto the internal field list — one tuple per field,
+    no per-field method dispatch — since this runs for every request and
+    response crossing a proxy.
+    """
     headers = Headers()
-    for line in lines:
-        if ":" not in line:
+    items = headers.raw_items()
+    for index in range(start, len(lines)):
+        line = lines[index]
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
             raise ProtocolError(f"malformed header line: {line!r}")
-        name, _, value = line.partition(":")
         if not name or name != name.strip():
             # RFC 7230: no whitespace between field name and colon.
             raise ProtocolError(f"malformed header name: {name!r}")
-        headers.add(name, value.strip())
+        items.append((name, value.strip()))
     return headers
 
 
@@ -246,7 +293,7 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     method, target, version = parts
     if not version.startswith("HTTP/"):
         raise ProtocolError(f"bad HTTP version: {version!r}")
-    headers = _parse_headers([line for line in lines[1:] if line])
+    headers = _parse_header_lines(lines, 1)
     body = await _read_body(reader, headers)
     return Request(
         method=method.upper(),
@@ -271,7 +318,7 @@ async def read_response(reader: asyncio.StreamReader) -> Response:
         status = int(parts[1])
     except ValueError as exc:
         raise ProtocolError(f"bad status code: {parts[1]!r}") from exc
-    headers = _parse_headers([line for line in lines[1:] if line])
+    headers = _parse_header_lines(lines, 1)
     body = await _read_body(reader, headers)
     return Response(
         status=status,

@@ -9,6 +9,7 @@ from .cadvisor import CpuMeter, ResourceSampler, process_cpu_seconds, process_rs
 from .compile import compile_query
 from .exposition import parse as parse_exposition
 from .exposition import render as render_exposition
+from .exposition import render_lines as render_exposition_lines
 from .provider import (
     HealthProvider,
     HttpPrometheusProvider,
@@ -17,7 +18,14 @@ from .provider import (
     ProviderError,
     StaticProvider,
 )
-from .query import QueryError, VectorSample, evaluate, evaluate_scalar, parse
+from .query import (
+    QueryError,
+    VectorSample,
+    evaluate,
+    evaluate_scalar,
+    layout_cache_info,
+    parse,
+)
 from .registry import Counter, Gauge, Histogram, MetricPoint, Registry
 from .scraper import Scraper, ScrapeTarget
 from .series import Sample, SeriesKey, TimeSeries
@@ -35,6 +43,7 @@ __all__ = [
     "Histogram",
     "HttpPrometheusProvider",
     "LabelMatcher",
+    "layout_cache_info",
     "LocalPrometheusProvider",
     "MetricPoint",
     "MetricsProvider",
@@ -48,6 +57,7 @@ __all__ = [
     "QueryError",
     "Registry",
     "render_exposition",
+    "render_exposition_lines",
     "ResourceSampler",
     "Sample",
     "Scraper",

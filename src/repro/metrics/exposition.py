@@ -22,20 +22,27 @@ _LINE = re.compile(
 _LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
-def render(points: list[MetricPoint] | Registry) -> str:
-    """Render points (or a whole registry) to exposition text."""
+def render_lines(points: list[MetricPoint] | Registry):
+    """Yield exposition lines (each ``\\n``-terminated) one point at a time.
+
+    The streaming form lets ``/metrics`` handlers build their response
+    buffer incrementally instead of materializing every line up front.
+    """
     if isinstance(points, Registry):
         points = points.collect()
-    lines = []
     for point in points:
         if point.labels:
             rendered = ",".join(
                 f'{name}="{_escape(value)}"' for name, value in sorted(point.labels.items())
             )
-            lines.append(f"{point.name}{{{rendered}}} {_format_value(point.value)}")
+            yield f"{point.name}{{{rendered}}} {_format_value(point.value)}\n"
         else:
-            lines.append(f"{point.name} {_format_value(point.value)}")
-    return "\n".join(lines) + "\n" if lines else ""
+            yield f"{point.name} {_format_value(point.value)}\n"
+
+
+def render(points: list[MetricPoint] | Registry) -> str:
+    """Render points (or a whole registry) to exposition text."""
+    return "".join(render_lines(points))
 
 
 def parse(text: str) -> list[MetricPoint]:

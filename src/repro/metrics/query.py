@@ -440,6 +440,15 @@ _BucketLayout = list[
 ]
 _LAYOUT_CACHES: "WeakKeyDictionary[MetricStore, dict]" = WeakKeyDictionary()
 
+#: Process-wide hit/miss tally for the layout cache, surfaced on health
+#: endpoints so operators can see the cache actually carrying load.
+_LAYOUT_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def layout_cache_info() -> dict[str, int]:
+    """Hit/miss statistics of the histogram bucket-layout cache."""
+    return dict(_LAYOUT_CACHE_STATS)
+
 
 def _bucket_layout(store: MetricStore, selector: Selector) -> _BucketLayout:
     """The selector's bucket series grouped and sorted, cached per store."""
@@ -451,7 +460,9 @@ def _bucket_layout(store: MetricStore, selector: Selector) -> _BucketLayout:
     generation = store.series_generation
     cached = caches.get(cache_key)
     if cached is not None and cached[0] == generation:
+        _LAYOUT_CACHE_STATS["hits"] += 1
         return cached[1]
+    _LAYOUT_CACHE_STATS["misses"] += 1
     groups: dict[tuple[tuple[str, str], ...], list[tuple[float, TimeSeries]]] = {}
     for series in store.select(selector.name, selector.matchers):
         labels = series.key.label_dict()

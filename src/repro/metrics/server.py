@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from ..clock import Clock, RealClock
 from ..httpcore import HttpClient, HttpServer, Request, Response
-from .query import QueryError, evaluate
+from .compile import cache_info as compiled_query_cache_info
+from .exposition import render_lines
+from .query import QueryError, evaluate, layout_cache_info
+from .registry import Registry
 from .scraper import Scraper
 from .series import SeriesKey
 from .store import MetricStore
@@ -47,6 +50,15 @@ class MetricsServer(HttpServer):
         self.router.post("/api/v1/ingest")(self._handle_ingest)
         self.router.get("/api/v1/series")(self._handle_series)
         self.router.get("/healthz")(self._handle_health)
+        self.router.get("/metrics")(self._handle_self_metrics)
+        # Self-instrumentation: the query-path caches surface as gauges so
+        # their effectiveness can itself be scraped and checked.
+        self.registry = Registry()
+        self._m_cache = self.registry.gauge(
+            "metrics_cache_events_total",
+            "Query-path cache hits and misses",
+            label_names=("cache", "event"),
+        )
         #: Per-(tick, generation) memo of rendered query responses — the
         #: HTTP twin of ``LocalPrometheusProvider``'s instant cache.  When
         #: N parallel strategies hit the server with the same query at the
@@ -54,6 +66,9 @@ class MetricsServer(HttpServer):
         #: evaluates (and serializes) once.
         self._query_cache: dict[str, bytes] = {}
         self._query_cache_key: tuple[float, int] | None = None
+        #: Memo hit/miss tallies, exposed on ``/healthz`` for operators.
+        self.query_cache_hits = 0
+        self.query_cache_misses = 0
 
     async def start(self, scrape: bool = True) -> None:
         await super().start()
@@ -77,6 +92,7 @@ class MetricsServer(HttpServer):
             self._query_cache.clear()
         body = self._query_cache.get(query)
         if body is None:
+            self.query_cache_misses += 1
             try:
                 vector = evaluate(self.store, query, now)
             except QueryError as exc:
@@ -98,6 +114,7 @@ class MetricsServer(HttpServer):
             )
             self._query_cache[query] = response.body
             return response
+        self.query_cache_hits += 1
         response = Response(status=200, body=body)
         response.headers.setdefault("Content-Type", "application/json")
         return response
@@ -154,5 +171,45 @@ class MetricsServer(HttpServer):
         names = sorted(self.store.names())
         return Response.from_json({"status": "success", "data": names})
 
+    async def _handle_self_metrics(self, request: Request) -> Response:
+        compiled = compiled_query_cache_info()
+        layout = layout_cache_info()
+        tallies = {
+            ("query_memo", "hit"): self.query_cache_hits,
+            ("query_memo", "miss"): self.query_cache_misses,
+            ("compiled_query", "hit"): compiled.hits,
+            ("compiled_query", "miss"): compiled.misses,
+            ("histogram_layout", "hit"): layout["hits"],
+            ("histogram_layout", "miss"): layout["misses"],
+        }
+        for (cache, event), value in tallies.items():
+            self._m_cache.labels(cache=cache, event=event).set(float(value))
+        body = bytearray()
+        for line in render_lines(self.registry):
+            body += line.encode("utf-8")
+        response = Response(status=200, body=bytes(body))
+        response.headers.set("Content-Type", "text/plain; charset=utf-8")
+        return response
+
     async def _handle_health(self, request: Request) -> Response:
-        return Response.from_json({"status": "up", "series": len(self.store)})
+        compiled = compiled_query_cache_info()
+        layout = layout_cache_info()
+        return Response.from_json(
+            {
+                "status": "up",
+                "series": len(self.store),
+                "caches": {
+                    "query_memo": {
+                        "hits": self.query_cache_hits,
+                        "misses": self.query_cache_misses,
+                        "size": len(self._query_cache),
+                    },
+                    "compiled_query": {
+                        "hits": compiled.hits,
+                        "misses": compiled.misses,
+                        "size": compiled.currsize,
+                    },
+                    "histogram_layout": layout,
+                },
+            }
+        )

@@ -7,18 +7,23 @@ duplication; and the engine-facing admin API.
 
 from .admin import HttpProxyController, LocalProxyController, ProxyUnreachable
 from .filters import CLIENT_COOKIE, FilterChain, RoutingDecision
+from .plan import EndpointRing, RoutingPlan
 from .server import BifrostProxy
-from .shadow import Shadower
+from .shadow import DROP_NEWEST, DROP_OLDEST, Shadower
 from .sticky import StickyStore
 
 __all__ = [
     "BifrostProxy",
     "CLIENT_COOKIE",
+    "DROP_NEWEST",
+    "DROP_OLDEST",
+    "EndpointRing",
     "FilterChain",
     "HttpProxyController",
     "LocalProxyController",
     "ProxyUnreachable",
     "RoutingDecision",
+    "RoutingPlan",
     "Shadower",
     "StickyStore",
 ]

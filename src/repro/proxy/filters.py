@@ -16,6 +16,11 @@ Implements the proxy's two filter modes (paper section 4.2.2):
 
 Shadow (dark launch) decisions are sampled per request with an injectable
 RNG so tests stay deterministic.
+
+``decide()`` runs on the compiled :class:`~repro.proxy.plan.RoutingPlan`
+fast path; ``decide_interpreted()`` keeps the original per-request
+interpretation as the equivalence reference
+(``tests/property/test_plan_equivalence.py`` proves plan ≡ interpreter).
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from dataclasses import dataclass
 from ..core.routing import FilterKind, RoutingConfig, ShadowRoute
 from ..core.selection import stable_fraction
 from ..httpcore import Request
+from .plan import RoutingPlan
 from .sticky import StickyStore
 
 #: Name of the client-identifying cookie the proxy issues.
@@ -53,7 +59,7 @@ class FilterChain:
         seed: str = "bifrost",
         rng: random.Random | None = None,
     ):
-        config.validate()
+        self.plan = RoutingPlan(config, seed=seed)  # validates the config
         self.config = config
         # "or" would discard an *empty* store (StickyStore is sized).
         self.sticky_store = sticky_store if sticky_store is not None else StickyStore()
@@ -61,25 +67,57 @@ class FilterChain:
         self.rng = rng or random.Random()
 
     def decide(self, request: Request) -> RoutingDecision:
+        plan = self.plan
         if self.config.filter_kind is FilterKind.HEADER:
-            decision = self._decide_by_header(request)
+            decision = RoutingDecision(
+                version=plan.version_for_group(request.headers.get(plan.header_name))
+            )
         else:
             decision = self._decide_by_cookie(request)
-        decision.shadows = self._select_shadows(decision.version)
+        decision.shadows = plan.select_shadows(decision.version, self.rng)
         return decision
 
-    # -- header mode -----------------------------------------------------
+    def _decide_by_cookie(self, request: Request) -> RoutingDecision:
+        plan = self.plan
+        client_id = request.cookies.get(CLIENT_COOKIE)
+        issue_cookie = False
+        if not client_id:
+            client_id = str(uuid.uuid4())
+            issue_cookie = True
+        if plan.sticky:
+            remembered = self.sticky_store.get(client_id)
+            if remembered is not None and remembered in plan.known_versions:
+                return RoutingDecision(
+                    version=remembered, client_id=client_id, set_cookie=issue_cookie
+                )
+        version = plan.bucket(client_id)
+        if plan.sticky:
+            self.sticky_store.assign(client_id, version)
+        return RoutingDecision(
+            version=version, client_id=client_id, set_cookie=issue_cookie
+        )
 
-    def _decide_by_header(self, request: Request) -> RoutingDecision:
+    # -- interpreted reference path ---------------------------------------
+    #
+    # The pre-plan implementation, kept verbatim as the executable spec the
+    # compiled plan is property-tested against.  Not used on the hot path.
+
+    def decide_interpreted(self, request: Request) -> RoutingDecision:
+        if self.config.filter_kind is FilterKind.HEADER:
+            decision = self._decide_by_header_interpreted(request)
+        else:
+            decision = self._decide_by_cookie_interpreted(request)
+        decision.shadows = self._select_shadows_interpreted(decision.version)
+        return decision
+
+    def _decide_by_header_interpreted(self, request: Request) -> RoutingDecision:
         group = request.headers.get(self.config.header_name)
         known = {split.version for split in self.config.splits}
         if group in known:
             return RoutingDecision(version=group)
         return RoutingDecision(version=self.config.splits[0].version)
 
-    # -- cookie mode -----------------------------------------------------
-
-    def _decide_by_cookie(self, request: Request) -> RoutingDecision:
+    def _decide_by_cookie_interpreted(self, request: Request) -> RoutingDecision:
         client_id = request.cookies.get(CLIENT_COOKIE)
         issue_cookie = False
         if not client_id:
@@ -93,14 +131,14 @@ class FilterChain:
                 return RoutingDecision(
                     version=remembered, client_id=client_id, set_cookie=issue_cookie
                 )
-        version = self._bucket(client_id)
+        version = self._bucket_interpreted(client_id)
         if self.config.sticky:
             self.sticky_store.assign(client_id, version)
         return RoutingDecision(
             version=version, client_id=client_id, set_cookie=issue_cookie
         )
 
-    def _bucket(self, client_id: str) -> str:
+    def _bucket_interpreted(self, client_id: str) -> str:
         point = stable_fraction(client_id, self.seed) * 100.0
         cumulative = 0.0
         for split in self.config.splits:
@@ -109,9 +147,7 @@ class FilterChain:
                 return split.version
         return self.config.splits[-1].version
 
-    # -- shadows -----------------------------------------------------------
-
-    def _select_shadows(self, chosen_version: str) -> list[ShadowRoute]:
+    def _select_shadows_interpreted(self, chosen_version: str) -> list[ShadowRoute]:
         """Shadow routes to fire for a request served by *chosen_version*."""
         selected = []
         for shadow in self.config.shadows:

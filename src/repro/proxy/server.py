@@ -26,6 +26,7 @@ import time
 
 from ..core.routing import RoutingConfig, RoutingError
 from ..httpcore import (
+    Headers,
     HttpClient,
     HttpError,
     HttpServer,
@@ -33,15 +34,20 @@ from ..httpcore import (
     Response,
     SetCookie,
 )
-from ..metrics import Registry, render_exposition
+from ..metrics import Registry, render_exposition_lines
+from ..metrics.compile import cache_info as compiled_query_cache_info
 from .filters import CLIENT_COOKIE, FilterChain, RoutingDecision
+from .plan import EndpointRing
 from .shadow import Shadower
 from .sticky import StickyStore
 
 logger = logging.getLogger(__name__)
 
 #: Hop-by-hop headers never forwarded upstream (RFC 7230 section 6.1).
-_HOP_BY_HOP = ("connection", "keep-alive", "te", "transfer-encoding", "upgrade")
+#: Headers nominated by the ``Connection`` header are stripped as well.
+_HOP_BY_HOP = frozenset(
+    ("connection", "keep-alive", "te", "transfer-encoding", "upgrade")
+)
 
 
 class BifrostProxy(HttpServer):
@@ -56,6 +62,9 @@ class BifrostProxy(HttpServer):
         client: HttpClient | None = None,
         seed: str = "bifrost",
         rng: random.Random | None = None,
+        sticky_capacity: int = 100_000,
+        sticky_ttl: float | None = None,
+        shadow_max_pending: int = 1024,
     ):
         super().__init__(host=host, port=port, name=f"proxy-{service}")
         self.service = service
@@ -64,14 +73,18 @@ class BifrostProxy(HttpServer):
         self.rng = rng or random.Random()
         self._client = client or HttpClient(pool_size=64)
         self._owns_client = client is None
-        self.sticky_store = StickyStore()
-        self.shadower = Shadower(self._client)
+        self.sticky_store = StickyStore(capacity=sticky_capacity, ttl=sticky_ttl)
+        self.shadower = Shadower(self._client, max_pending=shadow_max_pending)
         self._chain: FilterChain | None = None
         self._endpoints: dict[str, list[str]] = {}
-        self._cursors: dict[str, int] = {}
+        self._rings: dict[str, EndpointRing] = {}
+        self._default_ring = EndpointRing([default_upstream])
         #: Forwarded requests per version name (plus "default").
         self.forwarded: dict[str, int] = {}
         self.upstream_errors = 0
+        # Bound label children of the forward counter, memoized per version
+        # so the hot path skips the label-validation dict dance.
+        self._forward_counters: dict[str, object] = {}
 
         # Self-instrumentation: proxies expose their own metrics like any
         # other service, so the engine (or an operator) can put checks on
@@ -93,6 +106,14 @@ class BifrostProxy(HttpServer):
         )
         self._m_sticky = self.registry.gauge(
             "proxy_sticky_sessions", "Sticky assignments currently held"
+        )
+        self._m_shadow_dropped = self.registry.gauge(
+            "proxy_shadow_dropped_total",
+            "Shadow requests dropped by queue backpressure",
+        )
+        self._m_sticky_evicted = self.registry.gauge(
+            "proxy_sticky_evictions_total",
+            "Sticky assignments evicted (capacity) or expired (TTL)",
         )
 
         self.router.put("/bifrost/config")(self._handle_put_config)
@@ -137,20 +158,18 @@ class BifrostProxy(HttpServer):
             config, sticky_store=self.sticky_store, seed=self.seed, rng=self.rng
         )
         self._endpoints = normalized
-        self._cursors = {version: 0 for version in normalized}
-
-    def _pick_endpoint(self, version: str) -> str:
-        """Round-robin over a version's instances."""
-        instances = self._endpoints[version]
-        cursor = self._cursors.get(version, 0)
-        self._cursors[version] = cursor + 1
-        return instances[cursor % len(instances)]
+        # Endpoint rings are part of the compiled plan: host:port parsed
+        # once per configuration, not once per request.
+        self._rings = {
+            version: EndpointRing(instances)
+            for version, instances in normalized.items()
+        }
 
     def clear_config(self) -> None:
         """Fall back to default-upstream passthrough (strategy finished)."""
         self._chain = None
         self._endpoints = {}
-        self._cursors = {}
+        self._rings = {}
 
     @property
     def active_config(self) -> RoutingConfig | None:
@@ -160,54 +179,103 @@ class BifrostProxy(HttpServer):
 
     async def _handle_proxy(self, request: Request) -> Response:
         if self._chain is None:
-            return await self._forward(request, self.default_upstream, "default")
+            return await self._forward(request, self._default_ring.next(), "default")
 
         decision = self._chain.decide(request)
-        for shadow in decision.shadows or []:
-            target_endpoint = self._pick_endpoint(shadow.target_version)
-            shadow_request = request.copy()
-            if decision.client_id:
-                self._ensure_client_cookie(shadow_request, decision.client_id)
-            self.shadower.shadow(shadow_request, target_endpoint)
-            self._m_shadow_sent.inc()
+        if decision.shadows:
+            for shadow in decision.shadows:
+                self._dispatch_shadow(request, shadow, decision.client_id)
 
-        endpoint = self._pick_endpoint(decision.version)
-        if decision.client_id:
-            self._ensure_client_cookie(request, decision.client_id)
-        response = await self._forward(request, endpoint, decision.version)
+        response = await self._forward(
+            request,
+            self._rings[decision.version].next(),
+            decision.version,
+            client_id=decision.client_id,
+        )
         if decision.set_cookie and decision.client_id:
             response.headers.add(
                 "Set-Cookie", SetCookie(CLIENT_COOKIE, decision.client_id).format()
             )
         return response
 
-    @staticmethod
-    def _ensure_client_cookie(request: Request, client_id: str) -> None:
-        """Propagate the proxy-issued UUID upstream on first contact."""
-        cookies = request.cookies
-        if CLIENT_COOKIE not in cookies:
-            existing = request.headers.get("Cookie")
-            pair = f"{CLIENT_COOKIE}={client_id}"
-            request.headers.set(
-                "Cookie", f"{existing}; {pair}" if existing else pair
-            )
+    def _dispatch_shadow(self, request, shadow, client_id) -> None:
+        """Duplicate *request* to the shadow target's next instance.
+
+        Builds a dedicated request sharing the (immutable) body bytes with
+        the primary — the only allocation is the overlaid header list.
+        """
+        endpoint, host, port = self._rings[shadow.target_version].next()
+        items = self._overlay_items(request, client_id)
+        items.append(("Host", endpoint))
+        items.append(("X-Forwarded-By", self.name))
+        items.append(("X-Bifrost-Shadow", "true"))
+        shadow_request = Request(
+            method=request.method,
+            target=request.target,
+            headers=Headers.from_raw(items),
+            body=request.body,
+        )
+        if self.shadower.shadow(shadow_request, endpoint, host, port):
+            self._m_shadow_sent.inc()
+
+    def _overlay_items(self, request: Request, client_id: str | None) -> list:
+        """Forward headers as a fresh field list (header-delta overlay).
+
+        One pass over the incoming fields: hop-by-hop headers — the static
+        RFC 7230 §6.1 set plus any nominated by the ``Connection`` header —
+        ``Host``, and ``X-Forwarded-By`` are skipped; the proxy-issued
+        client cookie is spliced into the ``Cookie`` header (or appended)
+        when the client does not carry it yet.  The incoming request is
+        never mutated and nothing is copied-then-removed.
+        """
+        headers = request.headers
+        drop = _HOP_BY_HOP
+        connection = headers.get("Connection")
+        if connection is not None:
+            nominated = {
+                token.strip().lower()
+                for token in connection.split(",")
+                if token.strip()
+            }
+            if nominated:
+                drop = _HOP_BY_HOP | nominated
+        cookie_pair = None
+        if client_id is not None and CLIENT_COOKIE not in request.cookies:
+            cookie_pair = f"{CLIENT_COOKIE}={client_id}"
+        items = []
+        for name, value in headers.raw_items():
+            lowered = name.lower()
+            if lowered in drop or lowered == "host" or lowered == "x-forwarded-by":
+                continue
+            if cookie_pair is not None and lowered == "cookie":
+                items.append((name, f"{value}; {cookie_pair}"))
+                cookie_pair = None
+                continue
+            items.append((name, value))
+        if cookie_pair is not None:
+            items.append(("Cookie", cookie_pair))
+        return items
 
     async def _forward(
-        self, request: Request, endpoint: str, version: str
+        self,
+        request: Request,
+        destination: tuple[str, str, int],
+        version: str,
+        client_id: str | None = None,
     ) -> Response:
-        headers = request.headers.copy()
-        for name in _HOP_BY_HOP:
-            headers.remove(name)
-        headers.set("Host", endpoint)
-        headers.set("X-Forwarded-By", self.name)
+        endpoint, host, port = destination
+        items = self._overlay_items(request, client_id)
+        items.append(("Host", endpoint))
+        items.append(("X-Forwarded-By", self.name))
+        upstream_request = Request(
+            method=request.method,
+            target=request.target,
+            headers=Headers.from_raw(items),
+            body=request.body,
+        )
         started = time.monotonic()
         try:
-            response = await self._client.request(
-                request.method,
-                f"http://{endpoint}{request.target}",
-                headers=headers,
-                body=request.body,
-            )
+            response = await self._client.send(upstream_request, host, port)
         except (HttpError, ConnectionError, OSError) as exc:
             self.upstream_errors += 1
             self._m_upstream_errors.inc()
@@ -217,10 +285,15 @@ class BifrostProxy(HttpServer):
             )
         self._m_forward_seconds.observe(time.monotonic() - started)
         self.forwarded[version] = self.forwarded.get(version, 0) + 1
-        self._m_forwarded.labels(version=version).inc()
-        relayed = response.copy()
-        relayed.headers.set("X-Bifrost-Version", version)
-        return relayed
+        counter = self._forward_counters.get(version)
+        if counter is None:
+            counter = self._m_forwarded.labels(version=version)
+            self._forward_counters[version] = counter
+        counter.inc()
+        # Relay in place: the response object is exclusively ours (it was
+        # parsed off our upstream connection), so no defensive copy.
+        response.headers.set("X-Bifrost-Version", version)
+        return response
 
     # -- admin API ---------------------------------------------------------
 
@@ -268,20 +341,58 @@ class BifrostProxy(HttpServer):
                 "forwarded": self.forwarded,
                 "shadow_sent": self.shadower.sent,
                 "shadow_failed": self.shadower.failed,
+                "shadow_dropped": self.shadower.dropped,
+                "shadow_in_flight": self.shadower.in_flight,
                 "upstream_errors": self.upstream_errors,
                 "sticky_sessions": len(self.sticky_store),
+                "sticky_evictions": self.sticky_store.evictions,
+                "sticky_expirations": self.sticky_store.expirations,
             }
         )
 
     async def _handle_health(self, request: Request) -> Response:
-        return Response.from_json({"status": "up", "service": self.service})
+        compiled = compiled_query_cache_info()
+        return Response.from_json(
+            {
+                "status": "up",
+                "service": self.service,
+                "caches": {
+                    "compiled_query": {
+                        "hits": compiled.hits,
+                        "misses": compiled.misses,
+                        "size": compiled.currsize,
+                    },
+                    "sticky": {
+                        "size": len(self.sticky_store),
+                        "capacity": self.sticky_store.capacity,
+                        "evictions": self.sticky_store.evictions,
+                        "expirations": self.sticky_store.expirations,
+                    },
+                    "shadow": {
+                        "max_pending": self.shadower.max_pending,
+                        "in_flight": self.shadower.in_flight,
+                        "dropped": self.shadower.dropped,
+                    },
+                },
+            }
+        )
 
     async def _handle_metrics(self, request: Request) -> Response:
         self._m_sticky.set(float(len(self.sticky_store)))
-        return Response.text(render_exposition(self.registry))
+        self._m_shadow_dropped.set(float(self.shadower.dropped))
+        self._m_sticky_evicted.set(
+            float(self.sticky_store.evictions + self.sticky_store.expirations)
+        )
+        # Streamed render: large registries never build one giant string.
+        body = bytearray()
+        for line in render_exposition_lines(self.registry):
+            body += line.encode("utf-8")
+        response = Response(status=200, body=bytes(body))
+        response.headers.set("Content-Type", "text/plain; charset=utf-8")
+        return response
 
     async def stop(self) -> None:
-        await self.shadower.drain()
+        await self.shadower.close()
         if self._owns_client:
             await self._client.close()
         await super().stop()

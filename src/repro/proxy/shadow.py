@@ -2,9 +2,25 @@
 
 "Dark launches are different from all other live testing practices, in
 that they duplicate rather than reroute traffic" (section 3.2).  The
-shadower copies a request, fires it at the shadow version, and discards
+shadower fires a copy of the request at the shadow version and discards
 the response — the user only ever sees the primary reply.  Duplication is
 fire-and-forget: shadow failures are counted, never surfaced.
+
+The seed implementation spawned one asyncio task per shadow, so a slow
+shadow target let in-flight duplicates (and their request bodies) grow
+without bound.  Dispatch now goes through a **bounded queue** drained by a
+fixed pool of worker tasks:
+
+* at most ``max_pending`` shadows wait in the queue and ``concurrency``
+  are in flight — memory is O(max_pending), not O(traffic);
+* when the queue is full, the backpressure policy decides: ``drop-newest``
+  (default — the incoming duplicate is discarded) or ``drop-oldest`` (the
+  stalest queued duplicate is displaced, keeping traffic fresh);
+* every discarded duplicate increments the visible ``dropped`` counter —
+  overload is observable, never silent.
+
+The caller transfers ownership of the request it passes to
+:meth:`Shadower.shadow`; the shadower does not copy it again.
 """
 
 from __future__ import annotations
@@ -16,34 +32,96 @@ from ..httpcore import HttpClient, Request
 
 logger = logging.getLogger(__name__)
 
+#: Backpressure policies for a full queue.
+DROP_NEWEST = "drop-newest"
+DROP_OLDEST = "drop-oldest"
+
 
 class Shadower:
-    """Sends copied requests to shadow targets in background tasks."""
+    """Sends shadow requests through a bounded queue of worker tasks."""
 
-    def __init__(self, client: HttpClient):
+    def __init__(
+        self,
+        client: HttpClient,
+        max_pending: int = 1024,
+        concurrency: int = 8,
+        policy: str = DROP_NEWEST,
+    ):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if policy not in (DROP_NEWEST, DROP_OLDEST):
+            raise ValueError(f"unknown backpressure policy {policy!r}")
         self._client = client
-        self._tasks: set[asyncio.Task[None]] = set()
+        self.max_pending = max_pending
+        self.concurrency = concurrency
+        self.policy = policy
+        self._queue: asyncio.Queue[tuple[Request, str, str, int]] = asyncio.Queue()
+        self._workers: list[asyncio.Task[None]] = []
         #: Counters for observability and tests.
         self.sent = 0
         self.failed = 0
+        self.dropped = 0
 
-    def shadow(self, request: Request, endpoint: str) -> None:
-        """Duplicate *request* to ``endpoint`` without awaiting the result."""
-        copy = request.copy()
-        copy.headers.set("Host", endpoint)
-        copy.headers.set("X-Bifrost-Shadow", "true")
-        task = asyncio.get_running_loop().create_task(self._send(copy, endpoint))
-        self._tasks.add(task)
-        task.add_done_callback(self._tasks.discard)
+    def shadow(
+        self,
+        request: Request,
+        endpoint: str,
+        host: str | None = None,
+        port: int | None = None,
+    ) -> bool:
+        """Enqueue *request* for ``endpoint``; ``False`` if it was dropped.
 
-    async def _send(self, request: Request, endpoint: str) -> None:
+        Never blocks and never raises on overload — the proxy's primary
+        path must not stall because a shadow target is slow.  Callers that
+        already hold the parsed ``host``/``port`` (the proxy's endpoint
+        rings) pass them along; otherwise *endpoint* is split here.
+        """
+        queue = self._queue
+        if queue.qsize() >= self.max_pending:
+            self.dropped += 1
+            if self.policy == DROP_NEWEST:
+                return False
+            # drop-oldest: displace the stalest queued duplicate.
+            queue.get_nowait()
+            queue.task_done()
+        if host is None or port is None:
+            host, _, raw_port = endpoint.partition(":")
+            port = int(raw_port) if raw_port else 80
+        if request.headers.get("Host") != endpoint:
+            request.headers.set("Host", endpoint)
+        if request.headers.get("X-Bifrost-Shadow") is None:
+            request.headers.set("X-Bifrost-Shadow", "true")
+        queue.put_nowait((request, endpoint, host, port))
+        if len(self._workers) < self.concurrency:
+            self._spawn_worker()
+        return True
+
+    def _spawn_worker(self) -> None:
+        task = asyncio.get_running_loop().create_task(self._work())
+        self._workers.append(task)
+        task.add_done_callback(self._workers.remove)
+
+    async def _work(self) -> None:
+        queue = self._queue
+        while True:
+            try:
+                request, endpoint, host, port = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return  # workers are ephemeral: die when the queue drains
+            try:
+                await self._send(request, endpoint, host, port)
+            finally:
+                queue.task_done()
+
+    async def _send(
+        self, request: Request, endpoint: str, host: str, port: int
+    ) -> None:
         try:
-            await self._client.request(
-                request.method,
-                f"http://{endpoint}{request.target}",
-                headers=request.headers,
-                body=request.body,
-            )
+            # send() adopts the request as-is — the headers built for this
+            # duplicate go to the wire without another copy.
+            await self._client.send(request, host, port)
             self.sent += 1
         except asyncio.CancelledError:
             raise
@@ -53,9 +131,17 @@ class Shadower:
 
     @property
     def in_flight(self) -> int:
-        return len(self._tasks)
+        """Queued plus actively-sending shadow requests."""
+        return self._queue._unfinished_tasks  # noqa: SLF001 — stdlib counter
 
     async def drain(self) -> None:
-        """Wait for all in-flight shadow requests (tests and shutdown)."""
-        while self._tasks:
-            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        """Wait until every accepted shadow completed (tests and shutdown)."""
+        await self._queue.join()
+
+    async def close(self) -> None:
+        """Drain, then stop the worker pool."""
+        await self.drain()
+        for worker in list(self._workers):
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(*list(self._workers), return_exceptions=True)

@@ -57,3 +57,23 @@ def test_round_trip_preserves_everything():
     ]
     parsed = parse_exposition(render_exposition(original))
     assert parsed == original
+
+
+def test_render_lines_streams_equivalent_text():
+    from repro.metrics.exposition import render_lines
+
+    registry = Registry()
+    counter = registry.counter("hits_total", label_names=("route",))
+    counter.labels(route="/a").inc()
+    counter.labels(route='/b "q"').inc(2)
+    registry.gauge("temp").set(1.5)
+    lines = list(render_lines(registry))
+    assert all(line.endswith("\n") for line in lines)
+    assert "".join(lines) == render_exposition(registry)
+
+
+def test_render_lines_empty_registry():
+    from repro.metrics.exposition import render_lines
+
+    assert list(render_lines([])) == []
+    assert render_exposition([]) == ""

@@ -299,3 +299,49 @@ async def test_server_query_cache_invalidated_by_mutation_and_tick():
             assert (await client.get(url)).json()["data"]["value"] is None
     finally:
         await server.stop()
+
+
+async def test_metrics_server_health_reports_cache_counters():
+    clock = VirtualClock(start=50.0)
+    server = MetricsServer(clock=clock)
+    server.store.record("hits_total", 1.0, 49.0, {"instance": "a:80"})
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            base = f"http://{server.address}"
+            # Same query at the same tick: second hit lands in the memo.
+            await client.get(f"{base}/api/v1/query?query=hits_total")
+            await client.get(f"{base}/api/v1/query?query=hits_total")
+            payload = (await client.get(f"{base}/healthz")).json()
+            caches = payload["caches"]
+            assert caches["query_memo"]["hits"] >= 1
+            assert caches["query_memo"]["misses"] >= 1
+            assert set(caches) == {
+                "query_memo",
+                "compiled_query",
+                "histogram_layout",
+            }
+            assert {"hits", "misses"} <= set(caches["histogram_layout"])
+    finally:
+        await server.stop()
+
+
+async def test_metrics_server_scrapes_own_cache_gauges():
+    from repro.metrics import parse_exposition
+
+    server = MetricsServer(clock=VirtualClock())
+    await server.start(scrape=False)
+    try:
+        async with HttpClient() as client:
+            response = await client.get(f"http://{server.address}/metrics")
+            points = parse_exposition(response.body.decode())
+            labelled = {
+                (point.labels["cache"], point.labels["event"])
+                for point in points
+                if point.name == "metrics_cache_events_total"
+            }
+            assert ("query_memo", "hit") in labelled
+            assert ("histogram_layout", "miss") in labelled
+            assert ("compiled_query", "hit") in labelled
+    finally:
+        await server.stop()

@@ -265,7 +265,13 @@ async def test_health_endpoint():
     proxy, upstreams, endpoints, client = await proxy_setup("stable")
     try:
         response = await client.get(f"http://{proxy.address}/bifrost/healthz")
-        assert response.json() == {"status": "up", "service": "product"}
+        payload = response.json()
+        assert payload["status"] == "up"
+        assert payload["service"] == "product"
+        caches = payload["caches"]
+        assert set(caches) == {"compiled_query", "sticky", "shadow"}
+        assert caches["sticky"]["capacity"] == proxy.sticky_store.capacity
+        assert caches["shadow"]["max_pending"] == proxy.shadower.max_pending
     finally:
         await teardown(proxy, upstreams, client)
 
@@ -381,5 +387,71 @@ async def test_concurrent_proxying():
         assert all(r.status == 200 for r in responses)
         total = sum(proxy.forwarded.values())
         assert total == 50
+    finally:
+        await teardown(proxy, upstreams, client)
+
+
+async def test_connection_nominated_headers_stripped():
+    """RFC 7230 section 6.1: headers listed in ``Connection`` are hop-by-hop
+    and must not be forwarded, in addition to the static set."""
+    proxy, upstreams, endpoints, client = await proxy_setup("stable")
+    try:
+        proxy.apply_config(single_version("stable"), endpoints)
+        await client.get(
+            f"http://{proxy.address}/x",
+            headers={
+                "Connection": "X-Internal-Token, Keep-Alive",
+                "X-Internal-Token": "secret",
+                "Keep-Alive": "timeout=5",
+                "X-App": "kept",
+            },
+        )
+        seen = upstreams["stable"].seen_requests[-1]
+        assert seen.headers.get("Connection") is None
+        assert seen.headers.get("X-Internal-Token") is None
+        assert seen.headers.get("Keep-Alive") is None
+        assert seen.headers.get("X-App") == "kept"
+    finally:
+        await teardown(proxy, upstreams, client)
+
+
+async def test_sticky_store_bounded_at_proxy_level():
+    """More distinct clients than sticky_capacity must evict, not grow."""
+    upstream = EchoVersion("a")
+    await upstream.start()
+    proxy = BifrostProxy(
+        "product", default_upstream=upstream.address, sticky_capacity=10
+    )
+    await proxy.start()
+    client = HttpClient()
+    try:
+        config = RoutingConfig(splits=[TrafficSplit("a", 100.0)], sticky=True)
+        proxy.apply_config(config, {"a": upstream.address})
+        for i in range(25):
+            await client.get(
+                f"http://{proxy.address}/x",
+                headers={"Cookie": f"bifrost_client=client-{i}"},
+            )
+        assert len(proxy.sticky_store) == 10
+        assert proxy.sticky_store.evictions == 15
+        stats = (await client.get(f"http://{proxy.address}/bifrost/stats")).json()
+        assert stats["sticky_sessions"] == 10
+        assert stats["sticky_evictions"] == 15
+    finally:
+        await teardown(proxy, {"a": upstream}, client)
+
+
+async def test_metrics_scrape_exposes_backpressure_counters():
+    from repro.metrics import parse_exposition
+
+    proxy, upstreams, endpoints, client = await proxy_setup("stable")
+    try:
+        proxy.apply_config(single_version("stable"), endpoints)
+        await client.get(f"http://{proxy.address}/x")
+        response = await client.get(f"http://{proxy.address}/metrics")
+        names = {point.name for point in parse_exposition(response.body.decode())}
+        assert "proxy_shadow_dropped_total" in names
+        assert "proxy_sticky_evictions_total" in names
+        assert "proxy_requests_total" in names
     finally:
         await teardown(proxy, upstreams, client)

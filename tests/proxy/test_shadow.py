@@ -1,0 +1,119 @@
+"""Tests for the bounded shadow dispatch queue."""
+
+import asyncio
+
+import pytest
+
+from repro.httpcore import Request, Response
+from repro.proxy import DROP_NEWEST, DROP_OLDEST, Shadower
+
+
+class GatedClient:
+    """Stub upstream client whose sends block until released."""
+
+    def __init__(self):
+        self.gate = asyncio.Event()
+        self.sent = []
+        self.fail = False
+
+    async def send(self, request, host, port, timeout=None):
+        await self.gate.wait()
+        if self.fail:
+            raise ConnectionError("shadow target down")
+        self.sent.append((request, host, port))
+        return Response(status=200)
+
+
+def _request(i=0):
+    return Request("GET", f"/shadow/{i}")
+
+
+async def test_shadows_are_sent_and_counted():
+    client = GatedClient()
+    client.gate.set()
+    shadower = Shadower(client)
+    assert shadower.shadow(_request(), "target:80")
+    await shadower.drain()
+    assert shadower.sent == 1
+    assert shadower.dropped == 0
+    request, host, port = client.sent[0]
+    assert (host, port) == ("target", 80)
+    assert request.headers.get("X-Bifrost-Shadow") == "true"
+    await shadower.close()
+
+
+async def test_failures_are_counted_never_raised():
+    client = GatedClient()
+    client.fail = True
+    client.gate.set()
+    shadower = Shadower(client)
+    shadower.shadow(_request(), "target:80")
+    await shadower.drain()
+    assert shadower.failed == 1
+    assert shadower.sent == 0
+    await shadower.close()
+
+
+async def test_drop_newest_when_queue_full():
+    client = GatedClient()  # gate closed: nothing completes
+    shadower = Shadower(client, max_pending=2, concurrency=1)
+    accepted = [shadower.shadow(_request(i), "t:80") for i in range(5)]
+    # One request is pulled into the (blocked) worker; the queue then
+    # holds max_pending and everything beyond that is dropped.
+    assert accepted.count(True) >= 2
+    assert shadower.dropped == accepted.count(False) > 0
+    client.gate.set()
+    await shadower.drain()
+    assert shadower.sent == accepted.count(True)
+    await shadower.close()
+
+
+async def test_drop_oldest_displaces_stale_duplicates():
+    client = GatedClient()
+    shadower = Shadower(
+        client, max_pending=2, concurrency=1, policy=DROP_OLDEST
+    )
+    for i in range(5):
+        assert shadower.shadow(_request(i), "t:80")  # never rejected
+    assert shadower.dropped > 0
+    client.gate.set()
+    await shadower.drain()
+    # The newest duplicates survived; total accepted = sent + displaced.
+    assert shadower.sent + shadower.dropped == 5
+    targets = [request.target for request, _, _ in client.sent]
+    assert "/shadow/4" in targets
+    await shadower.close()
+
+
+async def test_in_flight_tracks_backlog():
+    client = GatedClient()
+    shadower = Shadower(client, max_pending=10)
+    for i in range(3):
+        shadower.shadow(_request(i), "t:80")
+    assert shadower.in_flight == 3
+    client.gate.set()
+    await shadower.drain()
+    assert shadower.in_flight == 0
+    await shadower.close()
+
+
+async def test_concurrency_bounds_worker_pool():
+    client = GatedClient()
+    shadower = Shadower(client, max_pending=100, concurrency=2)
+    for i in range(10):
+        shadower.shadow(_request(i), "t:80")
+    assert len(shadower._workers) <= 2
+    client.gate.set()
+    await shadower.close()
+    assert shadower.sent == 10
+
+
+def test_constructor_validation():
+    client = GatedClient()
+    with pytest.raises(ValueError):
+        Shadower(client, max_pending=0)
+    with pytest.raises(ValueError):
+        Shadower(client, concurrency=0)
+    with pytest.raises(ValueError):
+        Shadower(client, policy="drop-random")
+    assert DROP_NEWEST != DROP_OLDEST

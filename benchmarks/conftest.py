@@ -15,12 +15,34 @@ Environment knobs:
   the compressed sweeps already show the shapes.
 """
 
+import json
 import os
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+HISTORY_FILE = OUTPUT_DIR / "history.jsonl"
+
+
+def git_sha() -> str | None:
+    """The current commit, so history entries are attributable; None when
+    git is unavailable (e.g. an unpacked source tarball)."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
 
 
 def bench_scale(default: float) -> float:
@@ -46,3 +68,27 @@ def artifact_writer():
         print(text)
 
     return write
+
+
+@pytest.fixture(scope="session")
+def history_appender():
+    """Append one run record per benchmark to ``output/history.jsonl``.
+
+    Each line is ``{"benchmark", "at", "git_sha", "data"}`` — an
+    append-only log of headline numbers across runs, so regressions show
+    up as a trend rather than a single overwritten snapshot.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    sha = git_sha()
+
+    def append(benchmark: str, data: dict) -> None:
+        entry = {
+            "benchmark": benchmark,
+            "at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "git_sha": sha,
+            "data": data,
+        }
+        with HISTORY_FILE.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    return append

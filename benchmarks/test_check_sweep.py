@@ -103,7 +103,7 @@ async def _enact(count: int, mode: str) -> dict:
     }
 
 
-def test_check_sweep_scheduler_vs_per_task(artifact_writer):
+def test_check_sweep_scheduler_vs_per_task(artifact_writer, history_appender):
     points = []
     for count in sweep_points():
         per_task = asyncio.run(_enact(count, "per_task"))
@@ -148,6 +148,7 @@ def test_check_sweep_scheduler_vs_per_task(artifact_writer):
     rendered = json.dumps(results, indent=2)
     artifact_writer("check_sweep.json", rendered)
     (REPO_ROOT / "BENCH_check_sweep.json").write_text(rendered + "\n", encoding="utf-8")
+    history_appender("check_sweep", results["top"])
 
     if top["checks"] >= 500:
         assert top["speedup"] >= 2.0, (

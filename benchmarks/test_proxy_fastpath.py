@@ -292,7 +292,7 @@ async def _drive_fast(config) -> float:
     return time.perf_counter() - start
 
 
-def test_proxy_fastpath_speedup(artifact_writer):
+def test_proxy_fastpath_speedup(artifact_writer, history_appender):
     # Equivalence spot-check before timing: both planes route the request
     # to the same version and relay the upstream payload unchanged.
     async def spot_check():
@@ -340,6 +340,10 @@ def test_proxy_fastpath_speedup(artifact_writer):
     artifact_writer("proxy_fastpath.json", rendered)
     (REPO_ROOT / "BENCH_proxy_fastpath.json").write_text(
         rendered + "\n", encoding="utf-8"
+    )
+    history_appender(
+        "proxy_fastpath",
+        {mode: entry["speedup"] for mode, entry in results.items()},
     )
 
     active = results["active"]["speedup"]

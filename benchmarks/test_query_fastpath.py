@@ -101,7 +101,7 @@ def _time_per_eval(evaluate_once, repetitions: int) -> float:
     return (time.perf_counter() - start) / (repetitions * len(QUERIES)) * 1e6
 
 
-def test_query_fastpath_speedup(artifact_writer):
+def test_query_fastpath_speedup(artifact_writer, history_appender):
     store, at = _populate()
     legacy = LegacySelectStore(store)
     assert len(store) >= 1000
@@ -170,5 +170,12 @@ def test_query_fastpath_speedup(artifact_writer):
     rendered = json.dumps(results, indent=2)
     artifact_writer("query_fastpath.json", rendered)
     (REPO_ROOT / "BENCH_query_fastpath.json").write_text(rendered + "\n", encoding="utf-8")
+    history_appender(
+        "query_fastpath",
+        {
+            "speedup": results["speedup"],
+            "per_evaluation_us": results["per_evaluation_us"],
+        },
+    )
 
     assert speedup >= 5.0, f"fast path only {speedup:.1f}x faster (need >= 5x)"

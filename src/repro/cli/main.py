@@ -15,6 +15,9 @@ Subcommands:
   in-process until the strategy finishes.
 * ``bifrost serve`` — start an engine with its HTTP API (and optional
   dashboard) for remote scheduling.
+* ``bifrost proxy`` — run a standalone proxy worker pool in front of a
+  service (``--workers N``; ``--reuseport`` uses one thread + event loop
+  per worker on a shared ``SO_REUSEPORT`` socket).
 * ``bifrost status`` / ``bifrost events`` / ``bifrost cancel`` — talk to
   a remote engine API (``--engine host:port``), as release scripts do.
 """
@@ -115,6 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--dashboard-port", type=int, default=None, help="also serve the dashboard"
     )
     serve.add_argument("--prometheus", metavar="URL")
+
+    proxy = commands.add_parser(
+        "proxy", help="run a proxy worker pool for one service"
+    )
+    proxy.add_argument("service", help="service name (used in proxy identity)")
+    proxy.add_argument(
+        "default_upstream", metavar="UPSTREAM", help="host:port passthrough target"
+    )
+    proxy.add_argument("--host", default="127.0.0.1")
+    proxy.add_argument("--port", type=int, default=8080)
+    proxy.add_argument(
+        "--workers", type=int, default=4, help="worker count (default: 4)"
+    )
+    proxy.add_argument(
+        "--reuseport",
+        action="store_true",
+        help="one thread + event loop per worker on a shared SO_REUSEPORT "
+        "socket (needs OS support) instead of in-loop dispatch",
+    )
+    proxy.add_argument("--seed", default="bifrost", help="traffic-split hash seed")
 
     status = commands.add_parser("status", help="list executions on an engine")
     status.add_argument("--engine", required=True, metavar="HOST:PORT")
@@ -318,6 +341,71 @@ async def _serve(args) -> int:
     return 0
 
 
+async def _proxy_pool(args) -> int:
+    from ..proxy import ProxyWorkerPool
+
+    pool = ProxyWorkerPool(
+        args.service,
+        args.default_upstream,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+    )
+    await pool.start()
+    print(
+        f"bifrost proxy pool for {args.service!r} on http://{pool.address} "
+        f"({args.workers} workers, default upstream {args.default_upstream})"
+    )
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        await pool.stop()
+    return 0
+
+
+def _proxy_reuseport(args) -> int:
+    import socket
+    import time
+
+    from ..proxy import ReuseportProxyPool
+
+    if not hasattr(socket, "SO_REUSEPORT"):
+        print("error: this platform has no SO_REUSEPORT", file=sys.stderr)
+        return 1
+    pool = ReuseportProxyPool(
+        args.service,
+        args.default_upstream,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+    )
+    pool.start()
+    print(
+        f"bifrost proxy pool for {args.service!r} on http://{pool.address} "
+        f"({args.workers} reuseport workers, default upstream "
+        f"{args.default_upstream})"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        pool.stop()
+    return 0
+
+
+def cmd_proxy(args) -> int:
+    if args.reuseport:
+        return _proxy_reuseport(args)
+    return asyncio.run(_proxy_pool(args))
+
+
 async def _status(args) -> int:
     async with HttpClient() as client:
         response = await client.get(f"http://{args.engine}/api/executions")
@@ -376,6 +464,8 @@ def main(argv: list[str] | None = None) -> int:
         return asyncio.run(_run_local(args))
     if args.command == "serve":
         return asyncio.run(_serve(args))
+    if args.command == "proxy":
+        return cmd_proxy(args)
     if args.command == "status":
         return asyncio.run(_status(args))
     if args.command == "events":

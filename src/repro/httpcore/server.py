@@ -30,10 +30,20 @@ class HttpServer:
     registration order, outermost first.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, name: str = "http"):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        name: str = "http",
+        reuse_port: bool = False,
+    ):
         self.host = host
         self.port = port
         self.name = name
+        #: Bind with ``SO_REUSEPORT`` so several servers (in different
+        #: event loops or processes) can share one port, the kernel
+        #: balancing accepted connections between them.
+        self.reuse_port = reuse_port
         self.router = Router()
         self._middleware: list[Middleware] = []
         self._server: asyncio.Server | None = None
@@ -53,7 +63,10 @@ class HttpServer:
         if self._server is not None:
             raise RuntimeError(f"server {self.name!r} already started")
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection,
+            self.host,
+            self.port,
+            reuse_port=True if self.reuse_port else None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         logger.debug("server %s listening on %s:%d", self.name, self.host, self.port)

@@ -23,6 +23,7 @@ from .query import (
     VectorSample,
     evaluate,
     evaluate_scalar,
+    expression_generation,
     layout_cache_info,
     parse,
 )
@@ -30,7 +31,7 @@ from .registry import Counter, Gauge, Histogram, MetricPoint, Registry
 from .scraper import Scraper, ScrapeTarget
 from .series import Sample, SeriesKey, TimeSeries
 from .server import MetricsServer
-from .store import LabelMatcher, MetricStore
+from .store import LabelMatcher, MetricStore, ShardedMetricStore, shard_index_for
 
 __all__ = [
     "compile_query",
@@ -38,6 +39,7 @@ __all__ = [
     "CpuMeter",
     "evaluate",
     "evaluate_scalar",
+    "expression_generation",
     "Gauge",
     "HealthProvider",
     "Histogram",
@@ -63,6 +65,8 @@ __all__ = [
     "Scraper",
     "ScrapeTarget",
     "SeriesKey",
+    "shard_index_for",
+    "ShardedMetricStore",
     "StaticProvider",
     "TimeSeries",
     "VectorSample",

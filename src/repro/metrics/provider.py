@@ -22,7 +22,7 @@ from urllib.parse import quote
 from ..clock import Clock, RealClock
 from ..httpcore import HttpClient
 from .compile import compile_query
-from .query import evaluate_scalar
+from .query import evaluate_scalar, expression_generation
 from .store import MetricStore
 
 
@@ -43,17 +43,25 @@ class MetricsProvider:
         """Release any resources (HTTP connections)."""
 
 
+#: Distinct query strings memoized per provider before the memo resets.
+_INSTANT_CACHE_LIMIT = 4096
+
+
 class LocalPrometheusProvider(MetricsProvider):
     """Evaluates mini-PromQL against an in-process store.
 
     Query strings go through the compiled-query cache
     (:mod:`repro.metrics.compile`), and results are memoized per instant:
     when parallel strategies issue the same query at the same clock tick
-    against an unchanged store (same ``store.generation``), the expression
-    evaluates once and every other caller gets the cached scalar.  Under a
-    real clock ``now()`` differs between calls, so the cache naturally
-    degrades to a no-op; under the virtual clock of the scalability
-    experiments it collapses N identical per-tick queries into one.
+    against an unchanged store, the expression evaluates once and every
+    other caller gets the cached scalar.  The memo is keyed per query on
+    ``(tick, expression_generation)`` — for a sharded store that stamp
+    covers only the shards the query can read, so scrape churn in one
+    shard leaves memoized results for every other shard's metrics live.
+    Under a real clock ``now()`` differs between calls, so the cache
+    naturally degrades to a no-op; under the virtual clock of the
+    scalability experiments it collapses N identical per-tick queries
+    into one.
     """
 
     name = "prometheus"
@@ -61,20 +69,25 @@ class LocalPrometheusProvider(MetricsProvider):
     def __init__(self, store: MetricStore, clock: Clock | None = None):
         self.store = store
         self.clock = clock or RealClock()
-        self._instant_cache: dict[str, float | None] = {}
-        self._instant_key: tuple[float, int] | None = None
+        #: query string -> ((tick, scoped generation), value)
+        self._instant_cache: dict[str, tuple[tuple[float, int], float | None]] = {}
+        #: Memo tallies, for observability and the scale-out benchmark.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     async def query(self, query: str) -> float | None:
         now = self.clock.now()
-        key = (now, self.store.generation)
-        if key != self._instant_key:
-            self._instant_key = key
+        expression = compile_query(query)
+        stamp = (now, expression_generation(self.store, expression))
+        entry = self._instant_cache.get(query)
+        if entry is not None and entry[0] == stamp:
+            self.cache_hits += 1
+            return entry[1]
+        self.cache_misses += 1
+        value = evaluate_scalar(self.store, expression, now)
+        if len(self._instant_cache) >= _INSTANT_CACHE_LIMIT:
             self._instant_cache.clear()
-        cache = self._instant_cache
-        if query in cache:
-            return cache[query]
-        value = evaluate_scalar(self.store, compile_query(query), now)
-        cache[query] = value
+        self._instant_cache[query] = (stamp, value)
         return value
 
 

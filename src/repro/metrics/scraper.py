@@ -8,6 +8,14 @@ attaching an ``instance`` label identifying the target (e.g.
 Registries living in the same process can also be attached directly
 (*local targets*), skipping HTTP — used by the engine to publish its own
 resource metrics without a loopback scrape.
+
+The scraper can run several *scrape loops* (``loops=N``): targets are
+partitioned round-robin across N independent periodic tasks, so one slow
+or unreachable target only delays the targets sharing its partition.  A
+sharded metrics server (:class:`~repro.metrics.server.MetricsServer`
+with ``shards=N``) runs one loop per shard — the ingest path from fetch
+to ``store.record`` stays parallel end to end, with each sample landing
+in the shard owning its metric name.
 """
 
 from __future__ import annotations
@@ -42,7 +50,10 @@ class Scraper:
         interval: float = 1.0,
         clock: Clock | None = None,
         client: HttpClient | None = None,
+        loops: int = 1,
     ):
+        if loops < 1:
+            raise ValueError("loops must be at least 1")
         self.store = store
         self.interval = interval
         self.clock = clock or RealClock()
@@ -50,7 +61,9 @@ class Scraper:
         self._owns_client = client is None
         self._http_targets: list[ScrapeTarget] = []
         self._local_targets: list[tuple[str, Registry]] = []
-        self._task: asyncio.Task[None] | None = None
+        #: Number of independent periodic scrape tasks targets split over.
+        self.loops = loops
+        self._tasks: list[asyncio.Task[None]] = []
         #: Consecutive failures per instance, for observability and tests.
         self.failures: dict[str, int] = {}
 
@@ -62,15 +75,44 @@ class Scraper:
         """Collect an in-process registry without HTTP."""
         self._local_targets.append((instance, registry))
 
+    def partition_targets(
+        self, partition: int
+    ) -> tuple[list[tuple[str, Registry]], list[ScrapeTarget]]:
+        """The local and HTTP targets owned by scrape loop *partition*.
+
+        Round-robin by registration index: partitions are disjoint and
+        their union is every target, so N loops collectively scrape the
+        same set one loop would.
+        """
+        locals_ = [
+            target
+            for index, target in enumerate(self._local_targets)
+            if index % self.loops == partition
+        ]
+        https = [
+            target
+            for index, target in enumerate(self._http_targets)
+            if index % self.loops == partition
+        ]
+        return locals_, https
+
     async def scrape_once(self) -> int:
         """Scrape every target once; returns the number of ingested points."""
+        ingested = 0
+        for partition in range(self.loops):
+            ingested += await self.scrape_partition(partition)
+        return ingested
+
+    async def scrape_partition(self, partition: int) -> int:
+        """Scrape one partition's targets once; returns ingested points."""
         timestamp = self.clock.now()
         ingested = 0
-        for instance, registry in self._local_targets:
+        local_targets, http_targets = self.partition_targets(partition)
+        for instance, registry in local_targets:
             for point in registry.collect():
                 self._ingest(point.name, point.value, timestamp, point.labels, instance)
                 ingested += 1
-        for target in self._http_targets:
+        for target in http_targets:
             try:
                 response = await self._client.get(target.url)
                 points = exposition.parse(response.body.decode("utf-8"))
@@ -96,25 +138,29 @@ class Scraper:
         merged.setdefault("instance", instance)
         self.store.record(name, value, timestamp, merged)
 
-    async def _run(self) -> None:
+    async def _run(self, partition: int) -> None:
         while True:
-            await self.scrape_once()
+            await self.scrape_partition(partition)
             await self.clock.sleep(self.interval)
 
     def start(self) -> None:
-        """Start the periodic scrape loop as a background task."""
-        if self._task is not None:
+        """Start the periodic scrape loop(s) as background tasks."""
+        if self._tasks:
             raise RuntimeError("scraper already started")
-        self._task = asyncio.get_running_loop().create_task(self._run())
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._run(partition)) for partition in range(self.loops)
+        ]
 
     async def stop(self) -> None:
-        """Cancel the scrape loop and release the HTTP client if owned."""
-        if self._task is not None:
-            self._task.cancel()
+        """Cancel the scrape loops and release the HTTP client if owned."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
             try:
-                await self._task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._task = None
+        self._tasks = []
         if self._owns_client:
             await self._client.close()

@@ -25,11 +25,20 @@ from .query import QueryError, evaluate, layout_cache_info
 from .registry import Registry
 from .scraper import Scraper
 from .series import SeriesKey
-from .store import MetricStore
+from .store import MetricStore, ShardedMetricStore
 
 
 class MetricsServer(HttpServer):
-    """HTTP facade over a metric store + scraper."""
+    """HTTP facade over a metric store + scraper.
+
+    With ``shards=N`` (N > 1) the store is a
+    :class:`~repro.metrics.store.ShardedMetricStore` — series hash-
+    partitioned by metric name over N inner stores with independent
+    generation counters and caches — and the scraper runs N parallel
+    scrape loops, one per shard.  The HTTP API is unchanged; ``/healthz``
+    additionally merges per-shard series counts and generations into one
+    view.
+    """
 
     def __init__(
         self,
@@ -39,12 +48,22 @@ class MetricsServer(HttpServer):
         clock: Clock | None = None,
         retention: float | None = 3600.0,
         client: HttpClient | None = None,
+        shards: int = 1,
     ):
         super().__init__(host=host, port=port, name="prometheus")
         self.clock = clock or RealClock()
-        self.store = MetricStore(retention=retention)
+        if shards > 1:
+            self.store: MetricStore | ShardedMetricStore = ShardedMetricStore(
+                shard_count=shards, retention=retention
+            )
+        else:
+            self.store = MetricStore(retention=retention)
         self.scraper = Scraper(
-            self.store, interval=scrape_interval, clock=self.clock, client=client
+            self.store,
+            interval=scrape_interval,
+            clock=self.clock,
+            client=client,
+            loops=max(shards, 1),
         )
         self.router.get("/api/v1/query")(self._handle_query)
         self.router.post("/api/v1/ingest")(self._handle_ingest)
@@ -128,6 +147,12 @@ class MetricsServer(HttpServer):
         bad sample mid-list cannot leave a partial ingest behind the 400.
         No await separates validation from recording; under asyncio's
         single thread the batch is atomic.
+
+        The guarantee holds across shards: against a
+        :class:`~repro.metrics.store.ShardedMetricStore`, validation
+        reads each sample's floor through the facade (routed to the
+        owning shard) before *any* shard records, so a mid-batch failure
+        leaves every shard's series and generation counters untouched.
         """
         samples = request.json()
         if not isinstance(samples, list):
@@ -194,10 +219,27 @@ class MetricsServer(HttpServer):
     async def _handle_health(self, request: Request) -> Response:
         compiled = compiled_query_cache_info()
         layout = layout_cache_info()
+        shards = getattr(self.store, "shards", None)
+        shard_view = (
+            {
+                "count": len(shards),
+                "per_shard": [
+                    {
+                        "series": len(shard),
+                        "generation": shard.generation,
+                        "series_generation": shard.series_generation,
+                    }
+                    for shard in shards
+                ],
+            }
+            if shards is not None
+            else {"count": 1}
+        )
         return Response.from_json(
             {
                 "status": "up",
                 "series": len(self.store),
+                "shards": shard_view,
                 "caches": {
                     "query_memo": {
                         "hits": self.query_cache_hits,

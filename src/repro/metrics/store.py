@@ -16,6 +16,7 @@ selector results until a new series appears under that name.
 from __future__ import annotations
 
 import re
+import zlib
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
@@ -138,3 +139,104 @@ class MetricStore:
         self._selector_cache.clear()
         self.generation += 1
         self.series_generation += 1
+
+
+def shard_index_for(name: str, shard_count: int) -> int:
+    """Stable shard assignment: CRC-32 of the metric name, mod the count.
+
+    CRC-32 is deterministic across processes and Python versions (unlike
+    ``hash()``), so a metric name owns the same shard in every scrape
+    worker, query evaluator, and benchmark run.
+    """
+    return zlib.crc32(name.encode("utf-8")) % shard_count
+
+
+class ShardedMetricStore:
+    """N :class:`MetricStore` partitions behind the ``MetricStore`` API.
+
+    Series are hash-partitioned by **metric name** (every series of one
+    name lives in exactly one shard), which makes the partitioning
+    invisible to the query language: an instant selector, a range
+    function, and a ``histogram_quantile`` bucket group each read a
+    single metric name, so :mod:`repro.metrics.query` resolves the owning
+    shard once per selector and evaluates there — cross-shard merging
+    happens only where queries already reduce (aggregations, binary
+    operators over different names).
+
+    Each shard keeps its *own* generation counters, selector caches, and
+    histogram bucket layouts.  That per-shard isolation is the scale-out
+    win: ingest into one shard invalidates only that shard's cached query
+    state, so under continuous scrape churn the other shards' memoized
+    results stay live (see ``expression_generation`` in
+    :mod:`repro.metrics.query`).
+    """
+
+    def __init__(self, shard_count: int = 4, retention: float | None = None):
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        self.retention = retention
+        self.shard_count = shard_count
+        self.shards: tuple[MetricStore, ...] = tuple(
+            MetricStore(retention=retention) for _ in range(shard_count)
+        )
+
+    # -- partitioning -----------------------------------------------------
+
+    def shard_index(self, name: str) -> int:
+        """The index of the shard owning metric *name*."""
+        return shard_index_for(name, self.shard_count)
+
+    def shard_for(self, name: str) -> MetricStore:
+        """The shard owning every series of metric *name*."""
+        return self.shards[shard_index_for(name, self.shard_count)]
+
+    # -- aggregate generation counters ------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Sum of shard generations — monotonic, bumps on any mutation.
+
+        Callers needing finer invalidation (only the shards a query can
+        read) should use ``query.expression_generation`` instead.
+        """
+        return sum(shard.generation for shard in self.shards)
+
+    @property
+    def series_generation(self) -> int:
+        """Sum of shard series generations (shape changes only)."""
+        return sum(shard.series_generation for shard in self.shards)
+
+    # -- MetricStore API ---------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        value: float,
+        timestamp: float,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        """Append one sample into the owning shard."""
+        self.shards[shard_index_for(name, self.shard_count)].record(
+            name, value, timestamp, labels
+        )
+
+    def series(self, key: SeriesKey) -> TimeSeries | None:
+        return self.shard_for(key.name).series(key)
+
+    def select(
+        self, name: str, matchers: Sequence[LabelMatcher] | None = None
+    ) -> list[TimeSeries]:
+        return self.shard_for(name).select(name, matchers)
+
+    def names(self) -> set[str]:
+        names: set[str] = set()
+        for shard in self.shards:
+            names |= shard.names()
+        return names
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()

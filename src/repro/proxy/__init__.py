@@ -7,7 +7,8 @@ duplication; and the engine-facing admin API.
 
 from .admin import HttpProxyController, LocalProxyController, ProxyUnreachable
 from .filters import CLIENT_COOKIE, FilterChain, RoutingDecision
-from .plan import EndpointRing, RoutingPlan
+from .plan import EndpointRing, RoutingPlan, normalize_endpoints
+from .pool import ProxyWorkerPool, ReuseportProxyPool, worker_index
 from .server import BifrostProxy
 from .shadow import DROP_NEWEST, DROP_OLDEST, Shadower
 from .sticky import StickyStore
@@ -21,9 +22,13 @@ __all__ = [
     "FilterChain",
     "HttpProxyController",
     "LocalProxyController",
+    "normalize_endpoints",
     "ProxyUnreachable",
+    "ProxyWorkerPool",
+    "ReuseportProxyPool",
     "RoutingDecision",
     "RoutingPlan",
     "Shadower",
     "StickyStore",
+    "worker_index",
 ]

@@ -66,6 +66,29 @@ class FilterChain:
         self.seed = seed
         self.rng = rng or random.Random()
 
+    @classmethod
+    def from_plan(
+        cls,
+        plan: RoutingPlan,
+        sticky_store: StickyStore | None = None,
+        rng: random.Random | None = None,
+    ) -> "FilterChain":
+        """A chain wrapping an already-compiled (already-validated) *plan*.
+
+        The worker-pool fan-out path: the controller compiles one
+        :class:`~repro.proxy.plan.RoutingPlan` and every worker wraps it
+        with its own sticky store and RNG — no per-worker re-validation or
+        re-compilation, and the shared plan is immutable so replication is
+        a reference copy.
+        """
+        chain = cls.__new__(cls)
+        chain.plan = plan
+        chain.config = plan.config
+        chain.sticky_store = sticky_store if sticky_store is not None else StickyStore()
+        chain.seed = plan.seed
+        chain.rng = rng or random.Random()
+        return chain
+
     def decide(self, request: Request) -> RoutingDecision:
         plan = self.plan
         if self.config.filter_kind is FilterKind.HEADER:

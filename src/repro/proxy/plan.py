@@ -32,11 +32,43 @@ from __future__ import annotations
 import random
 from bisect import bisect_right
 
-from ..core.routing import RoutingConfig, ShadowRoute
+from ..core.routing import RoutingConfig, RoutingError, ShadowRoute
 from ..core.selection import stable_fraction
 
 #: Shared result for "no shadows fire for this version" — never mutated.
 NO_SHADOWS: list[ShadowRoute] = []
+
+
+def normalize_endpoints(
+    config: RoutingConfig, endpoints: dict[str, str | list[str]]
+) -> dict[str, list[str]]:
+    """Validate and normalize version → endpoint(s) against *config*.
+
+    An endpoint value may be a single ``host:port`` or a list of them:
+    "a service acting behind a proxy may run in multiple instances and
+    multiple versions at the same time" (paper section 4.1).  Every
+    version the config references (splits and shadows) must have at
+    least one non-empty endpoint.  Part of plan compilation so a worker
+    pool validates once and replicates the result to every worker.
+    """
+    normalized: dict[str, list[str]] = {}
+    for version, value in endpoints.items():
+        instances = [value] if isinstance(value, str) else list(value)
+        if not instances or not all(isinstance(i, str) and i for i in instances):
+            raise RoutingError(
+                f"version {version!r} needs at least one non-empty endpoint"
+            )
+        normalized[version] = instances
+    referenced = {split.version for split in config.splits}
+    for shadow in config.shadows:
+        referenced.add(shadow.source_version)
+        referenced.add(shadow.target_version)
+    missing = referenced - set(normalized)
+    if missing:
+        raise RoutingError(
+            f"config references versions without endpoints: {sorted(missing)}"
+        )
+    return normalized
 
 
 class EndpointRing:

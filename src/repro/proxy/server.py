@@ -37,7 +37,7 @@ from ..httpcore import (
 from ..metrics import Registry, render_exposition_lines
 from ..metrics.compile import cache_info as compiled_query_cache_info
 from .filters import CLIENT_COOKIE, FilterChain, RoutingDecision
-from .plan import EndpointRing
+from .plan import EndpointRing, RoutingPlan, normalize_endpoints
 from .shadow import Shadower
 from .sticky import StickyStore
 
@@ -65,8 +65,11 @@ class BifrostProxy(HttpServer):
         sticky_capacity: int = 100_000,
         sticky_ttl: float | None = None,
         shadow_max_pending: int = 1024,
+        reuse_port: bool = False,
     ):
-        super().__init__(host=host, port=port, name=f"proxy-{service}")
+        super().__init__(
+            host=host, port=port, name=f"proxy-{service}", reuse_port=reuse_port
+        )
         self.service = service
         self.default_upstream = default_upstream
         self.seed = seed
@@ -79,6 +82,11 @@ class BifrostProxy(HttpServer):
         self._endpoints: dict[str, list[str]] = {}
         self._rings: dict[str, EndpointRing] = {}
         self._default_ring = EndpointRing([default_upstream])
+        #: Monotonic configuration version.  Every successful install (or
+        #: clear) advances it; :meth:`install_plan` rejects stale versions,
+        #: which is what makes worker-pool config fan-out idempotent and
+        #: safe to retry.
+        self.config_version = 0
         #: Forwarded requests per version name (plus "default").
         self.forwarded: dict[str, int] = {}
         self.upstream_errors = 0
@@ -135,41 +143,70 @@ class BifrostProxy(HttpServer):
         "a service acting behind a proxy may run in multiple instances and
         multiple versions at the same time" (paper section 4.1) — lists
         are balanced round-robin per version.
+
+        This is the standalone-proxy entry point: it compiles the plan and
+        installs it at the next version.  A worker pool instead compiles
+        once and calls :meth:`install_plan` on every member.
         """
-        config.validate()
-        normalized: dict[str, list[str]] = {}
-        for version, value in endpoints.items():
-            instances = [value] if isinstance(value, str) else list(value)
-            if not instances or not all(isinstance(i, str) and i for i in instances):
-                raise RoutingError(
-                    f"version {version!r} needs at least one non-empty endpoint"
-                )
-            normalized[version] = instances
-        referenced = {split.version for split in config.splits}
-        for shadow in config.shadows:
-            referenced.add(shadow.source_version)
-            referenced.add(shadow.target_version)
-        missing = referenced - set(normalized)
-        if missing:
-            raise RoutingError(
-                f"config references versions without endpoints: {sorted(missing)}"
-            )
-        self._chain = FilterChain(
-            config, sticky_store=self.sticky_store, seed=self.seed, rng=self.rng
+        normalized = normalize_endpoints(config, endpoints)
+        plan = RoutingPlan(config, seed=self.seed)  # validates the config
+        self.install_plan(plan, normalized, self.config_version + 1)
+
+    def install_plan(
+        self,
+        plan: RoutingPlan,
+        endpoints: dict[str, list[str]],
+        version: int,
+    ) -> bool:
+        """Install a pre-compiled *plan* at configuration *version*.
+
+        The versioned half of the plan-swap protocol: versions at or below
+        :attr:`config_version` are rejected (``False``), so concurrent or
+        replayed fan-outs can never roll a worker backwards.  The install
+        itself is a handful of attribute assignments with no awaits — under
+        asyncio's single thread every in-flight request sees either the old
+        state or the new, never a mix.
+
+        *endpoints* must already be normalized against ``plan.config``
+        (see :func:`~repro.proxy.plan.normalize_endpoints`); the shared
+        plan is immutable, while the endpoint rings (mutable round-robin
+        cursors) and the filter chain (worker-local sticky store and RNG)
+        are built fresh per install.
+        """
+        if version <= self.config_version:
+            return False
+        chain = FilterChain.from_plan(
+            plan, sticky_store=self.sticky_store, rng=self.rng
         )
-        self._endpoints = normalized
         # Endpoint rings are part of the compiled plan: host:port parsed
         # once per configuration, not once per request.
-        self._rings = {
-            version: EndpointRing(instances)
-            for version, instances in normalized.items()
+        rings = {
+            version_name: EndpointRing(instances)
+            for version_name, instances in endpoints.items()
         }
+        self._chain = chain
+        self._endpoints = endpoints
+        self._rings = rings
+        self.config_version = version
+        return True
 
-    def clear_config(self) -> None:
-        """Fall back to default-upstream passthrough (strategy finished)."""
+    def clear_config(self, version: int | None = None) -> bool:
+        """Fall back to default-upstream passthrough (strategy finished).
+
+        Clears participate in the same version sequence as installs: a
+        stale clear (fanned out before a newer install landed) is rejected
+        rather than wiping fresher state.  Without an explicit *version*
+        the clear claims the next one.
+        """
+        if version is None:
+            version = self.config_version + 1
+        if version <= self.config_version:
+            return False
         self._chain = None
         self._endpoints = {}
         self._rings = {}
+        self.config_version = version
+        return True
 
     @property
     def active_config(self) -> RoutingConfig | None:
@@ -313,18 +350,26 @@ class BifrostProxy(HttpServer):
             self.apply_config(config, cleaned)
         except (RoutingError, AttributeError) as exc:
             return Response.from_json({"status": "error", "error": str(exc)}, 400)
-        return Response.from_json({"status": "ok", "service": self.service})
+        return Response.from_json(
+            {
+                "status": "ok",
+                "service": self.service,
+                "config_version": self.config_version,
+            }
+        )
 
     async def _handle_get_config(self, request: Request) -> Response:
         if self._chain is None:
             return Response.from_json(
                 {"service": self.service, "active": False,
+                 "config_version": self.config_version,
                  "default_upstream": self.default_upstream}
             )
         return Response.from_json(
             {
                 "service": self.service,
                 "active": True,
+                "config_version": self.config_version,
                 "routing": self._chain.config.to_wire(),
                 "endpoints": self._endpoints,
             }
@@ -332,23 +377,36 @@ class BifrostProxy(HttpServer):
 
     async def _handle_delete_config(self, request: Request) -> Response:
         self.clear_config()
-        return Response.from_json({"status": "ok", "active": False})
-
-    async def _handle_stats(self, request: Request) -> Response:
         return Response.from_json(
             {
-                "service": self.service,
-                "forwarded": self.forwarded,
-                "shadow_sent": self.shadower.sent,
-                "shadow_failed": self.shadower.failed,
-                "shadow_dropped": self.shadower.dropped,
-                "shadow_in_flight": self.shadower.in_flight,
-                "upstream_errors": self.upstream_errors,
-                "sticky_sessions": len(self.sticky_store),
-                "sticky_evictions": self.sticky_store.evictions,
-                "sticky_expirations": self.sticky_store.expirations,
+                "status": "ok",
+                "active": False,
+                "config_version": self.config_version,
             }
         )
+
+    def stats_snapshot(self) -> dict:
+        """The counters behind ``/bifrost/stats``, as plain data.
+
+        Factored out so a worker pool can merge snapshots from every
+        member into one view.
+        """
+        return {
+            "service": self.service,
+            "config_version": self.config_version,
+            "forwarded": dict(self.forwarded),
+            "shadow_sent": self.shadower.sent,
+            "shadow_failed": self.shadower.failed,
+            "shadow_dropped": self.shadower.dropped,
+            "shadow_in_flight": self.shadower.in_flight,
+            "upstream_errors": self.upstream_errors,
+            "sticky_sessions": len(self.sticky_store),
+            "sticky_evictions": self.sticky_store.evictions,
+            "sticky_expirations": self.sticky_store.expirations,
+        }
+
+    async def _handle_stats(self, request: Request) -> Response:
+        return Response.from_json(self.stats_snapshot())
 
     async def _handle_health(self, request: Request) -> Response:
         compiled = compiled_query_cache_info()
@@ -377,12 +435,16 @@ class BifrostProxy(HttpServer):
             }
         )
 
-    async def _handle_metrics(self, request: Request) -> Response:
+    def _refresh_gauges(self) -> None:
+        """Refresh the point-in-time gauges before a registry collection."""
         self._m_sticky.set(float(len(self.sticky_store)))
         self._m_shadow_dropped.set(float(self.shadower.dropped))
         self._m_sticky_evicted.set(
             float(self.sticky_store.evictions + self.sticky_store.expirations)
         )
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        self._refresh_gauges()
         # Streamed render: large registries never build one giant string.
         body = bytearray()
         for line in render_exposition_lines(self.registry):

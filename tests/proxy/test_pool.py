@@ -1,0 +1,248 @@
+"""End-to-end tests for the shared-nothing proxy worker pools."""
+
+import socket
+
+import pytest
+
+from repro.core import canary_split, single_version
+from repro.httpcore import HttpClient, HttpServer, Response
+from repro.proxy import ProxyWorkerPool, ReuseportProxyPool, RoutingPlan
+from repro.proxy.plan import normalize_endpoints
+
+
+class EchoVersion(HttpServer):
+    """Upstream that reports which version it is."""
+
+    def __init__(self, version: str):
+        super().__init__(name=version)
+        self.version = version
+
+        async def handler(request):
+            return Response.from_json(
+                {"version": self.version, "path": request.path}
+            )
+
+        self.router.set_fallback(handler)
+
+
+async def pool_setup(*versions: str, workers: int = 3):
+    upstreams = {name: EchoVersion(name) for name in versions}
+    for upstream in upstreams.values():
+        await upstream.start()
+    pool = ProxyWorkerPool(
+        "product",
+        default_upstream=upstreams[versions[0]].address,
+        workers=workers,
+    )
+    await pool.start()
+    client = HttpClient()
+    endpoints = {name: server.address for name, server in upstreams.items()}
+    return pool, upstreams, endpoints, client
+
+
+async def teardown(pool, upstreams, client):
+    await client.close()
+    await pool.stop()
+    for upstream in upstreams.values():
+        await upstream.stop()
+
+
+async def test_unconfigured_pool_round_robins_to_default():
+    pool, upstreams, endpoints, client = await pool_setup("stable")
+    try:
+        workers_seen = set()
+        for _ in range(6):
+            response = await client.get(f"http://{pool.address}/items")
+            assert response.json()["version"] == "stable"
+            assert response.headers.get("X-Bifrost-Version") == "default"
+            workers_seen.add(response.headers.get("X-Bifrost-Worker"))
+        assert workers_seen == {"0", "1", "2"}  # round-robin covers the pool
+    finally:
+        await teardown(pool, upstreams, client)
+
+
+async def test_pool_applies_config_to_every_worker():
+    pool, upstreams, endpoints, client = await pool_setup("stable", "canary")
+    try:
+        version = pool.apply_config(single_version("canary"), endpoints)
+        assert version == 1
+        assert all(member.config_version == 1 for member in pool.workers)
+        for _ in range(6):
+            response = await client.get(f"http://{pool.address}/items")
+            assert response.json()["version"] == "canary"
+    finally:
+        await teardown(pool, upstreams, client)
+
+
+async def test_pool_issues_cookie_and_stays_pinned():
+    pool, upstreams, endpoints, client = await pool_setup("stable", "canary")
+    try:
+        pool.apply_config(canary_split("stable", "canary", 30.0), endpoints)
+        first = await client.get(f"http://{pool.address}/x")
+        set_cookie = first.headers.get("Set-Cookie")
+        assert set_cookie and "bifrost_client=" in set_cookie
+        cookie_pair = set_cookie.split(";")[0]
+        pinned_worker = first.headers.get("X-Bifrost-Worker")
+        pinned_version = first.json()["version"]
+        for _ in range(5):
+            again = await client.get(
+                f"http://{pool.address}/x", headers={"Cookie": cookie_pair}
+            )
+            assert again.headers.get("X-Bifrost-Worker") == pinned_worker
+            assert again.json()["version"] == pinned_version
+            assert again.headers.get("Set-Cookie") is None
+    finally:
+        await teardown(pool, upstreams, client)
+
+
+async def test_stale_install_is_rejected_per_worker():
+    pool, upstreams, endpoints, client = await pool_setup("stable", "canary")
+    try:
+        pool.apply_config(single_version("canary"), endpoints)  # version 1
+        pool.apply_config(single_version("stable"), endpoints)  # version 2
+        member = pool.workers[0]
+        config = single_version("canary")
+        plan = RoutingPlan(config, seed=pool.seed)
+        normalized = normalize_endpoints(config, endpoints)
+        # A replayed (or late-arriving) older fan-out must not roll back.
+        assert member.install_plan(plan, normalized, 1) is False
+        assert member.install_plan(plan, normalized, 2) is False
+        assert member.active_config.splits[0].version == "stable"
+        assert member.clear_config(version=2) is False
+        assert member.active_config is not None
+        # The next version is accepted.
+        assert member.install_plan(plan, normalized, 3) is True
+        assert member.active_config.splits[0].version == "canary"
+    finally:
+        await teardown(pool, upstreams, client)
+
+
+async def test_admin_config_roundtrip_over_http():
+    pool, upstreams, endpoints, client = await pool_setup("stable", "canary")
+    try:
+        payload = {
+            "routing": canary_split("stable", "canary", 25.0).to_wire(),
+            "endpoints": endpoints,
+        }
+        response = await client.put(
+            f"http://{pool.address}/bifrost/config", json_body=payload
+        )
+        body = response.json()
+        assert body["status"] == "ok"
+        assert body["config_version"] == 1
+        assert body["workers"] == 3
+
+        response = await client.get(f"http://{pool.address}/bifrost/config")
+        body = response.json()
+        assert body["active"] is True
+        assert body["config_version"] == 1
+
+        response = await client.delete(f"http://{pool.address}/bifrost/config")
+        assert response.json() == {
+            "status": "ok",
+            "active": False,
+            "config_version": 2,
+        }
+        assert all(member.config_version == 2 for member in pool.workers)
+    finally:
+        await teardown(pool, upstreams, client)
+
+
+async def test_stats_and_metrics_merge_across_workers():
+    pool, upstreams, endpoints, client = await pool_setup("stable", "canary")
+    try:
+        pool.apply_config(canary_split("stable", "canary", 30.0), endpoints)
+        for _ in range(12):
+            await client.get(f"http://{pool.address}/x")
+
+        response = await client.get(f"http://{pool.address}/bifrost/stats")
+        stats = response.json()
+        assert sum(stats["forwarded"].values()) == 12
+        assert stats["workers"] == 3
+        assert len(stats["per_worker"]) == 3
+        per_worker_total = sum(
+            sum(entry["forwarded"].values()) for entry in stats["per_worker"]
+        )
+        assert per_worker_total == 12
+        # canary_split is not sticky, so no assignments are memoized.
+        assert stats["sticky_sessions"] == 0
+        assert stats["upstream_errors"] == 0
+
+        response = await client.get(f"http://{pool.address}/metrics")
+        exposition = response.body.decode("utf-8")
+        total = sum(
+            float(line.rsplit(" ", 1)[1])
+            for line in exposition.splitlines()
+            if line.startswith("proxy_requests_total{")
+        )
+        assert total == 12.0
+
+        response = await client.get(f"http://{pool.address}/bifrost/healthz")
+        health = response.json()
+        assert health["status"] == "up"
+        assert health["worker_versions"] == [1, 1, 1]
+    finally:
+        await teardown(pool, upstreams, client)
+
+
+async def test_pool_validation_errors_return_400():
+    pool, upstreams, endpoints, client = await pool_setup("stable", "canary")
+    try:
+        payload = {
+            "routing": canary_split("stable", "canary", 25.0).to_wire(),
+            "endpoints": {"stable": endpoints["stable"]},  # canary missing
+        }
+        response = await client.put(
+            f"http://{pool.address}/bifrost/config", json_body=payload
+        )
+        assert response.status == 400
+        assert pool.config_version == 0
+        assert all(member.config_version == 0 for member in pool.workers)
+    finally:
+        await teardown(pool, upstreams, client)
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"), reason="platform lacks SO_REUSEPORT"
+)
+async def test_reuseport_pool_serves_and_fans_out_config():
+    import asyncio
+
+    upstreams = {name: EchoVersion(name) for name in ("stable", "canary")}
+    for upstream in upstreams.values():
+        await upstream.start()
+    endpoints = {name: server.address for name, server in upstreams.items()}
+    pool = ReuseportProxyPool(
+        "product", default_upstream=upstreams["stable"].address, workers=2
+    )
+    await asyncio.to_thread(pool.start)
+    client = HttpClient()
+    try:
+        assert len(pool.workers) == 2
+        response = await client.get(f"http://{pool.address}/items")
+        assert response.json()["version"] == "stable"
+
+        # Admin PUT lands on whichever worker the kernel picks; the member
+        # offloads the fan-out so *both* workers get the new plan.
+        payload = {
+            "routing": single_version("canary").to_wire(),
+            "endpoints": endpoints,
+        }
+        response = await client.put(
+            f"http://{pool.address}/bifrost/config", json_body=payload
+        )
+        body = response.json()
+        assert body["status"] == "ok"
+        assert body["config_version"] == 1
+        assert body["workers"] == 2
+        assert [member.config_version for member in pool.workers] == [1, 1]
+
+        async with HttpClient() as fresh:  # new connections may hit either worker
+            for _ in range(4):
+                response = await fresh.get(f"http://{pool.address}/items")
+                assert response.json()["version"] == "canary"
+    finally:
+        await client.close()
+        await asyncio.to_thread(pool.stop)
+        for upstream in upstreams.values():
+            await upstream.stop()

@@ -20,6 +20,11 @@ Subcommands:
   per worker on a shared ``SO_REUSEPORT`` socket).
 * ``bifrost status`` / ``bifrost events`` / ``bifrost cancel`` — talk to
   a remote engine API (``--engine host:port``), as release scripts do.
+* ``bifrost chaos run <file>`` — enact the document's ``chaos:``
+  campaign alongside its strategy as an automated game day.
+  ``--rehearse`` runs it in-process under a virtual clock against a
+  seeded local metric store (no proxies or Prometheus needed) so a
+  campaign can be exercised before touching real infrastructure.
 """
 
 from __future__ import annotations
@@ -138,6 +143,42 @@ def build_parser() -> argparse.ArgumentParser:
         "socket (needs OS support) instead of in-loop dispatch",
     )
     proxy.add_argument("--seed", default="bifrost", help="traffic-split hash seed")
+
+    chaos = commands.add_parser("chaos", help="chaos campaigns (game days)")
+    chaos_actions = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_actions.add_parser(
+        "run", help="enact a document's chaos campaign as a game day"
+    )
+    chaos_run.add_argument("file", type=Path)
+    chaos_run.add_argument(
+        "--rehearse",
+        action="store_true",
+        help="run in-process under a virtual clock with a seeded local "
+        "metric store instead of real proxies/Prometheus",
+    )
+    chaos_run.add_argument(
+        "--prometheus",
+        metavar="URL",
+        help="metrics provider base URL (live mode only)",
+    )
+    chaos_run.add_argument(
+        "--metric",
+        action="append",
+        metavar="NAME=VALUE",
+        help="rehearsal fixture: constant series value for a query "
+        "(default 0.0 for every referenced query)",
+    )
+    chaos_run.add_argument(
+        "--seed", type=int, default=None, help="override the campaign seed"
+    )
+    chaos_run.add_argument(
+        "--allow-findings",
+        action="store_true",
+        help="enact even when blocking lint findings exist",
+    )
+    chaos_run.add_argument(
+        "--quiet", action="store_true", help="suppress the event stream"
+    )
 
     status = commands.add_parser("status", help="list executions on an engine")
     status.add_argument("--engine", required=True, metavar="HOST:PORT")
@@ -406,6 +447,123 @@ def cmd_proxy(args) -> int:
     return asyncio.run(_proxy_pool(args))
 
 
+def _rehearsal_fixtures(compiled, overrides: dict[str, float]):
+    """Providers + constant metric series for an in-process game day.
+
+    Every ``(provider, query)`` pair referenced by the strategy's checks
+    or the campaign's steady-state hypotheses gets a flat series (value
+    0.0 unless overridden with ``--metric``), recorded under the query
+    string — rehearsal documents should use bare metric names as
+    queries.  One LocalPrometheusProvider is registered per referenced
+    provider name so the engine never reaches for real infrastructure.
+    """
+    from ..metrics.store import MetricStore
+
+    conditions = []
+    for state in compiled.strategy.automaton.states.values():
+        conditions.extend(check.condition for check in state.checks)
+    conditions.extend(check.condition for check in compiled.chaos.steady_state)
+    referenced: dict[str, set[str]] = {}
+    for condition in conditions:
+        for query in condition.queries:
+            referenced.setdefault(query.provider, set()).add(query.query)
+    if not referenced:
+        referenced = {"prometheus": set()}
+    stores = {}
+    for provider_name, queries in referenced.items():
+        store = MetricStore()
+        for query in queries:
+            value = overrides.get(query, 0.0)
+            for second in range(0, 3600, 5):
+                store.record(query, value, float(second))
+        stores[provider_name] = store
+    return stores
+
+
+async def _chaos_run(args) -> int:
+    from ..clock import VirtualClock
+    from ..core.engine import RecordingController, StrategyRejectedError
+    from ..metrics.provider import LocalPrometheusProvider
+    from ..resilience.chaos import run_game_day
+
+    try:
+        compiled = _load_document(args.file)
+    except (DslError, YamlError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if compiled.chaos is None:
+        print(
+            f"error: {args.file} has no chaos section; nothing to run",
+            file=sys.stderr,
+        )
+        return 2
+    campaign = compiled.chaos
+    if args.seed is not None:
+        campaign.seed = args.seed
+    overrides: dict[str, float] = {}
+    for entry in args.metric or []:
+        name, _, raw = entry.partition("=")
+        try:
+            overrides[name] = float(raw)
+        except ValueError:
+            print(f"error: bad --metric {entry!r}", file=sys.stderr)
+            return 1
+
+    controller = None
+    if args.rehearse:
+        clock = VirtualClock()
+        engine = Engine(controller=RecordingController(), clock=clock)
+        for name, store in _rehearsal_fixtures(compiled, overrides).items():
+            engine.register_provider(name, LocalPrometheusProvider(store, clock))
+    else:
+        controller = HttpProxyController(compiled.deployment.proxies())
+        engine = Engine(controller=controller)
+        if args.prometheus:
+            engine.register_provider(
+                "prometheus", HttpPrometheusProvider(args.prometheus)
+            )
+    if not args.quiet:
+        engine.bus.subscribe(
+            lambda event: print(
+                render_event(
+                    {
+                        "at": event.at,
+                        "strategy": event.strategy,
+                        "kind": event.kind.value,
+                        "data": event.data,
+                    }
+                )
+            )
+        )
+    try:
+        report = await run_game_day(
+            compiled.strategy,
+            campaign,
+            engine,
+            allow_findings=args.allow_findings,
+        )
+    except StrategyRejectedError as exc:
+        for diagnostic in exc.diagnostics:
+            print(f"  {diagnostic}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    finally:
+        await engine.shutdown()
+        if controller is not None:
+            await controller.close()
+    print(
+        f"game day {report.campaign!r} (seed {campaign.seed}): "
+        f"{report.status}, path {' -> '.join(report.execution.path) or '-'}"
+    )
+    print(
+        f"  injections: {len(report.injections)}, "
+        f"violations: {len(report.violations)}, aborted: {report.aborted}"
+    )
+    if report.unbound_targets:
+        print(f"  unbound targets: {', '.join(report.unbound_targets)}")
+    return 0 if report.status == "completed" else 2
+
+
 async def _status(args) -> int:
     async with HttpClient() as client:
         response = await client.get(f"http://{args.engine}/api/executions")
@@ -466,6 +624,10 @@ def main(argv: list[str] | None = None) -> int:
         return asyncio.run(_serve(args))
     if args.command == "proxy":
         return cmd_proxy(args)
+    if args.command == "chaos":
+        if args.chaos_command == "run":
+            return asyncio.run(_chaos_run(args))
+        raise AssertionError(f"unhandled chaos action {args.chaos_command!r}")
     if args.command == "status":
         return asyncio.run(_status(args))
     if args.command == "events":

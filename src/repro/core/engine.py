@@ -531,6 +531,7 @@ class Engine:
         self.providers: dict[str, MetricsProvider] = {}
         self._executions: dict[str, StrategyExecution] = {}
         self._tasks: dict[str, asyncio.Task[ExecutionReport]] = {}
+        self._chaos: dict[str, object] = {}
         self._counter = itertools.count(1)
         #: Exclusive service claims: service name -> holding execution id.
         self._claims: dict[str, str] = {}
@@ -546,6 +547,8 @@ class Engine:
         exclusive: bool = False,
         safe_routing: dict[str, RoutingConfig] | None = None,
         allow_findings: bool = False,
+        chaos=None,
+        chaos_proxies: dict[str, object] | None = None,
     ) -> str:
         """Validate and start enacting *strategy*; returns an execution id.
 
@@ -570,13 +573,21 @@ class Engine:
         engine reports blocking ERROR diagnostics (a strategy that cannot
         finish, a metric query that cannot compile, ...); by default such
         strategies are rejected with :class:`StrategyRejectedError`.
+
+        With *chaos* (a :class:`~repro.resilience.chaos.ChaosCampaign`),
+        a :class:`~repro.resilience.chaos.ChaosController` is attached
+        before the execution starts: it wraps the engine's providers,
+        controller, and (via *chaos_proxies*, service name → in-process
+        proxy or worker pool) upstream clients, arms the campaign's fault
+        schedules on phase transitions, and aborts the enactment if a
+        steady-state hypothesis is violated.
         """
         strategy.validate()
         if not allow_findings:
             from ..lint import lint_strategy
 
             blocking = lint_strategy(
-                strategy, safe_routing=safe_routing
+                strategy, safe_routing=safe_routing, campaign=chaos
             ).blocking()
             if blocking:
                 raise StrategyRejectedError(strategy.name, blocking)
@@ -594,6 +605,16 @@ class Engine:
         if exclusive:
             for service in routed_services:
                 self._claims[service] = execution_id
+        chaos_controller = None
+        if chaos is not None:
+            from ..resilience.chaos import ChaosController
+
+            chaos_controller = ChaosController(chaos, self, proxies=chaos_proxies)
+            # Attach before the execution captures self.controller, so the
+            # faulty wrappers sit on every seam the run will use.
+            chaos_controller.attach(strategy)
+            chaos_controller.execution_id = execution_id
+            self._chaos[execution_id] = chaos_controller
         execution = StrategyExecution(
             strategy=strategy,
             execution_id=execution_id,
@@ -618,6 +639,10 @@ class Engine:
         if exclusive:
             task.add_done_callback(
                 lambda _task, eid=execution_id: self._release_claims(eid)
+            )
+        if chaos_controller is not None:
+            task.add_done_callback(
+                lambda _task, ctrl=chaos_controller: ctrl.deactivate()
             )
         self._tasks[execution_id] = task
         return execution_id
@@ -654,6 +679,26 @@ class Engine:
 
     async def wait(self, execution_id: str) -> ExecutionReport:
         return await self._tasks[execution_id]
+
+    async def wait_report(self, execution_id: str) -> ExecutionReport:
+        """Like :meth:`wait`, but a cancelled execution yields its report.
+
+        A chaos abort (or operator cancel) ends the run by cancellation,
+        which :meth:`wait` re-raises; game-day callers want the report of
+        what happened instead.
+        """
+        task = self._tasks[execution_id]
+        try:
+            return await task
+        except asyncio.CancelledError:
+            if task.cancelled():
+                return self._executions[execution_id]._report(error="cancelled")
+            raise
+
+    def chaos_controller(self, execution_id: str):
+        """The :class:`~repro.resilience.chaos.ChaosController` attached to
+        *execution_id*, or ``None`` when it was enacted without a campaign."""
+        return self._chaos.get(execution_id)
 
     async def wait_all(self) -> list[ExecutionReport]:
         if not self._tasks:

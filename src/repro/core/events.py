@@ -39,6 +39,18 @@ class EventKind(enum.Enum):
     SAFE_ROUTING_APPLIED = "safe_routing_applied"
     SAFE_ROUTING_FAILED = "safe_routing_failed"
 
+    # Chaos campaigns: a ChaosController arms fault schedules on phase
+    # transitions and judges steady-state hypotheses while the strategy
+    # runs.  ``strategy`` carries the strategy name so chaos events
+    # interleave with the execution's own history.
+    CHAOS_CAMPAIGN_STARTED = "chaos_campaign_started"
+    CHAOS_ARMED = "chaos_armed"
+    CHAOS_DISARMED = "chaos_disarmed"
+    CHAOS_INJECTED = "chaos_injected"
+    CHAOS_STEADY_STATE_VIOLATED = "chaos_steady_state_violated"
+    CHAOS_ABORTED = "chaos_aborted"
+    CHAOS_CAMPAIGN_FINISHED = "chaos_campaign_finished"
+
 
 @dataclass(frozen=True)
 class Event:

@@ -120,21 +120,31 @@ def _parse_comparison(expression: str, path: str) -> Comparison:
 
 @dataclass
 class CompiledStrategy:
-    """The compiler's output: the model plus deployment facts."""
+    """The compiler's output: the model plus deployment facts.
+
+    ``chaos`` carries the document's chaos campaign
+    (:class:`~repro.resilience.chaos.ChaosCampaign`) when a ``chaos:``
+    section was declared, else ``None``.
+    """
 
     strategy: Strategy
     deployment: Deployment
+    chaos: Any = None
 
     @property
     def name(self) -> str:
         return self.strategy.name
 
 
+_CHAOS_KEYS = {"name", "seed", "faults", "steadyState"}
+_FAULT_KEYS = {"name", "target", "mode", "rate", "latency", "message", "during"}
+
+
 def compile_document(source: str | dict[str, Any]) -> CompiledStrategy:
     """Compile DSL text (or an already-parsed document) into the model."""
     document = loads(source) if isinstance(source, str) else source
     root = expect_map(document, "document")
-    reject_unknown_keys(root, {"strategy", "deployment", "lint"}, "document")
+    reject_unknown_keys(root, {"strategy", "deployment", "lint", "chaos"}, "document")
     deployment = parse_deployment(get_required(root, "deployment", "document"))
     strategy_raw = expect_map(get_required(root, "strategy", "document"), "strategy")
     reject_unknown_keys(strategy_raw, {"name", "phases"}, "strategy")
@@ -146,7 +156,12 @@ def compile_document(source: str | dict[str, Any]) -> CompiledStrategy:
     compiler = _Compiler(name, deployment)
     for index, phase_raw in enumerate(phases):
         compiler.add_phase(phase_raw, f"strategy.phases[{index}]")
-    return compiler.finish()
+    compiled = compiler.finish()
+    # The chaos section compiles after the automaton exists: its phase
+    # references (including rollout names, which expand per step) resolve
+    # against the finished state set.
+    compiled.chaos = compiler.parse_chaos(root.get("chaos"))
+    return compiled
 
 
 class _Compiler:
@@ -157,6 +172,9 @@ class _Compiler:
         #: rollout phase name -> its first expanded state, so other phases
         #: can say ``next: <rollout-name>`` without knowing the expansion.
         self._aliases: dict[str, str] = {}
+        #: rollout phase name -> every expanded state, so a chaos fault's
+        #: ``during: [<rollout-name>]`` covers the whole ramp.
+        self._expansions: dict[str, list[str]] = {}
         for deployed in deployment.services.values():
             service = Service(deployed.name)
             for version_name, endpoint in deployed.versions.items():
@@ -624,6 +642,7 @@ class _Compiler:
         if percentages[-1] < target - 1e-9:
             percentages.append(target)
         self._aliases[name] = f"{name}-{percentages[0]:g}"
+        self._expansions[name] = [f"{name}-{p:g}" for p in percentages]
         for index, percentage in enumerate(percentages):
             state_name = f"{name}-{percentage:g}"
             follower = (
@@ -682,3 +701,80 @@ class _Compiler:
                 rollback=bool_field(body, "rollback", path),
             )
         )
+
+    # -- chaos campaigns ----------------------------------------------------
+
+    def parse_chaos(self, raw: Any):
+        """Compile the ``chaos:`` section; call after :meth:`finish`."""
+        if raw is None:
+            return None
+        from ..resilience.chaos import ChaosCampaign, ChaosError, FaultSpec
+
+        body = expect_map(raw, "chaos")
+        reject_unknown_keys(body, _CHAOS_KEYS, "chaos")
+        name = str_field(body, "name", "chaos", f"{self.strategy.name}-chaos")
+        seed = int_field(body, "seed", "chaos", 0)
+        specs: list[FaultSpec] = []
+        faults_raw = body.get("faults")
+        if faults_raw is not None:
+            for index, item in enumerate(expect_list(faults_raw, "chaos.faults")):
+                item_path = f"chaos.faults[{index}]"
+                mapping = expect_map(item, item_path)
+                if set(mapping) != {"fault"}:
+                    raise DslError(
+                        f"a fault item must have exactly the key 'fault', "
+                        f"got {sorted(mapping)}",
+                        item_path,
+                    )
+                specs.append(self._parse_fault(mapping["fault"], f"{item_path}.fault"))
+        steady, weights = self._parse_checks(
+            body.get("steadyState"), "chaos.steadyState"
+        )
+        steady_weights = {
+            check.name: weight for check, weight in zip(steady, weights)
+        }
+        campaign = ChaosCampaign(
+            name=name,
+            specs=specs,
+            steady_state=steady,
+            steady_weights=steady_weights,
+            seed=seed,
+        )
+        try:
+            campaign.validate(self.strategy)
+        except ChaosError as exc:
+            raise DslError(str(exc), "chaos") from exc
+        return campaign
+
+    def _parse_fault(self, raw: Any, path: str):
+        from ..resilience.chaos import ChaosError, FaultSpec
+
+        body = expect_map(raw, path)
+        reject_unknown_keys(body, _FAULT_KEYS, path)
+        target = str_field(body, "target", path)
+        name = str_field(body, "name", path, target)
+        during_raw = expect_list(get_required(body, "during", path), f"{path}.during")
+        phases: list[str] = []
+        for index, item in enumerate(during_raw):
+            phase = expect_str(item, f"{path}.during[{index}]")
+            # A rollout name covers every state of its expansion.
+            for resolved in self._expansions.get(phase, [phase]):
+                if resolved not in self.automaton.states:
+                    raise DslError(
+                        f"unknown phase {phase!r}",
+                        f"{path}.during[{index}]",
+                    )
+                if resolved not in phases:
+                    phases.append(resolved)
+        try:
+            return FaultSpec(
+                name=name,
+                target=target,
+                mode=str_field(body, "mode", path, "error"),
+                phases=tuple(phases),
+                rate=number_field(body, "rate", path, 1.0),
+                latency=number_field(body, "latency", path, 0.0),
+                message=str_field(body, "message", path, "chaos: injected fault"),
+            )
+        except ChaosError as exc:
+            raise DslError(str(exc), path) from exc

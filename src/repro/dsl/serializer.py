@@ -24,12 +24,14 @@ from .errors import DslError
 from .yaml_lite import dumps
 
 
-def serialize(strategy: Strategy, deployment: Deployment) -> str:
-    """Render a strategy + deployment as DSL text."""
-    return dumps(to_document(strategy, deployment))
+def serialize(strategy: Strategy, deployment: Deployment, chaos=None) -> str:
+    """Render a strategy + deployment (+ chaos campaign) as DSL text."""
+    return dumps(to_document(strategy, deployment, chaos))
 
 
-def to_document(strategy: Strategy, deployment: Deployment) -> dict[str, Any]:
+def to_document(
+    strategy: Strategy, deployment: Deployment, chaos=None
+) -> dict[str, Any]:
     """Build the document structure (useful for tests and tooling)."""
     if strategy.automaton is None:
         raise DslError("strategy has no automaton to serialize")
@@ -44,10 +46,45 @@ def to_document(strategy: Strategy, deployment: Deployment) -> dict[str, Any]:
             phases.append({"final": _final_body(state, deployment)})
         else:
             phases.append({"phase": _phase_body(state, deployment)})
-    return {
+    document = {
         "strategy": {"name": strategy.name, "phases": phases},
         "deployment": _deployment_body(deployment),
     }
+    if chaos is not None:
+        document["chaos"] = _chaos_body(chaos)
+    return document
+
+
+def _chaos_body(campaign) -> dict[str, Any]:
+    """The ``chaos:`` section; ``during`` lists expanded state names, so
+    the round-trip through :func:`compile_document` is stable."""
+    body: dict[str, Any] = {"name": campaign.name}
+    if campaign.seed:
+        body["seed"] = campaign.seed
+    faults = []
+    for spec in campaign.specs:
+        fault: dict[str, Any] = {
+            "name": spec.name,
+            "target": spec.target,
+            "mode": spec.mode,
+            "during": list(spec.phases),
+        }
+        if spec.rate != 1.0:
+            fault["rate"] = spec.rate
+        if spec.mode == "latency":
+            fault["latency"] = spec.latency
+        if spec.message != "chaos: injected fault":
+            fault["message"] = spec.message
+        faults.append({"fault": fault})
+    if faults:
+        body["faults"] = faults
+    steady = [
+        _check_body(check, campaign.steady_weights.get(check.name, 1.0))
+        for check in campaign.steady_state
+    ]
+    if steady:
+        body["steadyState"] = steady
+    return body
 
 
 def _phase_body(state: State, deployment: Deployment) -> dict[str, Any]:

@@ -162,8 +162,11 @@ def lint_strategy(
     strategy: Strategy,
     safe_routing: dict[str, RoutingConfig] | None = None,
     config: LintConfig | None = None,
+    campaign=None,
 ) -> LintResult:
-    model = LintModel.from_strategy(strategy, safe_routing=safe_routing)
+    model = LintModel.from_strategy(
+        strategy, safe_routing=safe_routing, campaign=campaign
+    )
     diagnostics = _run_rules(model, config or LintConfig())
     return _finish(diagnostics, None)
 

@@ -78,6 +78,16 @@ class RouteInfo:
 
 
 @dataclass
+class ChaosFaultInfo:
+    """One declared fault of a ``chaos:`` campaign section."""
+
+    name: str
+    target: str
+    phases: list[str] = field(default_factory=list)
+    span: SourceSpan | None = None
+
+
+@dataclass
 class StateInfo:
     """One automaton state (or one phase of a document)."""
 
@@ -118,6 +128,10 @@ class LintModel:
     safe_routing: dict[str, RoutingConfig] | None = None
     #: True when the model was built from a source document.
     has_source: bool = False
+    #: Chaos campaign extraction (``chaos:`` section / attached campaign).
+    has_chaos: bool = False
+    chaos_faults: list[ChaosFaultInfo] = field(default_factory=list)
+    chaos_steady: list[CheckInfo] = field(default_factory=list)
 
     # -- shared helpers rules build on ------------------------------------
 
@@ -187,10 +201,25 @@ class LintModel:
         cls,
         strategy: Strategy,
         safe_routing: dict[str, RoutingConfig] | None = None,
+        campaign: Any = None,
     ) -> "LintModel":
         """Project an in-memory strategy.  Never raises on a broken one."""
         model = cls(name=getattr(strategy, "name", "") or "", has_source=False)
         model.safe_routing = safe_routing
+        if campaign is not None:
+            model.has_chaos = True
+            for spec in getattr(campaign, "specs", ()) or ():
+                model.chaos_faults.append(
+                    ChaosFaultInfo(
+                        name=str(getattr(spec, "name", "")),
+                        target=str(getattr(spec, "target", "")),
+                        phases=[str(p) for p in getattr(spec, "phases", ()) or ()],
+                    )
+                )
+            for index, check in enumerate(
+                getattr(campaign, "steady_state", ()) or ()
+            ):
+                model.chaos_steady.append(_check_from_model(check, [], index))
         for service_name, service in getattr(strategy, "services", {}).items():
             model.services[service_name] = list(getattr(service, "versions", {}))
         automaton = getattr(strategy, "automaton", None)
@@ -227,6 +256,7 @@ class LintModel:
         if not isinstance(document, dict):
             return model
         _extract_deployment(model, document.get("deployment"))
+        _extract_chaos(model, document.get("chaos"))
         strategy = document.get("strategy")
         if not isinstance(strategy, dict):
             return model
@@ -490,6 +520,41 @@ def _extract_checks(model: LintModel, info: StateInfo, raw: Any) -> None:
         info.checks.append(check)
 
 
+def _extract_chaos(model: LintModel, chaos: Any) -> None:
+    if not isinstance(chaos, dict):
+        return
+    model.has_chaos = True
+    faults = chaos.get("faults")
+    if isinstance(faults, list):
+        for index, item in enumerate(faults):
+            if not isinstance(item, dict) or set(item) != {"fault"}:
+                continue
+            body = item["fault"]
+            if not isinstance(body, dict):
+                continue
+            target = body.get("target")
+            raw_name = body.get("name")
+            phases = body.get("during")
+            model.chaos_faults.append(
+                ChaosFaultInfo(
+                    name=(
+                        raw_name
+                        if isinstance(raw_name, str)
+                        else f"<faults[{index}]>"
+                    ),
+                    target=target if isinstance(target, str) else "",
+                    phases=[p for p in phases if isinstance(p, str)]
+                    if isinstance(phases, list)
+                    else [],
+                    span=model.span_at(node_line(body) or item_line(faults, index)),
+                )
+            )
+    # steady-state hypotheses share the phase checks' shape exactly.
+    holder = StateInfo(name="<chaos.steadyState>")
+    _extract_checks(model, holder, chaos.get("steadyState"))
+    model.chaos_steady.extend(holder.checks)
+
+
 def _extract_queries(model: LintModel, check: CheckInfo, metric: dict[str, Any]) -> None:
     query = metric.get("query")
     if isinstance(query, str):
@@ -550,4 +615,11 @@ def _extract_output(check: CheckInfo, metric: dict[str, Any]) -> None:
         check.output_results = (0, 1)
 
 
-__all__ = ["CheckInfo", "LintModel", "QueryInfo", "RouteInfo", "StateInfo"]
+__all__ = [
+    "ChaosFaultInfo",
+    "CheckInfo",
+    "LintModel",
+    "QueryInfo",
+    "RouteInfo",
+    "StateInfo",
+]

@@ -31,6 +31,9 @@ BF305  unmonitored-exposure    warning   live exposure without any checks
 BF401  bad-safe-routing        error     safe_routing names unknown service/version
 BF402  final-with-checks       warning   final state declares checks
 BF403  shared-proxy            warning   two services behind one proxy endpoint
+BF501  unknown-fault-target    error     chaos fault targets nothing that exists
+BF502  fault-outside-phase     error     fault schedule not scoped to a known phase
+BF503  missing-steady-state    error     faults declared without any hypothesis
 =====  ======================  ========  =========================================
 """
 
@@ -525,9 +528,16 @@ def shadow_live_target(model: LintModel, config: LintConfig) -> Iterator[Diagnos
 def bad_metric_query(model: LintModel, config: LintConfig) -> Iterator[Diagnostic]:
     from ..metrics.compile import compile_query
 
-    for name, state in model.states.items():
+    # chaos steady-state hypotheses are ordinary checks; their queries
+    # must compile just like phase checks' queries do.
+    groups = [
+        (name, state.span, state.checks) for name, state in model.states.items()
+    ]
+    if model.chaos_steady:
+        groups.append(("<chaos.steadyState>", None, model.chaos_steady))
+    for name, state_span, checks in groups:
         seen: set[str] = set()
-        for check in state.checks:
+        for check in checks:
             for query in check.queries:
                 # metrics/compile.py speaks the PromQL subset; queries
                 # bound to other providers use whatever syntax that
@@ -541,14 +551,14 @@ def bad_metric_query(model: LintModel, config: LintConfig) -> Iterator[Diagnosti
                     yield bad_metric_query.rule.diagnostic(
                         f"metric query {query.query!r} of check "
                         f"{check.name!r} does not compile: {exc}",
-                        span=query.span or check.span or state.span,
+                        span=query.span or check.span or state_span,
                         state=name,
                     )
                 except Exception as exc:  # defensive: lint must not crash
                     yield bad_metric_query.rule.diagnostic(
                         f"metric query {query.query!r} of check "
                         f"{check.name!r} does not compile: {exc}",
-                        span=query.span or check.span or state.span,
+                        span=query.span or check.span or state_span,
                         state=name,
                     )
 
@@ -731,3 +741,97 @@ def shared_proxy(model: LintModel, config: LintConfig) -> Iterator[Diagnostic]:
                 f"{address!r}; reconfiguring one clobbers the other",
                 span=model.proxy_spans.get(services[0]),
             )
+
+
+# -- BF5xx: chaos campaigns -------------------------------------------------
+
+
+@rule(
+    "BF501", "unknown-fault-target", Severity.ERROR,
+    "a chaos fault targets nothing that exists",
+    blocking=True,
+)
+def unknown_fault_target(model: LintModel, config: LintConfig) -> Iterator[Diagnostic]:
+    from ..resilience.chaos import ChaosError, parse_target
+
+    referenced_providers = {
+        query.provider
+        for state in model.states.values()
+        for check in state.checks
+        for query in check.queries
+    } | {query.provider for check in model.chaos_steady for query in check.queries}
+    for fault in model.chaos_faults:
+        try:
+            kind, target_name = parse_target(fault.target)
+        except ChaosError as exc:
+            yield unknown_fault_target.rule.diagnostic(
+                f"fault {fault.name!r}: {exc}",
+                span=fault.span,
+            )
+            continue
+        if kind in ("upstream", "endpoint") and model.services:
+            service = target_name.split("/", 1)[0]
+            if service not in model.services:
+                yield unknown_fault_target.rule.diagnostic(
+                    f"fault {fault.name!r} targets unknown service "
+                    f"{service!r}; declared: {sorted(model.services)}",
+                    span=fault.span,
+                )
+            elif kind == "endpoint":
+                version = target_name.split("/", 1)[1]
+                if version not in model.services[service]:
+                    yield unknown_fault_target.rule.diagnostic(
+                        f"fault {fault.name!r} targets unknown version "
+                        f"{version!r} of service {service!r}; declared: "
+                        f"{sorted(model.services[service])}",
+                        span=fault.span,
+                    )
+        elif kind == "provider" and referenced_providers:
+            if target_name not in referenced_providers:
+                yield unknown_fault_target.rule.diagnostic(
+                    f"fault {fault.name!r} targets provider {target_name!r}, "
+                    "which no check in the document queries; the fault would "
+                    "never be observed",
+                    span=fault.span,
+                    fix="target a provider a check uses, or drop the fault",
+                )
+
+
+@rule(
+    "BF502", "fault-outside-phase", Severity.ERROR,
+    "a fault schedule is not scoped to any declared phase",
+    blocking=True,
+)
+def fault_outside_phase(model: LintModel, config: LintConfig) -> Iterator[Diagnostic]:
+    for fault in model.chaos_faults:
+        if not fault.phases:
+            yield fault_outside_phase.rule.diagnostic(
+                f"fault {fault.name!r} has no 'during' phases; it would "
+                "never arm",
+                span=fault.span,
+                fix="add during: [<phase>, ...] naming automaton phases",
+            )
+            continue
+        if not model.states:
+            continue
+        for phase in fault.phases:
+            if phase not in model.states:
+                yield fault_outside_phase.rule.diagnostic(
+                    f"fault {fault.name!r} is scheduled during unknown "
+                    f"phase {phase!r}",
+                    span=fault.span,
+                )
+
+
+@rule(
+    "BF503", "missing-steady-state", Severity.ERROR,
+    "chaos faults are declared without any steady-state hypothesis",
+    blocking=True,
+)
+def missing_steady_state(model: LintModel, config: LintConfig) -> Iterator[Diagnostic]:
+    if model.has_chaos and model.chaos_faults and not model.chaos_steady:
+        yield missing_steady_state.rule.diagnostic(
+            "the campaign declares faults but no steadyState checks; a game "
+            "day without a hypothesis is just an outage",
+            fix="add steadyState: checks the system must keep passing",
+        )

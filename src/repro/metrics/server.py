@@ -88,6 +88,13 @@ class MetricsServer(HttpServer):
         #: Memo hit/miss tallies, exposed on ``/healthz`` for operators.
         self.query_cache_hits = 0
         self.query_cache_misses = 0
+        #: Circuit breakers surfaced on ``/healthz`` — anything with a
+        #: ``snapshot()`` (see ``CircuitBreaker.snapshot``).
+        self.breakers: dict[str, object] = {}
+
+    def register_breaker(self, name: str, breaker) -> None:
+        """Expose *breaker*'s state + transition counters on ``/healthz``."""
+        self.breakers[name] = breaker
 
     async def start(self, scrape: bool = True) -> None:
         await super().start()
@@ -240,6 +247,10 @@ class MetricsServer(HttpServer):
                 "status": "up",
                 "series": len(self.store),
                 "shards": shard_view,
+                "breakers": {
+                    name: breaker.snapshot()
+                    for name, breaker in self.breakers.items()
+                },
                 "caches": {
                     "query_memo": {
                         "hits": self.query_cache_hits,

@@ -130,6 +130,9 @@ class ProxyWorkerPool(HttpServer):
         self.default_upstream = default_upstream
         self.seed = seed
         self.config_version = 0
+        #: Circuit breakers surfaced on ``/bifrost/healthz`` — anything
+        #: with a ``snapshot()`` (see ``CircuitBreaker.snapshot``).
+        self.breakers: dict[str, object] = {}
         members = []
         for index in range(workers):
             member = BifrostProxy(
@@ -321,6 +324,10 @@ class ProxyWorkerPool(HttpServer):
     async def _handle_stats(self, request: Request) -> Response:
         return Response.from_json(self.stats_snapshot())
 
+    def register_breaker(self, name: str, breaker) -> None:
+        """Expose *breaker*'s state + transition counters on ``/healthz``."""
+        self.breakers[name] = breaker
+
     async def _handle_health(self, request: Request) -> Response:
         return Response.from_json(
             {
@@ -331,6 +338,10 @@ class ProxyWorkerPool(HttpServer):
                 "worker_versions": [
                     member.config_version for member in self.workers
                 ],
+                "breakers": {
+                    name: breaker.snapshot()
+                    for name, breaker in self.breakers.items()
+                },
             }
         )
 

@@ -1,17 +1,32 @@
-"""Resilience layer: policies, wrappers, and deterministic fault injection.
+"""Resilience layer: policies, wrappers, fault injection, and chaos.
 
 The engine survives flaky dependencies instead of equating them with bad
 releases: see :mod:`repro.resilience.policy` for the building blocks,
 :mod:`repro.resilience.wrappers` for the provider/controller decorators,
-and :mod:`repro.resilience.faults` for the test toolkit that proves it.
+:mod:`repro.resilience.faults` for the deterministic fault-injection
+toolkit, :mod:`repro.resilience.chaos` for declared chaos campaigns
+enacted alongside strategies, and :mod:`repro.resilience.corpus` for the
+seeded generative soak suite that stresses all of it under VirtualClock.
 """
 
+from .chaos import (
+    ChaosCampaign,
+    ChaosController,
+    ChaosError,
+    FaultSpec,
+    GameDayReport,
+    Injection,
+    parse_target,
+    run_game_day,
+)
 from .faults import (
     ErrorFault,
     Fault,
     FaultSchedule,
+    FaultScheduleError,
     FaultyController,
     FaultyProvider,
+    FaultyUpstream,
     HangFault,
     LatencyFault,
 )
@@ -29,13 +44,21 @@ from .wrappers import ResilientController, ResilientProvider
 __all__ = [
     "BreakerOpenError",
     "BreakerState",
+    "ChaosCampaign",
+    "ChaosController",
+    "ChaosError",
     "CircuitBreaker",
     "ErrorFault",
     "Fault",
     "FaultSchedule",
+    "FaultScheduleError",
+    "FaultSpec",
     "FaultyController",
     "FaultyProvider",
+    "FaultyUpstream",
+    "GameDayReport",
     "HangFault",
+    "Injection",
     "LatencyFault",
     "ResilienceError",
     "ResilientController",
@@ -43,4 +66,6 @@ __all__ = [
     "RetryPolicy",
     "Timeout",
     "TimeoutExceeded",
+    "parse_target",
+    "run_game_day",
 ]

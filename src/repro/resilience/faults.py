@@ -1,18 +1,27 @@
-"""Deterministic fault injection for providers and controllers.
+"""Deterministic fault injection for providers, controllers, and upstreams.
 
 Resilience code is only trustworthy if its failure paths are exercised,
 and failure paths are only testable if failures happen *on schedule*.
-This toolkit wraps the same two seams the resilient wrappers protect:
+This toolkit wraps the three seams the middleware talks to the world
+through:
 
 * :class:`FaultSchedule` — decides, per call, whether a fault fires.
   Rules are pure functions of ``(call_index, clock_now)``, so a given
   schedule against a given workload always injects the same faults.
+  Probabilistic rules (:meth:`FaultSchedule.seeded`) hash
+  ``(seed, key, call_index)`` instead of drawing from shared RNG state,
+  so they stay deterministic across runs *and* across shard/worker
+  counts.  Declarative outage windows are validated at construction:
+  unsorted or overlapping windows raise :class:`FaultScheduleError`
+  instead of silently resolving by match order.
 * :class:`ErrorFault` / :class:`LatencyFault` / :class:`HangFault` — what
   firing means: raise (any exception type — ``ProviderError``, raw
   ``ConnectionError``, ...), delay by clock time, or park ~forever (to be
   killed by a :class:`~repro.resilience.policy.Timeout` or cancellation).
-* :class:`FaultyProvider` / :class:`FaultyController` — the wrappers,
-  recording every injection for assertions.
+* :class:`FaultyProvider` / :class:`FaultyController` /
+  :class:`FaultyUpstream` — the wrappers, recording every injection for
+  assertions and reporting each one to an optional ``on_inject`` hook
+  (the chaos controller publishes ``CHAOS_INJECTED`` events from it).
 
 Everything sleeps on the injected clock, so a "30 s outage" costs a
 virtual-clock test nothing.
@@ -20,13 +29,19 @@ virtual-clock test nothing.
 
 from __future__ import annotations
 
+import asyncio
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Awaitable, Callable, Iterable, Sequence
 
 from ..clock import Clock, RealClock
 from ..core.engine import ProxyController
 from ..core.routing import RoutingConfig
 from ..metrics.provider import MetricsProvider, ProviderError
+
+
+class FaultScheduleError(ValueError):
+    """A fault schedule is malformed (bad window list, bad rate, ...)."""
 
 
 @dataclass(frozen=True)
@@ -71,15 +86,61 @@ Fault = ErrorFault | LatencyFault | HangFault
 FaultRule = Callable[[int, float], bool]
 
 
+def _seeded_fraction(seed: int, key: str, index: int) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) for one call.
+
+    Hashes ``(seed, key, index)`` instead of drawing from shared RNG
+    state, so injection decisions do not depend on how calls interleave
+    across shards, workers, or event-loop scheduling.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:{key}:{index}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
 @dataclass
 class FaultSchedule:
-    """An ordered list of (rule, fault) pairs; first matching rule wins."""
+    """An ordered list of (rule, fault) pairs; first matching rule wins.
+
+    Clock-window rules added through :meth:`add_window` (and the
+    ``during``/``outages`` constructors) are validated eagerly: windows
+    must be well-formed (``start < end``), added in ascending order, and
+    non-overlapping.  Before this check existed a mis-declared overlap
+    silently resolved by rule order, which made "which fault fired?"
+    depend on construction order rather than the declared schedule.
+    """
 
     rules: list[tuple[FaultRule, Fault]] = field(default_factory=list)
+    #: validated (start, end) clock windows, ascending and disjoint.
+    windows: list[tuple[float, float]] = field(default_factory=list)
 
     def add(self, rule: FaultRule, fault: Fault | None = None) -> "FaultSchedule":
         self.rules.append((rule, fault or ErrorFault()))
         return self
+
+    def add_window(
+        self, start: float, end: float, fault: Fault | None = None
+    ) -> "FaultSchedule":
+        """Add a clock-time outage window, validated at construction."""
+        if not (start < end):
+            raise FaultScheduleError(
+                f"fault window must have start < end, got [{start}, {end})"
+            )
+        if self.windows:
+            last_start, last_end = self.windows[-1]
+            if start < last_start:
+                raise FaultScheduleError(
+                    f"fault windows must be sorted: [{start}, {end}) "
+                    f"starts before [{last_start}, {last_end})"
+                )
+            if start < last_end:
+                raise FaultScheduleError(
+                    f"fault windows must not overlap: [{start}, {end}) "
+                    f"overlaps [{last_start}, {last_end})"
+                )
+        self.windows.append((start, end))
+        return self.add(lambda index, now: start <= now < end, fault)
 
     def fault_for(self, index: int, now: float) -> Fault | None:
         for rule, fault in self.rules:
@@ -121,20 +182,73 @@ class FaultSchedule:
         cls, start: float, end: float, fault: Fault | None = None
     ) -> "FaultSchedule":
         """An outage window on the clock: faults while start <= now < end."""
-        return cls().add(lambda index, now: start <= now < end, fault)
+        return cls().add_window(start, end, fault)
+
+    @classmethod
+    def outages(
+        cls,
+        windows: Sequence[tuple[float, float]],
+        fault: Fault | None = None,
+    ) -> "FaultSchedule":
+        """Several outage windows; must be sorted and non-overlapping."""
+        schedule = cls()
+        for start, end in windows:
+            schedule.add_window(start, end, fault)
+        return schedule
+
+    @classmethod
+    def seeded(
+        cls,
+        rate: float,
+        seed: int,
+        key: str = "fault",
+        fault: Fault | None = None,
+    ) -> "FaultSchedule":
+        """Fault a deterministic pseudo-random *rate* fraction of calls.
+
+        The decision for call *n* is a pure function of
+        ``(seed, key, n)``; two wrappers built from the same parameters
+        inject on exactly the same call indices regardless of timing.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise FaultScheduleError(f"fault rate must be in [0, 1], got {rate}")
+        if rate == 0.0:
+            return cls()
+        if rate == 1.0:
+            return cls.always(fault)
+        return cls().add(
+            lambda index, now: _seeded_fraction(seed, key, index) < rate, fault
+        )
+
+
+#: Called with (call_index, fault) each time a wrapper injects.
+InjectionHook = Callable[[int, Fault], Awaitable[None] | None]
+
+
+async def _notify(hook: InjectionHook | None, index: int, fault: Fault) -> None:
+    if hook is None:
+        return
+    result = hook(index, fault)
+    if asyncio.iscoroutine(result):
+        await result
 
 
 class FaultyProvider(MetricsProvider):
     """Injects scheduled faults in front of any metrics provider."""
 
     def __init__(
-        self, inner: MetricsProvider, schedule: FaultSchedule, clock: Clock | None = None
+        self,
+        inner: MetricsProvider,
+        schedule: FaultSchedule,
+        clock: Clock | None = None,
+        on_inject: InjectionHook | None = None,
     ):
         self.inner = inner
         self.schedule = schedule
         self.clock = clock or RealClock()
         self.name = inner.name
         self.calls = 0
+        self.on_inject = on_inject
         #: (call_index, fault) for every injection, for test assertions.
         self.injected: list[tuple[int, Fault]] = []
 
@@ -143,6 +257,7 @@ class FaultyProvider(MetricsProvider):
         fault = self.schedule.fault_for(self.calls, self.clock.now())
         if fault is not None:
             self.injected.append((self.calls, fault))
+            await _notify(self.on_inject, self.calls, fault)
             await fault.apply(self.clock)
         return await self.inner.query(query)
 
@@ -159,12 +274,17 @@ class FaultyController(ProxyController):
     """
 
     def __init__(
-        self, inner: ProxyController, schedule: FaultSchedule, clock: Clock | None = None
+        self,
+        inner: ProxyController,
+        schedule: FaultSchedule,
+        clock: Clock | None = None,
+        on_inject: InjectionHook | None = None,
     ):
         self.inner = inner
         self.schedule = schedule
         self.clock = clock or RealClock()
         self.calls = 0
+        self.on_inject = on_inject
         self.injected: list[tuple[int, Fault]] = []
 
     async def apply(
@@ -176,5 +296,61 @@ class FaultyController(ProxyController):
             if isinstance(fault, ErrorFault) and fault.exception is ProviderError:
                 fault = ErrorFault(fault.message, RuntimeError)
             self.injected.append((self.calls, fault))
+            await _notify(self.on_inject, self.calls, fault)
             await fault.apply(self.clock)
         await self.inner.apply(service, config, endpoints)
+
+
+class FaultyUpstream:
+    """Injects scheduled faults in the proxy's upstream client path.
+
+    Wraps the ``HttpClient`` a :class:`~repro.proxy.server.BifrostProxy`
+    uses to reach service endpoints (duck-typing its
+    ``send(request, host, port)`` seam).  Error faults surface as
+    ``ConnectionError`` so the proxy's normal upstream-failure handling
+    (502 + ``upstream_errors`` counter) takes over — exactly what a
+    flapping or dead endpoint looks like from the data plane.
+
+    *endpoints* optionally restricts injection to a set of
+    ``"host:port"`` strings, which is how endpoint flaps (one version's
+    backends misbehaving) differ from service-wide upstream spikes.
+    """
+
+    def __init__(
+        self,
+        inner,
+        schedule: FaultSchedule,
+        clock: Clock | None = None,
+        endpoints: frozenset[str] | None = None,
+        on_inject: InjectionHook | None = None,
+    ):
+        self.inner = inner
+        self.schedule = schedule
+        self.clock = clock or RealClock()
+        self.endpoints = endpoints
+        self.on_inject = on_inject
+        self.calls = 0
+        self.injected: list[tuple[int, Fault]] = []
+
+    def _matches(self, host: str, port: int) -> bool:
+        return self.endpoints is None or f"{host}:{port}" in self.endpoints
+
+    async def send(self, request, host: str, port: int):
+        self.calls += 1
+        if self._matches(host, port):
+            fault = self.schedule.fault_for(self.calls, self.clock.now())
+            if fault is not None:
+                if isinstance(fault, ErrorFault) and fault.exception is ProviderError:
+                    fault = ErrorFault(fault.message, ConnectionError)
+                self.injected.append((self.calls, fault))
+                await _notify(self.on_inject, self.calls, fault)
+                await fault.apply(self.clock)
+        return await self.inner.send(request, host, port)
+
+    async def close(self) -> None:
+        await self.inner.close()
+
+    def __getattr__(self, name: str):
+        # transparently expose anything else the proxy pokes at
+        # (idle_connections(), counters, ...) on the wrapped client.
+        return getattr(self.inner, name)

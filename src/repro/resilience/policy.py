@@ -192,6 +192,8 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probes_granted = 0
         self._probe_successes = 0
+        #: True while a chaos campaign holds the breaker open.
+        self.forced = False
         #: (at, old_state, new_state) transitions, newest last.
         self.transitions: list[tuple[float, BreakerState, BreakerState]] = []
 
@@ -209,6 +211,8 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May a call proceed right now?  (Transitions OPEN → HALF_OPEN.)"""
+        if self.forced:
+            return False
         if self.state is BreakerState.CLOSED:
             return True
         if self.state is BreakerState.OPEN:
@@ -246,3 +250,34 @@ class CircuitBreaker:
     def _open(self) -> None:
         self._opened_at = self.clock.now()
         self._transition(BreakerState.OPEN)
+
+    def force_open(self) -> None:
+        """Hold the breaker open until :meth:`force_close` (chaos forcing).
+
+        While forced, :meth:`allow` refuses every call — the cooldown
+        does not elapse into HALF_OPEN.  The transition is recorded like
+        any organic one so event wrappers and healthz views see it.
+        """
+        self.forced = True
+        self._open()
+
+    def force_close(self) -> None:
+        """Release a forced hold and close the breaker with a clean window."""
+        self.forced = False
+        self._results.clear()
+        self._probes_granted = 0
+        self._probe_successes = 0
+        self._transition(BreakerState.CLOSED)
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view for ``/healthz`` endpoints."""
+        counts = {state.value: 0 for state in BreakerState}
+        for _, _, new_state in self.transitions:
+            counts[new_state.value] += 1
+        return {
+            "state": self.state.value,
+            "forced": self.forced,
+            "failure_fraction": round(self.failure_fraction, 4),
+            "transitions": counts,
+            "transitions_total": len(self.transitions),
+        }

@@ -1,0 +1,118 @@
+"""``bifrost chaos run``: game days from the command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_chaos_run_example_rehearsal_surfaces_the_abort(capsys):
+    # The shipped example is a red game day by design: the brownout
+    # falsifies the steady-state hypothesis, the campaign aborts, and
+    # the exit code says so.
+    code = main(["chaos", "run", "examples/chaos_canary.yaml", "--rehearse"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "chaos_campaign_started" in out
+    assert "chaos_injected" in out
+    assert "chaos_steady_state_violated" in out
+    assert "safe_routing_applied" in out
+    assert "aborted: True" in out
+
+
+def test_chaos_run_is_seed_reproducible(capsys):
+    main(["chaos", "run", "examples/chaos_canary.yaml", "--rehearse"])
+    first = capsys.readouterr().out
+    main(["chaos", "run", "examples/chaos_canary.yaml", "--rehearse"])
+    second = capsys.readouterr().out
+    assert first == second
+    # A different seed produces a different trace.
+    main(
+        ["chaos", "run", "examples/chaos_canary.yaml", "--rehearse", "--seed", "8"]
+    )
+    third = capsys.readouterr().out
+    assert third != first
+
+
+def test_chaos_run_survivable_campaign_exits_zero(tmp_path, capsys):
+    text = (
+        open("examples/chaos_canary.yaml", encoding="utf-8")
+        .read()
+        .replace("        mode: error\n", "        mode: latency\n        latency: 1.5\n")
+    )
+    path = tmp_path / "latency.yaml"
+    path.write_text(text)
+    code = main(["chaos", "run", str(path), "--rehearse", "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "completed" in out
+    assert "aborted: False" in out
+
+
+def test_chaos_run_without_chaos_section_exits_two(tmp_path, capsys):
+    path = tmp_path / "plain.yaml"
+    path.write_text(
+        """
+strategy:
+  name: plain
+  phases:
+    - phase:
+        name: wait
+        duration: 1
+        next: done
+    - final:
+        name: done
+deployment:
+  services:
+    svc:
+      proxy: 127.0.0.1:7001
+      stable: v1
+      versions:
+        v1: 127.0.0.1:9001
+"""
+    )
+    code = main(["chaos", "run", str(path), "--rehearse"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "no chaos section" in err
+
+
+def test_chaos_run_metric_override_changes_outcome(tmp_path, capsys):
+    # Fixture value 80 makes even the un-faulted checks fail: the
+    # strategy rolls back on its own, which is not a completed campaign.
+    code = main(
+        [
+            "chaos",
+            "run",
+            "examples/chaos_canary.yaml",
+            "--rehearse",
+            "--quiet",
+            "--metric",
+            "errors_total=80",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "rolled_back" in out or "failed" in out
+
+
+def test_chaos_run_bad_metric_flag(capsys):
+    code = main(
+        [
+            "chaos",
+            "run",
+            "examples/chaos_canary.yaml",
+            "--rehearse",
+            "--metric",
+            "errors_total=lots",
+        ]
+    )
+    assert code == 1
+    assert "bad --metric" in capsys.readouterr().err
+
+
+def test_chaos_run_invalid_file(tmp_path, capsys):
+    path = tmp_path / "broken.yaml"
+    path.write_text("strategy:\n  name: broken\n")
+    code = main(["chaos", "run", str(path), "--rehearse"])
+    assert code == 1
+    assert "INVALID" in capsys.readouterr().err

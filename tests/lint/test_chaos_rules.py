@@ -1,0 +1,189 @@
+"""BF5xx: lint rules for chaos campaign sections."""
+
+from repro.lint import lint_text
+
+
+BASE = """
+strategy:
+  name: demo
+  phases:
+    - phase:
+        name: canary
+        duration: 30
+        routes:
+          - route:
+              from: search
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 10
+        checks:
+          - metric:
+              name: errors_ok
+              provider: prometheus
+              query: errors_total
+              validator: "< 50"
+              intervalTime: 5
+              intervalLimit: 3
+              threshold: 2
+        next: done
+        onFailure: rollback
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+        routes:
+          - route:
+              from: search
+              to: v1
+              filters:
+                - traffic:
+                    percentage: 100
+deployment:
+  services:
+    search:
+      proxy: 127.0.0.1:9000
+      stable: v1
+      versions:
+        v1: 127.0.0.1:8081
+        v2: 127.0.0.1:8082
+"""
+
+STEADY = """
+  steadyState:
+    - metric:
+        name: steady_errors
+        provider: prometheus
+        query: errors_total
+        validator: "< 50"
+        intervalTime: 4
+        intervalLimit: 2
+        threshold: 1
+"""
+
+
+def codes(result):
+    return {diagnostic.code for diagnostic in result.diagnostics}
+
+
+def test_clean_chaos_document_lints_clean():
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: outage
+        target: provider:prometheus
+        during: [canary]
+""" + STEADY
+    result = lint_text(document)
+    assert not result.errors, [str(d) for d in result.errors]
+
+
+def test_bf501_unknown_fault_target():
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: ghost
+        target: upstream:payments
+        during: [canary]
+""" + STEADY
+    result = lint_text(document)
+    assert "BF501" in codes(result)
+
+
+def test_bf501_malformed_target():
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: bad
+        target: widget:x
+        during: [canary]
+""" + STEADY
+    result = lint_text(document)
+    assert "BF501" in codes(result)
+
+
+def test_bf501_unknown_provider():
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: ghost
+        target: provider:statsd
+        during: [canary]
+""" + STEADY
+    result = lint_text(document)
+    assert "BF501" in codes(result)
+
+
+def test_bf502_schedule_outside_any_phase():
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: outage
+        target: provider:prometheus
+        during: [warp]
+""" + STEADY
+    result = lint_text(document)
+    assert "BF502" in codes(result)
+
+
+def test_bf502_empty_during():
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: outage
+        target: provider:prometheus
+        during: []
+""" + STEADY
+    result = lint_text(document)
+    assert "BF502" in codes(result)
+
+
+def test_bf503_missing_steady_state():
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: outage
+        target: provider:prometheus
+        during: [canary]
+"""
+    result = lint_text(document)
+    assert "BF503" in codes(result)
+
+
+def test_bf5xx_are_blocking():
+    from repro.lint.registry import RULES
+
+    for code in ("BF501", "BF502", "BF503"):
+        assert RULES[code].blocking, code
+
+
+def test_strategy_level_lint_gates_enactment():
+    """Engine.enact(chaos=...) rejects a campaign with blocking findings
+    before anything is wrapped or armed."""
+    import pytest
+
+    from repro.clock import VirtualClock
+    from repro.core import RecordingController
+    from repro.core.engine import Engine, StrategyRejectedError
+    from repro.dsl import compile_document
+
+    document = BASE + """
+chaos:
+  faults:
+    - fault:
+        name: ghost
+        target: provider:statsd
+        during: [canary]
+""" + STEADY
+    compiled = compile_document(document)
+    engine = Engine(controller=RecordingController(), clock=VirtualClock())
+    with pytest.raises(StrategyRejectedError):
+        engine.enact(compiled.strategy, chaos=compiled.chaos)

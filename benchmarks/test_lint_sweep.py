@@ -1,0 +1,127 @@
+"""Lint throughput at scale: a 1000-phase strategy under the full rule
+catalogue, semantic (BF6xx) pass included.
+
+The budget is the one `docs/lint.md` implies for CI: a pathological
+strategy — 1000 phases, each with routes, checks, and transitions, plus
+a chaos campaign — must complete a **full** analysis (parse, model
+extraction, every rule including the interval domain and the bounded
+symbolic exploration, and rendering) in under 2 seconds, so linting an
+entire strategy corpus stays interactive.
+
+Writes ``BENCH_lint.json`` and appends the headline numbers to
+``output/history.jsonl``.
+"""
+
+import json
+import time
+
+from repro.lint import lint_text, render_sarif
+
+BUDGET_SECONDS = 2.0
+PHASES = 1000
+
+
+def build_document(phases: int) -> str:
+    lines = ["strategy:", "  name: lint-sweep", "  phases:"]
+    for index in range(phases):
+        name = f"phase{index:04d}"
+        successor = f"phase{index + 1:04d}" if index + 1 < phases else "done"
+        percentage = 5 + (index % 16) * 5  # 5..80, plenty of distinct vectors
+        lines += [
+            "    - phase:",
+            f"        name: {name}",
+            "        duration: 30",
+            "        routes:",
+            "          - route:",
+            "              from: search",
+            "              to: v2",
+            "              filters:",
+            "                - traffic:",
+            f"                    percentage: {percentage}",
+            "        checks:",
+            "          - metric:",
+            f"              name: {name}_ok",
+            "              provider: prometheus",
+            "              query: rate(errors_total[1m]) / rate(requests_total[1m])",
+            '              validator: "< 0.05"',
+            "              intervalTime: 5",
+            "              intervalLimit: 3",
+            "              threshold: 2",
+            "        transitions:",
+            "          thresholds: [0]",
+            f"          targets: [rollback, {successor}]",
+        ]
+    lines += [
+        "    - final:",
+        "        name: done",
+        "    - final:",
+        "        name: rollback",
+        "        rollback: true",
+        "        routes:",
+        "          - route:",
+        "              from: search",
+        "              to: v1",
+        "              filters:",
+        "                - traffic:",
+        "                    percentage: 100",
+        "deployment:",
+        "  services:",
+        "    search:",
+        "      proxy: 127.0.0.1:9000",
+        "      stable: v1",
+        "      versions:",
+        "        v1: 127.0.0.1:8081",
+        "        v2: 127.0.0.1:8082",
+        "chaos:",
+        "  faults:",
+        "    - fault:",
+        "        name: outage",
+        "        target: provider:prometheus",
+        "        rate: 0.5",
+        "        during: [phase0000]",
+        "  steadyState:",
+        "    - metric:",
+        "        name: steady_errors",
+        "        provider: prometheus",
+        "        query: errors_total",
+        '        validator: "< 100"',
+        "        intervalTime: 4",
+        "        intervalLimit: 2",
+        "        threshold: 1",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def test_full_lint_of_thousand_phase_strategy_under_budget(
+    artifact_writer, history_appender
+):
+    document = build_document(PHASES)
+    started = time.perf_counter()
+    result = lint_text(document, file="lint-sweep.yaml")
+    lint_seconds = time.perf_counter() - started
+
+    render_started = time.perf_counter()
+    sarif = render_sarif(result)
+    render_seconds = time.perf_counter() - render_started
+
+    errors = [str(d) for d in result.errors]
+    assert not errors, errors[:5]
+
+    data = {
+        "phases": PHASES,
+        "document_lines": document.count("\n"),
+        "diagnostics": len(result.diagnostics),
+        "lint_seconds": round(lint_seconds, 4),
+        "sarif_render_seconds": round(render_seconds, 4),
+        "budget_seconds": BUDGET_SECONDS,
+    }
+    artifact_writer("BENCH_lint.json", json.dumps(data, indent=2))
+    history_appender("lint_sweep", data)
+
+    assert lint_seconds < BUDGET_SECONDS, (
+        f"full lint of a {PHASES}-phase strategy took {lint_seconds:.2f}s "
+        f"(budget {BUDGET_SECONDS}s)"
+    )
+    assert len(json.loads(sarif)["runs"][0]["results"]) == len(
+        result.diagnostics
+    )

@@ -5,9 +5,13 @@ Subcommands:
 * ``bifrost validate <file>`` — compile a strategy document and report
   its structure (exit 1 on errors).
 * ``bifrost lint <files...>`` — static analysis: run the full rule
-  catalogue (``docs/lint.md``) and render diagnostics as text, JSON, or
-  SARIF.  Exit 0 when clean, 3 on errors, 4 on warnings with
+  catalogue (``docs/lint.md``) and render diagnostics as text, JSON,
+  SARIF, or GitHub workflow commands.  ``--fix`` applies the autofixers
+  in place first; ``--baseline``/``--update-baseline`` ratchet a legacy
+  corpus.  Exit 0 when clean, 3 on errors, 4 on warnings with
   ``--strict``.
+* ``bifrost explain BFxxx`` — print a rule's catalogue entry from
+  ``docs/lint.md``.
 * ``bifrost render <file>`` — print the automaton (``--mermaid`` emits a
   Mermaid state diagram like the paper's Figure 2).
 * ``bifrost run <file>`` — enact a strategy locally: configures proxies
@@ -76,9 +80,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("files", type=Path, nargs="+")
     lint.add_argument(
         "--format",
-        choices=("text", "json", "sarif"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="diagnostic output format (default: text)",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the autofixers to each file in place, then lint the "
+        "fixed text",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
     )
     lint.add_argument(
         "--strict",
@@ -98,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CODES",
         help="never report these rule codes (comma-separated, prefixes allowed)",
     )
+
+    explain = commands.add_parser(
+        "explain", help="print a lint rule's catalogue entry"
+    )
+    explain.add_argument("code", metavar="BFxxx", help="rule code to explain")
 
     render = commands.add_parser("render", help="print a strategy's automaton")
     render.add_argument("file", type=Path)
@@ -265,17 +291,55 @@ def cmd_validate(args) -> int:
 
 def cmd_lint(args) -> int:
     from ..lint import (
+        BaselineError,
         LintConfig,
         LintResult,
+        apply_baseline,
+        fix_path,
         lint_path,
+        load_baseline,
+        render_github,
         render_json,
         render_sarif,
         render_text,
+        write_baseline,
     )
 
+    if args.update_baseline and args.baseline is None:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+    if args.fix:
+        for path in args.files:
+            try:
+                fixed = fix_path(str(path))
+            except OSError as exc:
+                print(f"error: cannot fix {path}: {exc}", file=sys.stderr)
+                return 2
+            for edit in fixed.edits:
+                print(f"fixed {path}: {edit}", file=sys.stderr)
     config = LintConfig.from_flags(select=args.select, ignore=args.ignore)
     results = [lint_path(str(path), config=config) for path in args.files]
-    if args.format == "text":
+    if args.update_baseline:
+        count = write_baseline(str(args.baseline), results)
+        print(
+            f"baseline {args.baseline}: recorded {count} finding"
+            f"{'s' if count != 1 else ''}"
+        )
+        return 0
+    if args.baseline is not None:
+        try:
+            fingerprints = load_baseline(str(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results = [apply_baseline(result, fingerprints) for result in results]
+    if args.format == "github":
+        rendered = "\n".join(
+            render_github(result) for result in results if result.diagnostics
+        )
+        if rendered:
+            print(rendered)
+    elif args.format == "text":
         print("\n\n".join(render_text(result) for result in results))
     elif args.format == "json":
         import json as json_module
@@ -303,6 +367,17 @@ def cmd_lint(args) -> int:
         return 3
     if 4 in codes:
         return 4
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from ..lint.catalogue import explain
+
+    rendered = explain(args.code)
+    if rendered is None:
+        print(f"error: unknown rule code {args.code!r}", file=sys.stderr)
+        return 1
+    print(rendered)
     return 0
 
 
@@ -616,6 +691,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_validate(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "explain":
+        return cmd_explain(args)
     if args.command == "render":
         return cmd_render(args)
     if args.command == "run":

@@ -37,33 +37,44 @@ class LocatedMap(dict):
 
     Behaves exactly like a ``dict`` (equality, iteration, serialization)
     but additionally records the 1-based source line of the mapping itself
-    (``line``) and of every key (``key_lines``), so downstream tooling —
-    the lint engine in particular — can point diagnostics at the offending
-    YAML line instead of an abstract document path.
+    (``line``) and of every key (``key_lines``), plus the 1-based start
+    column of the mapping (``column``) and of every key (``key_columns``),
+    so downstream tooling — the lint engine in particular — can point
+    diagnostics at the offending YAML position instead of an abstract
+    document path.
     """
 
-    __slots__ = ("line", "key_lines")
+    __slots__ = ("line", "column", "key_lines", "key_columns")
 
-    def __init__(self, line: int | None = None):
+    def __init__(self, line: int | None = None, column: int | None = None):
         super().__init__()
         self.line = line
+        self.column = column
         self.key_lines: dict[str, int] = {}
+        self.key_columns: dict[str, int] = {}
 
 
 class LocatedList(list):
-    """A parsed block sequence carrying its source line per item."""
+    """A parsed block sequence carrying source line/column per item."""
 
-    __slots__ = ("line", "item_lines")
+    __slots__ = ("line", "column", "item_lines", "item_columns")
 
-    def __init__(self, line: int | None = None):
+    def __init__(self, line: int | None = None, column: int | None = None):
         super().__init__()
         self.line = line
+        self.column = column
         self.item_lines: list[int] = []
+        self.item_columns: list[int] = []
 
 
 def node_line(value: Any) -> int | None:
     """The source line a parsed node started on, if it is known."""
     return getattr(value, "line", None)
+
+
+def node_column(value: Any) -> int | None:
+    """The 1-based source column a parsed node started on, if known."""
+    return getattr(value, "column", None)
 
 
 def key_line(mapping: Any, key: str) -> int | None:
@@ -78,12 +89,32 @@ def key_line(mapping: Any, key: str) -> int | None:
     return node_line(mapping)
 
 
+def key_column(mapping: Any, key: str) -> int | None:
+    """The 1-based column of ``key:`` within a parsed mapping, if known.
+
+    Unlike :func:`key_line` there is no fallback to the mapping's own
+    column — a column anchor is only useful when it is exact.
+    """
+    columns = getattr(mapping, "key_columns", None)
+    if columns is not None and key in columns:
+        return columns[key]
+    return None
+
+
 def item_line(sequence: Any, index: int) -> int | None:
     """The source line of ``sequence[index]``, if it is known."""
     lines = getattr(sequence, "item_lines", None)
     if lines is not None and 0 <= index < len(lines):
         return lines[index]
     return node_line(sequence)
+
+
+def item_column(sequence: Any, index: int) -> int | None:
+    """The 1-based column of ``sequence[index]``'s ``-`` marker, if known."""
+    columns = getattr(sequence, "item_columns", None)
+    if columns is not None and 0 <= index < len(columns):
+        return columns[index]
+    return None
 
 
 @dataclass(frozen=True)
@@ -235,7 +266,10 @@ class _Parser:
 
     def _parse_mapping(self, indent: int) -> dict[str, Any]:
         first = self._peek()
-        mapping = LocatedMap(first.number if first is not None else None)
+        mapping = LocatedMap(
+            first.number if first is not None else None,
+            first.indent + 1 if first is not None else None,
+        )
         while True:
             line = self._peek()
             if line is None or line.indent < indent:
@@ -258,6 +292,7 @@ class _Parser:
             remainder = line.content[match.end():].strip()
             self._index += 1
             mapping.key_lines[key] = line.number
+            mapping.key_columns[key] = line.indent + 1
             if remainder:
                 mapping[key] = parse_scalar(remainder, line.number)
             else:
@@ -280,7 +315,10 @@ class _Parser:
 
     def _parse_sequence(self, indent: int) -> list[Any]:
         first = self._peek()
-        items = LocatedList(first.number if first is not None else None)
+        items = LocatedList(
+            first.number if first is not None else None,
+            first.indent + 1 if first is not None else None,
+        )
         while True:
             line = self._peek()
             if line is None or line.indent != indent:
@@ -293,6 +331,7 @@ class _Parser:
             if line.content == "-":
                 self._index += 1
                 items.item_lines.append(line.number)
+                items.item_columns.append(line.indent + 1)
                 nested = self._peek()
                 if nested is None or nested.indent <= indent:
                     items.append(None)
@@ -304,6 +343,7 @@ class _Parser:
             remainder = line.content[2:].strip()
             item_indent = indent + 2
             items.item_lines.append(line.number)
+            items.item_columns.append(line.indent + 1)
             if _KEY.match(remainder):
                 # "- key: value": the item is a mapping whose first entry is
                 # inline; rewrite the line and parse a mapping at item depth.

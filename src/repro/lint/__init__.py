@@ -26,13 +26,31 @@ from .diagnostics import (
     Severity,
     SourceSpan,
 )
-from .engine import LintResult, lint_document, lint_path, lint_strategy, lint_text
+from .baseline import (
+    BaselineError,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    LintResult,
+    lint_document,
+    lint_path,
+    lint_strategy,
+    lint_text,
+    scan_suppressions,
+)
+from .fixes import FixEdit, FixResult, fix_path, fix_text
 from .model import LintModel
 from .registry import LEGACY_RULES, RULES, Rule
-from .render import render_json, render_sarif, render_text
+from .render import render_github, render_json, render_sarif, render_text
 
 __all__ = [
+    "BaselineError",
     "Diagnostic",
+    "FixEdit",
+    "FixResult",
     "LEGACY_RULES",
     "LintConfig",
     "LintConfigError",
@@ -42,11 +60,19 @@ __all__ = [
     "Rule",
     "Severity",
     "SourceSpan",
+    "apply_baseline",
+    "fingerprint",
+    "fix_path",
+    "fix_text",
     "lint_document",
     "lint_path",
     "lint_strategy",
     "lint_text",
+    "load_baseline",
+    "render_github",
     "render_json",
     "render_sarif",
     "render_text",
+    "scan_suppressions",
+    "write_baseline",
 ]

@@ -1,0 +1,131 @@
+"""Baseline files: adopt lint on a brownfield strategy corpus.
+
+A baseline records the fingerprints of every *currently known* finding so
+``bifrost lint --baseline known.json`` reports only findings introduced
+since the baseline was written — the standard ratchet for turning a lint
+gate on without first fixing years of accumulated warnings.
+
+Fingerprints are deliberately **line-independent**: blake2b over
+``file|code|state|message``.  Inserting a comment above a finding (which
+shifts every line below it) does not invalidate the baseline, while any
+change to what the finding *says* — different rule, state, or message —
+counts as a new finding.  Two identical findings in one file share a
+fingerprint and are suppressed together; that is the usual baseline
+trade, not a defect.
+
+The file format is JSON, one entry per fingerprint with the code and
+message kept alongside for human review::
+
+    {
+      "version": 1,
+      "findings": [
+        {"fingerprint": "…", "code": "BF305", "message": "…"},
+        …
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from typing import Iterable
+
+from .diagnostics import Diagnostic
+from .engine import LintResult
+
+_VERSION = 1
+
+
+class BaselineError(Exception):
+    """A baseline file is unreadable or malformed."""
+
+
+def fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable, line-independent identity of a finding."""
+    file = diagnostic.span.file if diagnostic.span else None
+    payload = "|".join(
+        (
+            file or "",
+            diagnostic.code,
+            diagnostic.state or "",
+            diagnostic.message,
+        )
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def write_baseline(path: str, results: Iterable[LintResult]) -> int:
+    """Write the fingerprints of every finding in *results*; returns the
+    number of distinct fingerprints recorded."""
+    findings: dict[str, dict[str, str]] = {}
+    for result in results:
+        for diagnostic in result.diagnostics:
+            findings.setdefault(
+                fingerprint(diagnostic),
+                {"code": diagnostic.code, "message": diagnostic.message},
+            )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"fingerprint": key, **findings[key]}
+            for key in sorted(findings)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(findings)
+
+
+def load_baseline(path: str) -> frozenset[str]:
+    """The fingerprint set of a baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from None
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not JSON: {exc}") from None
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("findings"), list
+    ):
+        raise BaselineError(
+            f"baseline {path}: expected an object with a 'findings' list"
+        )
+    fingerprints = []
+    for entry in payload["findings"]:
+        if isinstance(entry, dict) and isinstance(
+            entry.get("fingerprint"), str
+        ):
+            fingerprints.append(entry["fingerprint"])
+        else:
+            raise BaselineError(
+                f"baseline {path}: malformed findings entry {entry!r}"
+            )
+    return frozenset(fingerprints)
+
+
+def apply_baseline(
+    result: LintResult, fingerprints: frozenset[str]
+) -> LintResult:
+    """Drop baselined findings from *result*, counting them as suppressed."""
+    kept = [
+        diagnostic
+        for diagnostic in result.diagnostics
+        if fingerprint(diagnostic) not in fingerprints
+    ]
+    dropped = len(result.diagnostics) - len(kept)
+    return replace(
+        result, diagnostics=kept, suppressed=result.suppressed + dropped
+    )
+
+
+__all__ = [
+    "BaselineError",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,98 @@
+"""The human rule catalogue (``bifrost explain BFxxx``).
+
+``docs/lint.md`` is the reference documentation for every lint rule; this
+module reads its catalogue tables back so the CLI can answer "what does
+BF605 mean?" without shipping the prose twice.  A drift test
+(``tests/lint/test_explain.py``) holds the two sides together: every
+registered rule code must have a catalogue row, and every catalogue row
+must name a registered rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from .registry import RULES
+
+#: ``src/repro/lint/catalogue.py`` → repository root.
+_DOCS = Path(__file__).resolve().parents[3] / "docs" / "lint.md"
+
+_ROW_RE = re.compile(r"^\|\s*(BF\d{3})\s*\|")
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    """One ``docs/lint.md`` table row, split into its columns."""
+
+    code: str
+    name: str
+    severity: str
+    meaning: str
+    section: str  # the `### BFnxx — ...` heading the row sits under
+
+
+def catalogue_path() -> Path:
+    return _DOCS
+
+
+def load_catalogue(path: Path | None = None) -> dict[str, CatalogueEntry]:
+    """Parse every ``| BFxxx | name | severity | meaning |`` row."""
+    text = (path or _DOCS).read_text(encoding="utf-8")
+    entries: dict[str, CatalogueEntry] = {}
+    section = ""
+    for line in text.split("\n"):
+        if line.startswith("#"):
+            section = line.lstrip("# ").strip()
+            continue
+        if not _ROW_RE.match(line):
+            continue
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        if len(cells) < 4:
+            continue
+        code = cells[0]
+        entries.setdefault(
+            code,
+            CatalogueEntry(
+                code=code,
+                name=cells[1].strip("`"),
+                severity=cells[2],
+                meaning=cells[3],
+                section=section,
+            ),
+        )
+    return entries
+
+
+def explain(code: str, path: Path | None = None) -> str | None:
+    """The rendered ``bifrost explain`` text for *code*, or None."""
+    code = code.upper()
+    try:
+        entries = load_catalogue(path)
+    except OSError:
+        entries = {}
+    entry = entries.get(code)
+    registered = RULES.get(code)
+    if entry is None and registered is None:
+        return None
+    lines = [f"{code} — {entry.name if entry else registered.name}"]
+    if registered is not None:
+        severity = registered.severity.value
+        if registered.blocking:
+            severity += ", blocks enactment"
+        lines.append(f"severity: {severity}")
+        lines.append(f"summary: {registered.summary}")
+    if entry is not None:
+        if entry.section:
+            lines.append(f"group: {entry.section}")
+        lines.append(f"docs: {entry.meaning}")
+    else:
+        lines.append(
+            "docs: (no catalogue entry in docs/lint.md — documentation "
+            "drift; see tests/lint/test_explain.py)"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["CatalogueEntry", "catalogue_path", "explain", "load_catalogue"]

@@ -44,12 +44,18 @@ class Severity(enum.Enum):
 class SourceSpan:
     """Where in a source document a diagnostic points.
 
-    ``line`` is 1-based; ``file`` is the document path when known.  The
-    YAML-subset parser records line starts only, so spans are line-granular.
+    ``line`` and ``column`` are 1-based; ``file`` is the document path
+    when known.  The YAML-subset parser records the start position of
+    every mapping key, so key-anchored spans also carry ``column`` and
+    ``end_column`` (exclusive of nothing — SARIF-style, pointing one past
+    the last character of the key token); spans resolved from coarser
+    nodes stay line-granular with ``column=None``.
     """
 
     line: int | None = None
     file: str | None = None
+    column: int | None = None
+    end_column: int | None = None
 
     def __str__(self) -> str:
         file = self.file or "<strategy>"
@@ -84,6 +90,10 @@ class Diagnostic:
         if self.span is not None:
             payload["file"] = self.span.file
             payload["line"] = self.span.line
+            if self.span.column is not None:
+                payload["column"] = self.span.column
+            if self.span.end_column is not None:
+                payload["endColumn"] = self.span.end_column
         if self.state is not None:
             payload["state"] = self.state
         if self.related:
@@ -108,6 +118,22 @@ class LintConfigError(Exception):
     """A ``lint:`` section or CLI selection is malformed."""
 
 
+#: ``lint.options`` keys → :class:`LintConfig` field names.
+_OPTION_KEYS = {
+    "maxUnguardedExposure": "max_unguarded_exposure",
+    "maxExposureJump": "max_exposure_jump",
+    "maxShadowFanout": "max_shadow_fanout",
+}
+
+#: Field defaults, used by :meth:`LintConfig.merged` to tell "explicitly
+#: configured" apart from "left at the default".
+_OPTION_DEFAULTS = {
+    "max_unguarded_exposure": 50.0,
+    "max_exposure_jump": 50.0,
+    "max_shadow_fanout": 100.0,
+}
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Per-run rule selection, severity overrides, and rule options."""
@@ -121,6 +147,13 @@ class LintConfig:
     #: BF304: exposure percentage above which an unguarded exception check
     #: (default ``onProviderError: trigger``) is reported.
     max_unguarded_exposure: float = 50.0
+    #: BF603: largest per-service exposure increase (in percentage points)
+    #: a single transition may introduce without the preceding phase
+    #: having run any checks.
+    max_exposure_jump: float = 50.0
+    #: BF604: largest total shadow percentage per (state, service) before
+    #: the fan-out counts as amplification.
+    max_shadow_fanout: float = 100.0
 
     def enabled(self, code: str) -> bool:
         if self.select and not code_matches(code, self.select):
@@ -132,15 +165,19 @@ class LintConfig:
 
     def merged(self, other: "LintConfig") -> "LintConfig":
         """Overlay *other* (higher precedence, e.g. CLI flags) on self."""
+
+        def pick(name: str) -> float:
+            value = getattr(other, name)
+            default = _OPTION_DEFAULTS[name]
+            return value if value != default else getattr(self, name)
+
         return LintConfig(
             select=other.select or self.select,
             ignore=self.ignore | other.ignore,
             severities={**self.severities, **other.severities},
-            max_unguarded_exposure=(
-                other.max_unguarded_exposure
-                if other.max_unguarded_exposure != 50.0
-                else self.max_unguarded_exposure
-            ),
+            max_unguarded_exposure=pick("max_unguarded_exposure"),
+            max_exposure_jump=pick("max_exposure_jump"),
+            max_shadow_fanout=pick("max_shadow_fanout"),
         )
 
     @classmethod
@@ -156,6 +193,8 @@ class LintConfig:
                 BF305: error
               options:
                 maxUnguardedExposure: 25
+                maxExposureJump: 30       # BF603 (percentage points)
+                maxShadowFanout: 150      # BF604 (percent)
         """
         if section is None:
             return cls()
@@ -181,28 +220,30 @@ class LintConfig:
                     severities[str(code).upper()] = Severity.parse(str(value))
                 except ValueError as exc:
                     raise LintConfigError(f"lint.severity.{code}: {exc}") from None
-        exposure = 50.0
+        numbers = {name: _OPTION_DEFAULTS[name] for name in _OPTION_KEYS.values()}
         options = section.get("options")
         if options is not None:
             if not isinstance(options, dict):
                 raise LintConfigError("lint.options: expected a mapping")
-            unknown = set(options) - {"maxUnguardedExposure"}
+            unknown = set(options) - set(_OPTION_KEYS)
             if unknown:
                 raise LintConfigError(
                     f"lint.options: unknown keys {sorted(unknown)}"
                 )
-            if "maxUnguardedExposure" in options:
-                value = options["maxUnguardedExposure"]
+            for key, field_name in _OPTION_KEYS.items():
+                if key not in options:
+                    continue
+                value = options[key]
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     raise LintConfigError(
-                        "lint.options.maxUnguardedExposure: expected a number"
+                        f"lint.options.{key}: expected a number"
                     )
-                exposure = float(value)
+                numbers[field_name] = float(value)
         return cls(
             select=select,
             ignore=ignore,
             severities=severities,
-            max_unguarded_exposure=exposure,
+            **numbers,
         )
 
     @classmethod

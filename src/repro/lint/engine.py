@@ -19,17 +19,26 @@ crashes all degrade into diagnostics.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Mapping
 
 from ..core.model import Strategy
 from ..core.routing import RoutingConfig
 from ..dsl.errors import DslError
 from ..dsl.yaml_lite import YamlError, key_line, loads
-from .diagnostics import Diagnostic, LintConfig, LintConfigError, Severity, SourceSpan
+from .diagnostics import (
+    Diagnostic,
+    LintConfig,
+    LintConfigError,
+    Severity,
+    SourceSpan,
+    code_matches,
+)
 from .model import LintModel
 from .registry import CHECKS, RULES
 from .rules import BAD_LINT_CONFIG, COMPILE_ERROR, PARSE_ERROR  # registers all rules
+from . import semantic as _semantic  # noqa: F401 — registers the BF6xx rules
 
 
 @dataclass
@@ -38,6 +47,10 @@ class LintResult:
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     file: str | None = None
+    #: Findings silenced by inline ``# bifrost: ignore[BFxxx]`` comments
+    #: (or a baseline file) — counted so "clean" is distinguishable from
+    #: "clean because everything was suppressed".
+    suppressed: int = 0
 
     def count(self, severity: Severity) -> int:
         return sum(1 for d in self.diagnostics if d.severity is severity)
@@ -103,15 +116,24 @@ def lint_text(
             [PARSE_ERROR.diagnostic(f"document does not parse: {exc}", span=span)],
             file=file,
         )
-    return lint_document(document, file=file, config=config)
+    # The parser strips comments, so inline suppressions are scanned from
+    # the raw text and threaded through as a line -> codes map.
+    return lint_document(
+        document,
+        file=file,
+        config=config,
+        suppressions=scan_suppressions(text),
+    )
 
 
 def lint_document(
     document: Any,
     file: str | None = None,
     config: LintConfig | None = None,
+    suppressions: Mapping[int, frozenset[str]] | None = None,
 ) -> LintResult:
     diagnostics: list[Diagnostic] = []
+    suppressed = 0
 
     effective = LintConfig()
     if isinstance(document, dict):
@@ -129,6 +151,13 @@ def lint_document(
 
     model = LintModel.from_document(document, file=file)
     diagnostics.extend(_run_rules(model, effective))
+
+    # Inline suppressions apply before the compile decision below: when
+    # every error is deliberately silenced, the document still has to
+    # compile for the run to come back clean.
+    if suppressions:
+        diagnostics, dropped = _apply_suppressions(diagnostics, suppressions)
+        suppressed += dropped
 
     # A clean lint must imply a compilable document: when the compiler
     # rejects it and no rule produced an error, surface the compiler's own
@@ -155,7 +184,7 @@ def lint_document(
                     )
                 )
 
-    return _finish(diagnostics, file)
+    return _finish(diagnostics, file, suppressed=suppressed)
 
 
 def lint_strategy(
@@ -169,6 +198,66 @@ def lint_strategy(
     )
     diagnostics = _run_rules(model, config or LintConfig())
     return _finish(diagnostics, None)
+
+
+# -- inline suppressions ----------------------------------------------------
+
+#: ``# bifrost: ignore[BF105]`` / ``# bifrost: ignore[BF1, BF605]`` —
+#: codes may be prefixes, exactly like ``lint.ignore``.
+_SUPPRESS_RE = re.compile(r"#\s*bifrost:\s*ignore\[([^\]]*)\]")
+
+
+def scan_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map each source line (1-based) to the codes suppressed on it.
+
+    A trailing comment suppresses findings anchored to its own line; a
+    standalone comment line suppresses findings on the next non-blank,
+    non-comment line (so a suppression can sit above the construct it
+    silences).
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    pending: set[str] = set()
+    for number, line in enumerate(text.split("\n"), start=1):
+        stripped = line.strip()
+        match = _SUPPRESS_RE.search(line)
+        codes = (
+            {
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            if match
+            else set()
+        )
+        if stripped.startswith("#"):
+            pending |= codes
+            continue
+        if not stripped:
+            continue  # blank lines don't consume a standalone suppression
+        applied = codes | pending
+        pending = set()
+        if applied:
+            suppressions[number] = frozenset(applied)
+    return suppressions
+
+
+def _apply_suppressions(
+    diagnostics: list[Diagnostic],
+    suppressions: Mapping[int, frozenset[str]],
+) -> tuple[list[Diagnostic], int]:
+    kept: list[Diagnostic] = []
+    dropped = 0
+    for diagnostic in diagnostics:
+        line = diagnostic.span.line if diagnostic.span else None
+        if (
+            line is not None
+            and line in suppressions
+            and code_matches(diagnostic.code, suppressions[line])
+        ):
+            dropped += 1
+            continue
+        kept.append(diagnostic)
+    return kept, dropped
 
 
 # -- internals --------------------------------------------------------------
@@ -197,7 +286,9 @@ def _run_rules(model: LintModel, config: LintConfig) -> list[Diagnostic]:
     return diagnostics
 
 
-def _finish(diagnostics: list[Diagnostic], file: str | None) -> LintResult:
+def _finish(
+    diagnostics: list[Diagnostic], file: str | None, suppressed: int = 0
+) -> LintResult:
     unique: dict[tuple, Diagnostic] = {}
     for diagnostic in diagnostics:
         key = (
@@ -216,7 +307,7 @@ def _finish(diagnostics: list[Diagnostic], file: str | None) -> LintResult:
             d.message,
         ),
     )
-    return LintResult(ordered, file=file)
+    return LintResult(ordered, file=file, suppressed=suppressed)
 
 
 __all__ = [
@@ -225,4 +316,5 @@ __all__ = [
     "lint_path",
     "lint_strategy",
     "lint_text",
+    "scan_suppressions",
 ]

@@ -23,7 +23,7 @@ from typing import Any
 
 from ..core.model import Strategy
 from ..core.routing import RoutingConfig
-from ..dsl.yaml_lite import item_line, key_line, node_line
+from ..dsl.yaml_lite import item_line, key_column, key_line, node_column, node_line
 from .diagnostics import SourceSpan
 
 
@@ -55,6 +55,12 @@ class CheckInfo:
     fallback: str | None = None
     #: The ``onProviderError`` policy text, or None when defaulted.
     provider_error_policy: str | None = None
+    #: The ``validator:`` expression text (e.g. ``"< 5"``), when the check
+    #: decides via a validator rather than a compare/predicate.
+    validator: str | None = None
+    #: The ``subject:`` query name the validator applies to, when given.
+    subject: str | None = None
+    validator_span: SourceSpan | None = None
     span: SourceSpan | None = None
 
 
@@ -84,6 +90,11 @@ class ChaosFaultInfo:
     name: str
     target: str
     phases: list[str] = field(default_factory=list)
+    #: Fault mode (``error``/``latency``/``hang``/``open``); the chaos
+    #: layer's default is ``error`` when the document omits it.
+    mode: str | None = None
+    #: Injection rate in [0, 1]; the chaos layer's default is 1.0.
+    rate: float | None = None
     span: SourceSpan | None = None
 
 
@@ -209,11 +220,14 @@ class LintModel:
         if campaign is not None:
             model.has_chaos = True
             for spec in getattr(campaign, "specs", ()) or ():
+                raw_rate = getattr(spec, "rate", None)
                 model.chaos_faults.append(
                     ChaosFaultInfo(
                         name=str(getattr(spec, "name", "")),
                         target=str(getattr(spec, "target", "")),
                         phases=[str(p) for p in getattr(spec, "phases", ()) or ()],
+                        mode=str(getattr(spec, "mode", "error")),
+                        rate=float(raw_rate) if raw_rate is not None else None,
                     )
                 )
             for index, check in enumerate(
@@ -271,10 +285,31 @@ class LintModel:
             model.start = next(iter(model.states))
         return model
 
-    def span_at(self, line: int | None) -> SourceSpan | None:
+    def span_at(
+        self,
+        line: int | None,
+        column: int | None = None,
+        end_column: int | None = None,
+    ) -> SourceSpan | None:
         if line is None and self.file is None:
             return None
-        return SourceSpan(line=line, file=self.file)
+        return SourceSpan(
+            line=line, file=self.file, column=column, end_column=end_column
+        )
+
+    def key_span(self, mapping: Any, key: str) -> SourceSpan | None:
+        """A span anchored at ``key:`` inside a located mapping.
+
+        Carries the key token's exact column range when the parser
+        recorded it, so renderers (SARIF in particular) can emit
+        1-based ``startColumn``/``endColumn``.
+        """
+        column = key_column(mapping, key)
+        return self.span_at(
+            key_line(mapping, key),
+            column,
+            column + len(key) if column is not None else None,
+        )
 
 
 # -- strategy projection helpers ------------------------------------------
@@ -304,6 +339,12 @@ def _check_from_model(check: Any, weights: list[float], index: int) -> CheckInfo
         info.interval = getattr(timer, "interval", None)
         info.repetitions = getattr(timer, "repetitions", None)
     condition = getattr(check, "condition", None)
+    validator = getattr(condition, "validator", None)
+    if validator is not None:
+        info.validator = str(validator)
+    subject = getattr(condition, "subject", None)
+    if subject is not None:
+        info.subject = str(subject)
     for query in getattr(condition, "queries", ()) or ():
         info.queries.append(
             QueryInfo(
@@ -355,7 +396,7 @@ def _extract_deployment(model: LintModel, deployment: Any) -> None:
         proxy = body.get("proxy")
         if isinstance(proxy, str):
             model.proxies[str(name)] = proxy
-            model.proxy_spans[str(name)] = model.span_at(key_line(body, "proxy"))
+            model.proxy_spans[str(name)] = model.key_span(body, "proxy")
 
 
 def _extract_phase(model: LintModel, phases: Any, item: Any, index: int) -> None:
@@ -370,7 +411,9 @@ def _extract_phase(model: LintModel, phases: Any, item: Any, index: int) -> None
         return  # duplicate names: keep the first, the compiler rejects anyway
     info = StateInfo(
         name=name,
-        span=model.span_at(node_line(body) or item_line(phases, index)),
+        span=model.span_at(
+            node_line(body) or item_line(phases, index), node_column(body)
+        ),
     )
     if kind == "final":
         info.final = True
@@ -394,9 +437,7 @@ def _extract_phase(model: LintModel, phases: Any, item: Any, index: int) -> None
             thresholds = transitions.get("thresholds")
             if isinstance(thresholds, list):
                 info.raw_thresholds = list(thresholds)
-                info.thresholds_span = model.span_at(
-                    key_line(transitions, "thresholds")
-                )
+                info.thresholds_span = model.key_span(transitions, "thresholds")
             targets = transitions.get("targets")
             if isinstance(targets, list):
                 info.raw_target_count = len(targets)
@@ -515,6 +556,13 @@ def _extract_checks(model: LintModel, info: StateInfo, raw: Any) -> None:
         policy = metric.get("onProviderError")
         if isinstance(policy, str):
             check.provider_error_policy = policy
+        validator = metric.get("validator")
+        if isinstance(validator, str):
+            check.validator = validator
+            check.validator_span = model.key_span(metric, "validator")
+        subject = metric.get("subject")
+        if isinstance(subject, str):
+            check.subject = subject
         _extract_queries(model, check, metric)
         _extract_output(check, metric)
         info.checks.append(check)
@@ -535,6 +583,8 @@ def _extract_chaos(model: LintModel, chaos: Any) -> None:
             target = body.get("target")
             raw_name = body.get("name")
             phases = body.get("during")
+            raw_mode = body.get("mode")
+            raw_rate = body.get("rate")
             model.chaos_faults.append(
                 ChaosFaultInfo(
                     name=(
@@ -546,7 +596,19 @@ def _extract_chaos(model: LintModel, chaos: Any) -> None:
                     phases=[p for p in phases if isinstance(p, str)]
                     if isinstance(phases, list)
                     else [],
-                    span=model.span_at(node_line(body) or item_line(faults, index)),
+                    # The chaos layer's defaults, so document- and
+                    # strategy-built models agree on omitted keys.
+                    mode=raw_mode if isinstance(raw_mode, str) else "error",
+                    rate=(
+                        float(raw_rate)
+                        if isinstance(raw_rate, (int, float))
+                        and not isinstance(raw_rate, bool)
+                        else 1.0 if raw_rate is None else None
+                    ),
+                    span=model.span_at(
+                        node_line(body) or item_line(faults, index),
+                        node_column(body),
+                    ),
                 )
             )
     # steady-state hypotheses share the phase checks' shape exactly.
@@ -564,7 +626,7 @@ def _extract_queries(model: LintModel, check: CheckInfo, metric: dict[str, Any])
                 name=check.name,
                 query=query,
                 provider=provider if isinstance(provider, str) else "prometheus",
-                span=model.span_at(key_line(metric, "query")),
+                span=model.key_span(metric, "query"),
             )
         )
     providers = metric.get("providers")
@@ -584,7 +646,7 @@ def _extract_queries(model: LintModel, check: CheckInfo, metric: dict[str, Any])
                     name=inner_name if isinstance(inner_name, str) else check.name,
                     query=inner_query,
                     provider=str(provider_name),
-                    span=model.span_at(key_line(body, "query")),
+                    span=model.key_span(body, "query"),
                 )
             )
 

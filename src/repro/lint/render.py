@@ -1,7 +1,7 @@
-"""Diagnostic renderers: text, JSON, and SARIF 2.1.0.
+"""Diagnostic renderers: text, JSON, SARIF 2.1.0, and GitHub annotations.
 
-All three take a :class:`~repro.lint.engine.LintResult` and return a
-string; the CLI picks one via ``--format``.
+All take a :class:`~repro.lint.engine.LintResult` and return a string;
+the CLI picks one via ``--format``.
 """
 
 from __future__ import annotations
@@ -88,9 +88,18 @@ def render_sarif(result: LintResult) -> str:
                 }
             }
             if diagnostic.span.line is not None:
-                location["physicalLocation"]["region"] = {
-                    "startLine": diagnostic.span.line
-                }
+                # SARIF regions are 1-based and columns are optional; when
+                # the span carries a column the endColumn (exclusive) must
+                # come with it so viewers can highlight the exact token.
+                region: dict = {"startLine": diagnostic.span.line}
+                if diagnostic.span.column is not None:
+                    region["startColumn"] = diagnostic.span.column
+                    region["endColumn"] = (
+                        diagnostic.span.end_column
+                        if diagnostic.span.end_column is not None
+                        else diagnostic.span.column + 1
+                    )
+                location["physicalLocation"]["region"] = region
             entry["locations"] = [location]
         if diagnostic.state is not None:
             entry["properties"] = {"state": diagnostic.state}
@@ -114,4 +123,53 @@ def render_sarif(result: LintResult) -> str:
     return json.dumps(log, indent=2)
 
 
-__all__ = ["render_json", "render_sarif", "render_text"]
+#: GitHub workflow-command levels ("info" becomes "notice").
+_GITHUB_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "notice",
+}
+
+
+def _escape_data(text: str) -> str:
+    """Escape a workflow-command message (GitHub's documented set)."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_property(text: str) -> str:
+    """Escape a workflow-command property value (adds ``:`` and ``,``)."""
+    return _escape_data(text).replace(":", "%3A").replace(",", "%2C")
+
+
+def render_github(result: LintResult) -> str:
+    """``::error file=…,line=…,col=…::message`` workflow commands.
+
+    Emitted on a CI runner these become inline PR annotations; the
+    message carries the rule code so the annotation is self-identifying.
+    """
+    lines: list[str] = []
+    for diagnostic in result.diagnostics:
+        command = _GITHUB_LEVELS[diagnostic.severity]
+        properties = [("title", f"{diagnostic.code} ({diagnostic.name})")]
+        if diagnostic.span is not None:
+            if diagnostic.span.file is not None:
+                properties.append(("file", diagnostic.span.file))
+            if diagnostic.span.line is not None:
+                properties.append(("line", str(diagnostic.span.line)))
+            if diagnostic.span.column is not None:
+                properties.append(("col", str(diagnostic.span.column)))
+                if diagnostic.span.end_column is not None:
+                    properties.append(
+                        ("endColumn", str(diagnostic.span.end_column))
+                    )
+        rendered = ",".join(
+            f"{key}={_escape_property(value)}" for key, value in properties
+        )
+        message = diagnostic.message
+        if diagnostic.state is not None:
+            message = f"[state {diagnostic.state!r}] {message}"
+        lines.append(f"::{command} {rendered}::{_escape_data(message)}")
+    return "\n".join(lines)
+
+
+__all__ = ["render_github", "render_json", "render_sarif", "render_text"]

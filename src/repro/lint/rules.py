@@ -35,6 +35,10 @@ BF501  unknown-fault-target    error     chaos fault targets nothing that exists
 BF502  fault-outside-phase     error     fault schedule not scoped to a known phase
 BF503  missing-steady-state    error     faults declared without any hypothesis
 =====  ======================  ========  =========================================
+
+The BF6xx semantic rules (abstract interpretation of check conditions,
+symbolic exposure exploration, chaos × steady-state contradictions) live
+in :mod:`repro.lint.semantic`.
 """
 
 from __future__ import annotations

@@ -69,6 +69,16 @@ LEGAL_BREAKER_TRANSITIONS = {
 
 _METRICS = ("errors_total", "latency_p99", "saturation_ratio")
 
+#: Per-metric validators scaled to each metric's plausible range, so the
+#: generated checks carry real signal — a uniform "< 50" over a metric
+#: the naming convention bounds to [0, 1] is a tautology (BF602), and
+#: corpus strategies must stay clean under the semantic lint pass.
+_VALIDATORS = {
+    "errors_total": "< 50",
+    "latency_p99": "< 500",
+    "saturation_ratio": "< 0.9",
+}
+
 
 @dataclass
 class Scenario:
@@ -214,7 +224,7 @@ def _build_strategy(scenario: Scenario):
                 simple_basic_check(
                     f"{phase['name']}_ok",
                     phase["metric"],
-                    "< 50",
+                    _VALIDATORS[phase["metric"]],
                     phase["interval"],
                     phase["repetitions"],
                     provider="prometheus",

@@ -1,0 +1,167 @@
+"""CLI surface of the lint extensions: --format github, --fix, baselines."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+VALID_DOC = """
+strategy:
+  name: cli-demo
+  phases:
+    - phase:
+        name: wait
+        duration: 0.02
+        routes:
+          - route:
+              from: svc
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 50
+        next: done
+    - final:
+        name: done
+deployment:
+  services:
+    svc:
+      proxy: 127.0.0.1:7001
+      stable: v1
+      versions:
+        v1: 127.0.0.1:9001
+        v2: 127.0.0.1:9002
+"""
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.yaml"
+    path.write_text(VALID_DOC.replace("next: done", "next: doen"))
+    return path
+
+
+def test_github_format_emits_workflow_commands(broken_file, capsys):
+    assert main(["lint", str(broken_file), "--format", "github"]) == 3
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line.startswith("::")]
+    assert lines, out
+    [bf107] = [line for line in lines if "BF107" in line]
+    assert bf107.startswith("::error ")
+    assert f"file={broken_file}" in bf107
+    assert "line=" in bf107
+    assert "::state" not in bf107  # message newlines/colons are escaped
+
+
+def test_github_format_escapes_message_payload(tmp_path, capsys):
+    path = tmp_path / "odd.yaml"
+    path.write_text(VALID_DOC.replace("next: done", "next: 100%odd"))
+    main(["lint", str(path), "--format", "github"])
+    out = capsys.readouterr().out
+    assert "%25odd" in out  # '%' in the message arrives escaped
+
+
+def test_github_format_clean_run_prints_nothing(tmp_path, capsys):
+    path = tmp_path / "ok.yaml"
+    path.write_text(VALID_DOC)
+    assert (
+        main(
+            ["lint", str(path), "--format", "github", "--ignore", "BF305,BF203"]
+        )
+        == 0
+    )
+    assert capsys.readouterr().out.strip() == ""
+
+
+def test_fix_flag_rewrites_file_then_lints(broken_file, capsys):
+    assert (
+        main(
+            [
+                "lint",
+                str(broken_file),
+                "--fix",
+                "--format",
+                "json",
+                "--ignore",
+                "BF305,BF203",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "next: done" in broken_file.read_text()
+    assert "fixed" in captured.err
+    payload = json.loads(captured.out)
+    assert payload["summary"]["error"] == 0
+
+
+def test_fix_twice_is_a_noop(broken_file, capsys):
+    main(["lint", str(broken_file), "--fix"])
+    first = broken_file.read_text()
+    main(["lint", str(broken_file), "--fix"])
+    assert broken_file.read_text() == first
+    assert "fixed" not in capsys.readouterr().err.splitlines()[-1:]
+
+
+def test_baseline_update_then_filter(tmp_path, capsys):
+    strategy = tmp_path / "strategy.yaml"
+    strategy.write_text(VALID_DOC)  # carries BF305/BF203 warnings
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint",
+                str(strategy),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert "recorded" in capsys.readouterr().out
+    # With the baseline applied, the same warnings no longer fail --strict.
+    assert (
+        main(
+            [
+                "lint",
+                str(strategy),
+                "--strict",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        == 0
+    )
+
+
+def test_baseline_does_not_hide_new_errors(tmp_path, capsys):
+    strategy = tmp_path / "strategy.yaml"
+    strategy.write_text(VALID_DOC)
+    baseline = tmp_path / "baseline.json"
+    main(["lint", str(strategy), "--baseline", str(baseline), "--update-baseline"])
+    capsys.readouterr()
+    strategy.write_text(VALID_DOC.replace("next: done", "next: ghost"))
+    assert (
+        main(["lint", str(strategy), "--baseline", str(baseline)]) == 3
+    )
+    assert "BF107" in capsys.readouterr().out
+
+
+def test_update_baseline_requires_baseline_path(tmp_path, capsys):
+    strategy = tmp_path / "strategy.yaml"
+    strategy.write_text(VALID_DOC)
+    assert main(["lint", str(strategy), "--update-baseline"]) == 2
+    assert "--baseline" in capsys.readouterr().err
+
+
+def test_missing_baseline_file_is_a_usage_error(tmp_path, capsys):
+    strategy = tmp_path / "strategy.yaml"
+    strategy.write_text(VALID_DOC)
+    assert (
+        main(
+            ["lint", str(strategy), "--baseline", str(tmp_path / "nope.json")]
+        )
+        == 2
+    )
+    assert "cannot read baseline" in capsys.readouterr().err

@@ -68,12 +68,15 @@ def codes(result):
 
 
 def test_clean_chaos_document_lints_clean():
+    # rate < 1.0: a full-rate error fault on the provider the hypothesis
+    # reads through would be the BF605 contradiction.
     document = BASE + """
 chaos:
   faults:
     - fault:
         name: outage
         target: provider:prometheus
+        rate: 0.5
         during: [canary]
 """ + STEADY
     result = lint_text(document)

@@ -1,0 +1,66 @@
+"""`bifrost explain` and the docs/lint.md catalogue drift test."""
+
+from repro.lint.catalogue import catalogue_path, explain, load_catalogue
+from repro.lint.registry import RULES
+
+
+def test_catalogue_file_exists_and_parses():
+    assert catalogue_path().is_file()
+    entries = load_catalogue()
+    assert entries, "no catalogue rows parsed from docs/lint.md"
+
+
+def test_every_registered_rule_has_a_catalogue_entry():
+    entries = load_catalogue()
+    missing = sorted(set(RULES) - set(entries))
+    assert not missing, (
+        f"rules without a docs/lint.md catalogue row: {missing} — "
+        "add them to the rule catalogue tables"
+    )
+
+
+def test_every_catalogue_entry_names_a_registered_rule():
+    entries = load_catalogue()
+    stale = sorted(set(entries) - set(RULES))
+    assert not stale, (
+        f"docs/lint.md documents unregistered rules: {stale} — "
+        "remove the rows or register the rules"
+    )
+
+
+def test_catalogue_names_and_severities_match_the_registry():
+    entries = load_catalogue()
+    for code, rule in RULES.items():
+        entry = entries[code]
+        assert entry.name == rule.name, (
+            f"{code}: docs say {entry.name!r}, registry says {rule.name!r}"
+        )
+        assert rule.severity.value in entry.severity, (
+            f"{code}: docs say {entry.severity!r}, registry says "
+            f"{rule.severity.value!r}"
+        )
+        if rule.blocking:
+            assert "⛔" in entry.severity, (
+                f"{code} is blocking but its docs row lacks the ⛔ marker"
+            )
+
+
+def test_explain_renders_registry_and_docs():
+    rendered = explain("bf605")
+    assert rendered is not None
+    assert rendered.startswith("BF605 — chaos-hypothesis-contradiction")
+    assert "blocks enactment" in rendered
+    assert "docs:" in rendered
+    assert "drift" not in rendered
+
+
+def test_explain_unknown_code_returns_none():
+    assert explain("BF999") is None
+    assert explain("nonsense") is None
+
+
+def test_explain_cli_command():
+    from repro.cli.main import main
+
+    assert main(["explain", "BF601"]) == 0
+    assert main(["explain", "BF999"]) == 1

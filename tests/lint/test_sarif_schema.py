@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 schema conformance of `bifrost lint --format sarif`.
+
+The vendored schema (``data/sarif-2.1.0-subset.json``) is the subset of
+the OASIS SARIF 2.1.0 schema our renderer exercises, with the spec's
+constraints kept strict where they caught real deviations: region
+line/column properties are **1-based** integers, and a ``startColumn``
+must come with its ``endColumn`` so viewers can highlight the token.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+jsonschema = pytest.importorskip("jsonschema")
+
+from repro.lint import lint_text, render_sarif
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "data" / "sarif-2.1.0-subset.json").read_text()
+)
+
+DEFECTIVE = """\
+strategy:
+  name: demo
+  phases:
+    - phase:
+        name: canary
+        duration: 30
+        routes:
+          - route:
+              from: search
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 10
+        checks:
+          - metric:
+              name: ratio_ok
+              provider: prometheus
+              query: saturation_ratio
+              validator: "< 50"
+          - metric:
+              name: impossible
+              provider: prometheus
+              query: errors_total
+              validator: "< 0"
+              intervalTime: 5
+              intervalLimit: 3
+              threshold: 2
+        next: done
+        onFailure: rollback
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+deployment:
+  services:
+    search:
+      proxy: 127.0.0.1:9000
+      stable: v1
+      versions:
+        v1: 127.0.0.1:8081
+        v2: 127.0.0.1:8082
+"""
+
+
+def sarif_log(text=DEFECTIVE):
+    result = lint_text(text, file="demo.yaml")
+    assert result.diagnostics, "fixture must produce findings"
+    return json.loads(render_sarif(result))
+
+
+def test_sarif_log_conforms_to_schema():
+    jsonschema.validate(sarif_log(), SCHEMA)
+
+
+def test_sarif_regions_are_one_based_with_end_columns():
+    regions = [
+        location["physicalLocation"]["region"]
+        for entry in sarif_log()["runs"][0]["results"]
+        for location in entry.get("locations", [])
+        if "region" in location["physicalLocation"]
+    ]
+    assert regions
+    for region in regions:
+        assert region["startLine"] >= 1
+        if "startColumn" in region:
+            assert region["startColumn"] >= 1
+            assert region["endColumn"] >= region["startColumn"]
+
+
+def test_sarif_key_anchored_findings_carry_columns():
+    # BF601 anchors at the `validator:` key, so its region must pinpoint
+    # the key's column range, not just the line.
+    results = sarif_log()["runs"][0]["results"]
+    [bf601] = [r for r in results if r["ruleId"] == "BF601"]
+    region = bf601["locations"][0]["physicalLocation"]["region"]
+    line = DEFECTIVE.split("\n")[region["startLine"] - 1]
+    assert region["startColumn"] == line.index("validator") + 1
+    assert region["endColumn"] == region["startColumn"] + len("validator")
+
+
+def test_sarif_rules_table_covers_every_reported_rule():
+    log = sarif_log()
+    declared = {rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]}
+    reported = {entry["ruleId"] for entry in log["runs"][0]["results"]}
+    assert reported <= declared
+
+
+def test_sarif_of_clean_result_still_conforms():
+    result = lint_text(
+        DEFECTIVE.replace('validator: "< 0"', 'validator: "< 9"').replace(
+            "query: saturation_ratio", "query: errors_total"
+        ),
+        file="demo.yaml",
+    )
+    log = json.loads(render_sarif(result))
+    jsonschema.validate(log, SCHEMA)

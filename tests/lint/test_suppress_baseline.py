@@ -1,0 +1,197 @@
+"""Inline suppressions and baseline files."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    BaselineError,
+    apply_baseline,
+    fingerprint,
+    lint_text,
+    load_baseline,
+    scan_suppressions,
+    write_baseline,
+)
+
+DOC = """\
+strategy:
+  name: demo
+  phases:
+    - phase:
+        name: canary
+        duration: 30
+        routes:
+          - route:
+              from: search
+              to: v2
+              filters:
+                - traffic:
+                    percentage: 10
+        checks:
+          - metric:
+              name: ratio_ok
+              provider: prometheus
+              query: saturation_ratio
+              validator: "< 50"{suffix}
+              intervalTime: 5
+              intervalLimit: 3
+              threshold: 2
+        next: done
+        onFailure: rollback
+    - final:
+        name: done
+    - final:
+        name: rollback
+        rollback: true
+        routes:
+          - route:
+              from: search
+              to: v1
+              filters:
+                - traffic:
+                    percentage: 100
+deployment:
+  services:
+    search:
+      proxy: 127.0.0.1:9000
+      stable: v1
+      versions:
+        v1: 127.0.0.1:8081
+        v2: 127.0.0.1:8082
+"""
+
+
+def test_unsuppressed_document_reports_bf602():
+    result = lint_text(DOC.format(suffix=""))
+    assert "BF602" in {d.code for d in result.diagnostics}
+    assert result.suppressed == 0
+
+
+def test_trailing_comment_suppresses_own_line():
+    result = lint_text(DOC.format(suffix="  # bifrost: ignore[BF602]"))
+    assert "BF602" not in {d.code for d in result.diagnostics}
+    assert result.suppressed == 1
+
+
+def test_standalone_comment_suppresses_next_line():
+    doc = DOC.format(suffix="").replace(
+        '              validator: "< 50"',
+        "              # bifrost: ignore[BF602]\n"
+        '              validator: "< 50"',
+    )
+    result = lint_text(doc)
+    assert "BF602" not in {d.code for d in result.diagnostics}
+    assert result.suppressed == 1
+
+
+def test_prefix_and_multi_code_suppressions():
+    result = lint_text(DOC.format(suffix="  # bifrost: ignore[BF1, BF6]"))
+    assert "BF602" not in {d.code for d in result.diagnostics}
+
+
+def test_non_matching_suppression_changes_nothing():
+    result = lint_text(DOC.format(suffix="  # bifrost: ignore[BF301]"))
+    assert "BF602" in {d.code for d in result.diagnostics}
+    assert result.suppressed == 0
+
+
+def test_scan_suppressions_shapes():
+    text = (
+        "a: 1  # bifrost: ignore[BF101]\n"
+        "# bifrost: ignore[BF202, bf303]\n"
+        "\n"
+        "b: 2\n"
+        "c: 3\n"
+    )
+    scanned = scan_suppressions(text)
+    assert scanned == {
+        1: frozenset({"BF101"}),
+        4: frozenset({"BF202", "BF303"}),
+    }
+
+
+def test_suppressing_every_error_still_requires_compiling():
+    # All errors silenced -> the BF002 compile gate still runs, so a
+    # suppressed-clean result cannot hide a non-compiling document.
+    # (BF107 anchors at the state's own span — the `name:` line.)
+    doc = (
+        DOC.format(suffix="")
+        .replace("        next: done", "        next: nowhere")
+        .replace(
+            "        name: canary",
+            "        # bifrost: ignore[BF107]\n        name: canary",
+        )
+        .replace(
+            "        name: done",
+            "        # bifrost: ignore[BF101]\n        name: done",
+        )
+    )
+    result = lint_text(doc)
+    remaining = {d.code for d in result.diagnostics}
+    assert "BF107" not in remaining and "BF101" not in remaining
+    assert "BF002" in remaining
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path):
+    result = lint_text(DOC.format(suffix=""), file="demo.yaml")
+    assert result.diagnostics
+    path = tmp_path / "baseline.json"
+    count = write_baseline(str(path), [result])
+    assert count == len({fingerprint(d) for d in result.diagnostics})
+    fingerprints = load_baseline(str(path))
+    filtered = apply_baseline(result, fingerprints)
+    assert not filtered.diagnostics
+    assert filtered.suppressed == len(result.diagnostics)
+
+
+def test_baseline_is_line_independent(tmp_path):
+    original = lint_text(DOC.format(suffix=""), file="demo.yaml")
+    path = tmp_path / "baseline.json"
+    write_baseline(str(path), [original])
+    shifted_doc = "# a new leading comment shifts every line\n" + DOC.format(
+        suffix=""
+    )
+    shifted = lint_text(shifted_doc, file="demo.yaml")
+    filtered = apply_baseline(shifted, load_baseline(str(path)))
+    assert not filtered.diagnostics
+
+
+def test_baseline_does_not_hide_new_findings(tmp_path):
+    original = lint_text(DOC.format(suffix=""), file="demo.yaml")
+    path = tmp_path / "baseline.json"
+    write_baseline(str(path), [original])
+    worse = DOC.format(suffix="").replace("next: done", "next: nowhere")
+    result = lint_text(worse, file="demo.yaml")
+    filtered = apply_baseline(result, load_baseline(str(path)))
+    remaining = {d.code for d in filtered.diagnostics}
+    assert "BF107" in remaining
+
+
+def test_baseline_file_is_reviewable_json(tmp_path):
+    result = lint_text(DOC.format(suffix=""), file="demo.yaml")
+    path = tmp_path / "baseline.json"
+    write_baseline(str(path), [result])
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    assert all(
+        {"fingerprint", "code", "message"} <= set(entry)
+        for entry in payload["findings"]
+    )
+
+
+def test_malformed_baselines_raise_baseline_error(tmp_path):
+    missing = tmp_path / "missing.json"
+    with pytest.raises(BaselineError):
+        load_baseline(str(missing))
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(BaselineError):
+        load_baseline(str(bad))
+    wrong_shape = tmp_path / "shape.json"
+    wrong_shape.write_text('{"findings": [{"code": "BF101"}]}')
+    with pytest.raises(BaselineError):
+        load_baseline(str(wrong_shape))

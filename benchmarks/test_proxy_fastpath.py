@@ -239,7 +239,7 @@ class SeedProxy:
 class FastStubClient:
     """Stub for the shipped ``send()`` hot path, round-trip stubbed."""
 
-    async def send(self, request, host, port, timeout=None):
+    async def send(self, request, host, port, timeout=None, stream=False):
         request.serialize()
         return _upstream_reply_fast()
 

@@ -93,7 +93,7 @@ class CapacityStubClient:
         self._slots = asyncio.Semaphore(UPSTREAM_CAPACITY)
         self.sent = 0
 
-    async def send(self, request, host, port, timeout=None):
+    async def send(self, request, host, port, timeout=None, stream=False):
         async with self._slots:
             await asyncio.sleep(UPSTREAM_LATENCY)
         self.sent += 1

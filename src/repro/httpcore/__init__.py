@@ -2,7 +2,7 @@
 
 Stands in for the Node.js ``http`` module / ExpressJS stack the Bifrost
 prototype was built on.  Provides message types, a routing server, a pooled
-client, and cookie helpers.
+client, streaming body primitives, and cookie helpers.
 """
 
 from .client import HttpClient
@@ -16,16 +16,30 @@ from .errors import (
     ProtocolError,
     RequestTimeout,
     RouteNotFound,
+    StreamAborted,
 )
 from .headers import Headers
 from .message import Request, Response, read_request, read_response
 from .router import Handler, Router, compile_pattern
 from .server import HttpServer, Middleware
+from .stream import (
+    CHUNKED_EOF,
+    DEFAULT_CHUNK_SIZE,
+    BodyStream,
+    StreamTee,
+    encode_chunk,
+    iter_chunked,
+    relay_body,
+)
 
 __all__ = [
+    "BodyStream",
     "BodyTooLarge",
+    "CHUNKED_EOF",
     "ConnectionClosed",
     "compile_pattern",
+    "DEFAULT_CHUNK_SIZE",
+    "encode_chunk",
     "format_cookie_header",
     "Handler",
     "HeaderTooLarge",
@@ -34,15 +48,19 @@ __all__ = [
     "HttpError",
     "HttpServer",
     "IncompleteMessage",
+    "iter_chunked",
     "Middleware",
     "parse_cookie_header",
     "ProtocolError",
     "read_request",
     "read_response",
+    "relay_body",
     "Request",
     "RequestTimeout",
     "Response",
     "RouteNotFound",
     "Router",
     "SetCookie",
+    "StreamAborted",
+    "StreamTee",
 ]

@@ -17,7 +17,8 @@ from typing import Any
 
 from .errors import ConnectionClosed, HttpError, RequestTimeout
 from .headers import Headers
-from .message import Request, Response, read_response
+from .message import MAX_BODY_BYTES, Request, Response, read_response
+from .stream import relay_body
 
 
 class _Pool:
@@ -55,10 +56,16 @@ class HttpClient:
         pool_size: int = 32,
         timeout: float = 30.0,
         idle_timeout: float = 60.0,
+        max_body_bytes: int | None = MAX_BODY_BYTES,
     ):
         self.pool_size = pool_size
         self.timeout = timeout
         self.idle_timeout = idle_timeout
+        #: Max response body this client will *buffer*; an oversized
+        #: buffered response raises ``BodyTooLarge`` (a ProtocolError).
+        #: Streamed responses relay without a size bound — only
+        #: materializing them (``aread()``) is capped.
+        self.max_body_bytes = max_body_bytes
         self._pools: dict[str, _Pool] = {}
         self._closed = False
 
@@ -86,7 +93,12 @@ class HttpClient:
         return await self.send(request, host, port, timeout=timeout)
 
     async def send(
-        self, request: Request, host: str, port: int, timeout: float | None = None
+        self,
+        request: Request,
+        host: str,
+        port: int,
+        timeout: float | None = None,
+        stream: bool = False,
     ) -> Response:
         """Round-trip a pre-built *request* to ``host:port`` (hot path).
 
@@ -94,7 +106,15 @@ class HttpClient:
         ownership of the request (headers included) and must have set any
         ``Host`` header it wants — the Bifrost proxy builds its forward
         headers exactly once and hands them straight to the wire.  Retry
-        semantics on a stale pooled connection match :meth:`request`.
+        semantics on a stale pooled connection match :meth:`request`,
+        except that a request whose body *stream* has already started
+        cannot be replayed and fails outright.
+
+        With ``stream=True`` the call returns as soon as the response
+        head is parsed; the body arrives through ``response.stream``.
+        The connection goes back to the pool only once that stream is
+        fully drained (the keep-alive drain rule) — an abandoned or
+        broken stream closes the connection instead.
         """
         if self._closed:
             raise ConnectionClosed("client is closed")
@@ -102,15 +122,16 @@ class HttpClient:
         key = f"{host}:{port}"
         reused, connection = await self._acquire(key, host, port)
         try:
-            return await self._round_trip(key, connection, request, deadline)
+            return await self._round_trip(key, connection, request, deadline, stream)
         except (HttpError, ConnectionError, OSError) as exc:
             _close_now(connection[1])
-            if not reused or isinstance(exc, RequestTimeout):
+            replayable = request.stream is None or not request.stream.started
+            if not reused or isinstance(exc, RequestTimeout) or not replayable:
                 raise
             # Stale pooled connection: retry once on a fresh one.
             _, fresh = await self._acquire(key, host, port, force_new=True)
             try:
-                return await self._round_trip(key, fresh, request, deadline)
+                return await self._round_trip(key, fresh, request, deadline, stream)
             except (HttpError, ConnectionError, OSError):
                 _close_now(fresh[1])
                 raise
@@ -121,19 +142,88 @@ class HttpClient:
         connection: tuple[asyncio.StreamReader, asyncio.StreamWriter],
         request: Request,
         deadline: float,
+        stream: bool = False,
     ) -> Response:
         reader, writer = connection
-        writer.write(request.serialize())
+        pump: asyncio.Task[None] | None = None
+        if request.stream is None:
+            writer.write(request.serialize())
+        else:
+            # Streamed request body: the pump task relays chunks while we
+            # wait for the response head, so an upstream that answers as
+            # it reads (a streaming echo, the proxy relay) overlaps its
+            # first response bytes with our last request bytes.
+            writer.write(request.serialize_head())
+            pump = asyncio.get_running_loop().create_task(
+                relay_body(writer, request.stream)
+            )
+            pump.add_done_callback(_on_pump_done(writer))
         try:
             await asyncio.wait_for(writer.drain(), deadline)
-            response = await asyncio.wait_for(read_response(reader), deadline)
+            response = await asyncio.wait_for(
+                read_response(
+                    reader, stream=stream, max_body=self.max_body_bytes
+                ),
+                deadline,
+            )
         except asyncio.TimeoutError as exc:
+            await _cancel_pump(pump)
             raise RequestTimeout(f"{request.method} {request.target}") from exc
+        except BaseException as exc:
+            await _cancel_pump(pump)
+            # A failed body pump closes the connection, which surfaces
+            # here as a read error; the pump's own exception (say, a
+            # tee abort) is the actual cause — raise that instead.
+            if (
+                pump is not None
+                and pump.done()
+                and not pump.cancelled()
+                and pump.exception() is not None
+                and isinstance(exc, (HttpError, ConnectionError, OSError))
+            ):
+                raise pump.exception() from exc
+            raise
+        if stream and response.stream is not None:
+            # Defer the pool decision to stream exhaustion: release on a
+            # clean drain, close on abort/error/abandonment.
+            response.stream.set_on_complete(
+                self._stream_finalizer(key, connection, response, pump)
+            )
+            return response
+        if pump is not None and not await _await_pump(pump, deadline):
+            # Response complete but the request body never finished: the
+            # reply is valid, the connection is not.
+            _close_now(writer)
+            return response
         if response.headers.get("Connection", "").lower() == "close":
             _close_now(writer)
         else:
             self._release(key, connection)
         return response
+
+    def _stream_finalizer(
+        self,
+        key: str,
+        connection: tuple[asyncio.StreamReader, asyncio.StreamWriter],
+        response: Response,
+        pump: asyncio.Task[None] | None,
+    ):
+        """The drain-rule hook for a streamed response body."""
+
+        def finish(clean: bool) -> None:
+            pump_ok = pump is None or (
+                pump.done() and not pump.cancelled() and pump.exception() is None
+            )
+            if (
+                clean
+                and pump_ok
+                and response.headers.get("Connection", "").lower() != "close"
+            ):
+                self._release(key, connection)
+            else:
+                _close_now(connection[1])
+
+        return finish
 
     async def get(self, url: str, **kwargs: Any) -> Response:
         return await self.request("GET", url, **kwargs)
@@ -235,3 +325,38 @@ def _close_now(writer: asyncio.StreamWriter) -> None:
         writer.close()
     except (ConnectionError, OSError):
         pass
+
+
+def _on_pump_done(writer: asyncio.StreamWriter):
+    """Close the connection as soon as a body pump fails.
+
+    A half-sent request body means the upstream will wait forever for the
+    rest; closing the writer turns that into a fast, visible read error
+    instead of a timeout.
+    """
+
+    def callback(task: "asyncio.Task[None]") -> None:
+        if not task.cancelled() and task.exception() is not None:
+            _close_now(writer)
+
+    return callback
+
+
+async def _cancel_pump(pump: "asyncio.Task[None] | None") -> None:
+    if pump is None or pump.done():
+        return
+    pump.cancel()
+    try:
+        await pump
+    except (asyncio.CancelledError, Exception):
+        pass
+
+
+async def _await_pump(pump: "asyncio.Task[None]", deadline: float) -> bool:
+    """Wait for the request-body pump; ``True`` if it finished cleanly."""
+    try:
+        await asyncio.wait_for(asyncio.shield(pump), deadline)
+    except (asyncio.TimeoutError, Exception):
+        await _cancel_pump(pump)
+        return False
+    return True

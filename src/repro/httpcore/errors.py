@@ -28,6 +28,11 @@ class BodyTooLarge(ProtocolError):
     """The message body exceeded the configured size limit."""
 
 
+class StreamAborted(HttpError):
+    """A body stream was abandoned before exhaustion (tee overflow,
+    relay failure); whatever transported it can no longer be trusted."""
+
+
 class ConnectionClosed(HttpError):
     """The underlying connection closed while a request was in flight."""
 

@@ -6,12 +6,19 @@ microservices.  It implements the subset of RFC 7230 that the paper's stack
 
 * request line / status line parsing,
 * case-insensitive, repeatable headers (see :mod:`repro.httpcore.headers`),
-* ``Content-Length``-framed bodies (the only framing our services emit),
+* ``Content-Length``-framed bodies,
+* ``Transfer-Encoding: chunked`` bodies (decoded via
+  :mod:`repro.httpcore.stream`; trailers read and ignored),
 * JSON convenience accessors, since every case-study service speaks JSON.
 
-Chunked transfer encoding is intentionally out of scope: every component we
-control emits explicit lengths, and a proxy that normalizes framing is both
-simpler and closer to what node-http-proxy does when buffering is enabled.
+Bodies have two representations.  The buffered one — ``.body`` as a whole
+``bytes`` — is what handlers and tests see by default and is unchanged.
+The streaming one attaches a :class:`~repro.httpcore.stream.BodyStream`
+to ``.stream`` instead of reading the body eagerly: ``read_request`` /
+``read_response`` called with ``stream=True`` return as soon as the head
+is parsed, and the body transits as bounded chunks.  ``await aread()``
+bridges the two (it buffers a streamed body into ``.body``), so code that
+wants the whole payload keeps working either way.
 """
 
 from __future__ import annotations
@@ -19,12 +26,13 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, AsyncIterator
 from urllib.parse import parse_qsl, urlsplit
 
 from .cookies import parse_cookie_header
 from .errors import BodyTooLarge, HeaderTooLarge, IncompleteMessage, ProtocolError
 from .headers import Headers
+from .stream import BodyStream, iter_chunked
 
 MAX_HEADER_BYTES = 64 * 1024
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -63,6 +71,9 @@ class Request:
     headers: Headers = field(default_factory=Headers)
     body: bytes = b""
     http_version: str = "HTTP/1.1"
+    #: Streaming body, when read with ``stream=True`` or built around a
+    #: chunk source.  ``body`` stays empty until :meth:`aread` buffers it.
+    stream: BodyStream | None = field(default=None, repr=False, compare=False)
     #: Path parameters extracted by the router (e.g. ``{"id": "42"}``).
     path_params: dict[str, str] = field(default_factory=dict)
     # Per-object parse caches, keyed on the raw input so header or target
@@ -113,8 +124,29 @@ class Request:
         except (ValueError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"invalid JSON body: {exc}") from exc
 
+    async def aread(self) -> bytes:
+        """The whole body, buffering :attr:`stream` into :attr:`body` first.
+
+        The compatibility bridge for handlers that want the full payload
+        of a streamed message; a no-op on buffered messages.
+        """
+        return await _aread(self)
+
+    async def ajson(self) -> Any:
+        """:meth:`aread` then :meth:`json` — for streamed JSON bodies."""
+        await self.aread()
+        return self.json()
+
+    def iter_body(self) -> AsyncIterator[bytes]:
+        """The body as an async chunk iterator, whichever form it is in."""
+        return _iter_body(self)
+
     def copy(self) -> "Request":
-        """Deep-enough copy for shadowing: headers list and body are copied."""
+        """Deep-enough copy for shadowing: headers list and body are copied.
+
+        Buffered bodies only — a stream has one consumer and cannot be
+        copied (use :class:`~repro.httpcore.stream.StreamTee` to fan out).
+        """
         return Request(
             method=self.method,
             target=self.target,
@@ -134,10 +166,25 @@ class Request:
         parts = [f"{self.method} {self.target} {self.http_version}\r\n"]
         append = parts.append
         for name, value in self.headers.raw_items():
-            if name.lower() != "content-length":
+            lowered = name.lower()
+            # A buffered body is length-framed by definition: a stale
+            # Transfer-Encoding (e.g. from a chunked message that was
+            # buffered) must not survive, or the peer reads chunk framing
+            # that is not there.
+            if lowered != "content-length" and lowered != "transfer-encoding":
                 append(f"{name}: {value}\r\n")
         append(f"Content-Length: {len(self.body)}\r\n\r\n")
         return "".join(parts).encode("latin-1") + self.body
+
+    def serialize_head(self) -> bytes:
+        """Wire bytes for the head of a **streamed** request: framing is
+        taken from :attr:`stream` (``Content-Length`` when the length is
+        known, ``Transfer-Encoding: chunked`` otherwise)."""
+        return _serialize_stream_head(
+            f"{self.method} {self.target} {self.http_version}\r\n",
+            self.headers,
+            self.stream,
+        )
 
 
 @dataclass
@@ -148,6 +195,8 @@ class Response:
     headers: Headers = field(default_factory=Headers)
     body: bytes = b""
     http_version: str = "HTTP/1.1"
+    #: Streaming body — see :class:`Request.stream`.
+    stream: BodyStream | None = field(default=None, repr=False, compare=False)
 
     @property
     def reason(self) -> str:
@@ -164,6 +213,39 @@ class Response:
             return json.loads(self.body.decode("utf-8") or "null")
         except (ValueError, UnicodeDecodeError) as exc:
             raise ProtocolError(f"invalid JSON body: {exc}") from exc
+
+    async def aread(self) -> bytes:
+        """The whole body, buffering :attr:`stream` first (see Request)."""
+        return await _aread(self)
+
+    async def ajson(self) -> Any:
+        """:meth:`aread` then :meth:`json` — for streamed JSON bodies."""
+        await self.aread()
+        return self.json()
+
+    def iter_body(self) -> AsyncIterator[bytes]:
+        """The body as an async chunk iterator, whichever form it is in."""
+        return _iter_body(self)
+
+    @classmethod
+    def streaming(
+        cls,
+        chunks: "BodyStream | AsyncIterator[bytes]",
+        status: int = 200,
+        headers: Headers | None = None,
+        length: int | None = None,
+    ) -> "Response":
+        """Build a response whose body is produced as it is sent."""
+        stream = (
+            chunks
+            if isinstance(chunks, BodyStream)
+            else BodyStream.from_iterable(chunks, length=length)
+        )
+        return cls(
+            status=status,
+            headers=headers.copy() if headers is not None else Headers(),
+            stream=stream,
+        )
 
     @classmethod
     def from_json(
@@ -209,10 +291,60 @@ class Response:
         parts = [f"{self.http_version} {self.status} {self.reason}\r\n"]
         append = parts.append
         for name, value in self.headers.raw_items():
-            if name.lower() != "content-length":
+            lowered = name.lower()
+            # See Request.serialize: buffered bodies are length-framed.
+            if lowered != "content-length" and lowered != "transfer-encoding":
                 append(f"{name}: {value}\r\n")
         append(f"Content-Length: {len(self.body)}\r\n\r\n")
         return "".join(parts).encode("latin-1") + self.body
+
+    def serialize_head(self) -> bytes:
+        """Wire bytes for the head of a **streamed** response — see
+        :meth:`Request.serialize_head`."""
+        return _serialize_stream_head(
+            f"{self.http_version} {self.status} {self.reason}\r\n",
+            self.headers,
+            self.stream,
+        )
+
+
+async def _aread(message: "Request | Response") -> bytes:
+    stream = message.stream
+    if stream is not None:
+        message.body = message.body + await stream.read()
+        message.stream = None
+    return message.body
+
+
+async def _buffered_chunks(body: bytes) -> AsyncIterator[bytes]:
+    if body:
+        yield body
+
+
+def _iter_body(message: "Request | Response") -> AsyncIterator[bytes]:
+    if message.stream is not None:
+        return message.stream
+    return _buffered_chunks(message.body)
+
+
+def _serialize_stream_head(
+    start_line: str, headers: Headers, stream: BodyStream | None
+) -> bytes:
+    """One head render for streamed messages: caller-supplied framing
+    headers are superseded by the stream's actual framing."""
+    if stream is None:
+        raise ValueError("serialize_head() needs a streaming body")
+    parts = [start_line]
+    append = parts.append
+    for name, value in headers.raw_items():
+        lowered = name.lower()
+        if lowered != "content-length" and lowered != "transfer-encoding":
+            append(f"{name}: {value}\r\n")
+    if stream.length is not None:
+        append(f"Content-Length: {stream.length}\r\n\r\n")
+    else:
+        append("Transfer-Encoding: chunked\r\n\r\n")
+    return "".join(parts).encode("latin-1")
 
 
 async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
@@ -260,28 +392,94 @@ def _parse_header_lines(lines: list[str], start: int) -> Headers:
     return headers
 
 
-async def _read_body(reader: asyncio.StreamReader, headers: Headers) -> bytes:
+def _body_framing(headers: Headers) -> tuple[int | None, bool]:
+    """Resolve body framing as ``(content_length, chunked)``.
+
+    ``Transfer-Encoding`` wins over ``Content-Length`` (RFC 7230 §3.3.3);
+    the only transfer coding we speak is ``chunked``.  ``(None, False)``
+    means "no body".
+    """
+    encoding = headers.get("Transfer-Encoding")
+    if encoding is not None:
+        tokens = [
+            token.strip().lower()
+            for token in encoding.split(",")
+            if token.strip()
+        ]
+        if tokens != ["chunked"]:
+            raise ProtocolError(f"unsupported Transfer-Encoding: {encoding!r}")
+        return None, True
     raw_length = headers.get("Content-Length")
     if raw_length is None:
-        return b""
+        return None, False
     try:
         length = int(raw_length)
     except ValueError as exc:
         raise ProtocolError(f"bad Content-Length: {raw_length!r}") from exc
     if length < 0:
         raise ProtocolError(f"negative Content-Length: {length}")
-    if length > MAX_BODY_BYTES:
-        raise BodyTooLarge(f"declared body of {length} bytes")
-    if length == 0:
+    return length, False
+
+
+async def _read_body(
+    reader: asyncio.StreamReader,
+    headers: Headers,
+    max_body: int | None = MAX_BODY_BYTES,
+) -> bytes:
+    """Buffer one message body, whichever framing the headers declare."""
+    length, chunked = _body_framing(headers)
+    if chunked:
+        parts: list[bytes] = []
+        total = 0
+        async for chunk in iter_chunked(reader):
+            total += len(chunk)
+            if max_body is not None and total > max_body:
+                raise BodyTooLarge(f"chunked body exceeds {max_body} bytes")
+            parts.append(chunk)
+        return b"".join(parts)
+    if length is None or length == 0:
         return b""
+    if max_body is not None and length > max_body:
+        raise BodyTooLarge(f"declared body of {length} bytes")
     try:
         return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise IncompleteMessage("connection closed mid-body") from exc
 
 
-async def read_request(reader: asyncio.StreamReader) -> Request | None:
-    """Parse one request from *reader*; ``None`` on clean EOF between requests."""
+def _body_stream(
+    reader: asyncio.StreamReader,
+    headers: Headers,
+    max_body: int | None,
+) -> BodyStream | None:
+    """A framed :class:`BodyStream` over the body, or ``None`` if bodiless.
+
+    *max_body* becomes the stream's **max-buffered** bound: relaying the
+    stream chunk-by-chunk is unbounded in body size, but materializing it
+    (``aread()``) is capped.
+    """
+    length, chunked = _body_framing(headers)
+    if chunked:
+        return BodyStream.from_reader(reader, chunked=True, max_buffer=max_body)
+    if length is None or length == 0:
+        return None
+    return BodyStream.from_reader(
+        reader, content_length=length, max_buffer=max_body
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    stream: bool = False,
+    max_body: int | None = MAX_BODY_BYTES,
+) -> Request | None:
+    """Parse one request from *reader*; ``None`` on clean EOF between requests.
+
+    With ``stream=True`` the body is left on the wire: the returned
+    request carries a :class:`BodyStream` and the caller owns draining it
+    before the connection can carry another message.
+    """
     head = await _read_head(reader)
     if head is None:
         return None
@@ -294,7 +492,15 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     if not version.startswith("HTTP/"):
         raise ProtocolError(f"bad HTTP version: {version!r}")
     headers = _parse_header_lines(lines, 1)
-    body = await _read_body(reader, headers)
+    if stream:
+        return Request(
+            method=method.upper(),
+            target=target,
+            headers=headers,
+            stream=_body_stream(reader, headers, max_body),
+            http_version=version,
+        )
+    body = await _read_body(reader, headers, max_body)
     return Request(
         method=method.upper(),
         target=target,
@@ -304,8 +510,17 @@ async def read_request(reader: asyncio.StreamReader) -> Request | None:
     )
 
 
-async def read_response(reader: asyncio.StreamReader) -> Response:
-    """Parse one response from *reader*; raises on EOF (a reply was owed)."""
+async def read_response(
+    reader: asyncio.StreamReader,
+    *,
+    stream: bool = False,
+    max_body: int | None = MAX_BODY_BYTES,
+) -> Response:
+    """Parse one response from *reader*; raises on EOF (a reply was owed).
+
+    ``stream=True`` returns as soon as the head is parsed — the body
+    arrives through ``response.stream`` (see :func:`read_request`).
+    """
     head = await _read_head(reader)
     if head is None:
         raise IncompleteMessage("connection closed before response")
@@ -319,7 +534,14 @@ async def read_response(reader: asyncio.StreamReader) -> Response:
     except ValueError as exc:
         raise ProtocolError(f"bad status code: {parts[1]!r}") from exc
     headers = _parse_header_lines(lines, 1)
-    body = await _read_body(reader, headers)
+    if stream:
+        return Response(
+            status=status,
+            headers=headers,
+            stream=_body_stream(reader, headers, max_body),
+            http_version=parts[0],
+        )
+    body = await _read_body(reader, headers, max_body)
     return Response(
         status=status,
         headers=headers,

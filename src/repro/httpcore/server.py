@@ -13,9 +13,10 @@ import asyncio
 import logging
 from typing import Awaitable, Callable
 
-from .errors import HttpError, ProtocolError
-from .message import Request, Response, read_request
+from .errors import BodyTooLarge, HttpError, ProtocolError
+from .message import MAX_BODY_BYTES, Request, Response, read_request
 from .router import Handler, Router
+from .stream import relay_body
 
 logger = logging.getLogger(__name__)
 
@@ -28,6 +29,14 @@ class HttpServer:
     Handlers receive a :class:`Request` and return a :class:`Response`.
     Middleware wraps every handler call (authentication, metrics, ...) in
     registration order, outermost first.
+
+    With ``stream_bodies=True`` (the proxy data plane) requests are
+    dispatched as soon as their head is parsed — the body stays on the
+    wire as ``request.stream`` — and responses carrying a body stream are
+    relayed chunk-by-chunk with bounded buffers.  Keep-alive then follows
+    the **drain rule**: a connection is reusable only once the request
+    stream is fully drained, so leftover body bytes are discarded (up to
+    ``max_body_bytes``) before the next request is read.
     """
 
     def __init__(
@@ -36,6 +45,8 @@ class HttpServer:
         port: int = 0,
         name: str = "http",
         reuse_port: bool = False,
+        stream_bodies: bool = False,
+        max_body_bytes: int | None = MAX_BODY_BYTES,
     ):
         self.host = host
         self.port = port
@@ -44,6 +55,10 @@ class HttpServer:
         #: event loops or processes) can share one port, the kernel
         #: balancing accepted connections between them.
         self.reuse_port = reuse_port
+        #: Dispatch on parsed head, body as a chunk stream (proxy mode).
+        self.stream_bodies = stream_bodies
+        #: Max buffered request body; oversized bodies are answered 413.
+        self.max_body_bytes = max_body_bytes
         self.router = Router()
         self._middleware: list[Middleware] = []
         self._server: asyncio.Server | None = None
@@ -110,7 +125,19 @@ class HttpServer:
         try:
             while True:
                 try:
-                    request = await read_request(reader)
+                    request = await read_request(
+                        reader,
+                        stream=self.stream_bodies,
+                        max_body=self.max_body_bytes,
+                    )
+                except BodyTooLarge as exc:
+                    # The oversized body is still on the wire, so the
+                    # connection cannot carry another request: 413, close.
+                    response = Response.text(str(exc), status=413)
+                    response.headers.set("Connection", "close")
+                    writer.write(response.serialize())
+                    await writer.drain()
+                    break
                 except ProtocolError as exc:
                     writer.write(Response.text(str(exc), status=400).serialize())
                     await writer.drain()
@@ -121,9 +148,14 @@ class HttpServer:
                 keep_alive = request.headers.get("Connection", "keep-alive")
                 if keep_alive.lower() == "close":
                     response.headers.set("Connection", "close")
-                writer.write(response.serialize())
-                await writer.drain()
-                if keep_alive.lower() == "close":
+                if not await self._write_response(writer, response):
+                    break
+                if (
+                    keep_alive.lower() == "close"
+                    or response.headers.get("Connection", "").lower() == "close"
+                ):
+                    break
+                if not await self._drain_request(request):
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer went away; nothing to answer
@@ -139,6 +171,49 @@ class HttpServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> bool:
+        """Send *response*; ``False`` if the connection must close.
+
+        Buffered responses go out exactly as before (one ``serialize()``
+        write).  Streamed responses send the head, then relay chunks with
+        ``drain()`` flow control; if the stream breaks mid-relay the
+        wire framing is unrecoverable, so the connection is closed.
+        """
+        if response.stream is None:
+            writer.write(response.serialize())
+            await writer.drain()
+            return True
+        writer.write(response.serialize_head())
+        try:
+            await relay_body(writer, response.stream)
+        except (HttpError, ConnectionError, OSError) as exc:
+            logger.warning(
+                "%s: response stream failed mid-relay: %s", self.name, exc
+            )
+            return False
+        return True
+
+    async def _drain_request(self, request: Request) -> bool:
+        """Enforce the keep-alive drain rule; ``False`` closes the connection.
+
+        A handler may answer without consuming the request stream (think
+        an early 413 or a shadow-only endpoint); the unread body bytes
+        would otherwise be parsed as the next request's head.
+        """
+        stream = request.stream
+        if stream is None or stream.consumed:
+            return True
+        limit = self.max_body_bytes
+        try:
+            async for _ in stream:
+                if limit is not None and stream.bytes_read > limit:
+                    return False  # refuse to shovel unbounded leftovers
+        except HttpError:
+            return False
+        return True
 
     async def _dispatch(self, request: Request) -> Response:
         self.requests_handled += 1
@@ -156,6 +231,12 @@ class HttpServer:
             return await wrapped(request)
         except asyncio.CancelledError:
             raise
+        except BodyTooLarge as exc:
+            # A handler buffered a streamed body past the limit; the
+            # unread rest is still on the wire, so close after answering.
+            response = Response.text(str(exc), status=413)
+            response.headers.set("Connection", "close")
+            return response
         except Exception:
             logger.exception(
                 "handler error in %s for %s %s", self.name, request.method, request.path

@@ -39,6 +39,26 @@ from ..core.selection import stable_fraction
 NO_SHADOWS: list[ShadowRoute] = []
 
 
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """Split one ``host[:port]`` endpoint into ``(host, port)``.
+
+    **The** endpoint parser for the data plane: endpoint rings and the
+    shadower both route through it, so the proxy and a shadow dispatch
+    can never disagree on what a configured target means.  A missing
+    port defaults to 80, matching the URL convention in
+    :func:`repro.httpcore.client._split_url`.
+    """
+    host, _, raw_port = endpoint.partition(":")
+    if not host:
+        raise ValueError(f"endpoint has no host: {endpoint!r}")
+    if not raw_port:
+        return host, 80
+    try:
+        return host, int(raw_port)
+    except ValueError as exc:
+        raise ValueError(f"endpoint has a bad port: {endpoint!r}") from exc
+
+
 def normalize_endpoints(
     config: RoutingConfig, endpoints: dict[str, str | list[str]]
 ) -> dict[str, list[str]]:
@@ -84,8 +104,8 @@ class EndpointRing:
     def __init__(self, instances: list[str] | tuple[str, ...]):
         parsed = []
         for endpoint in instances:
-            host, _, raw_port = endpoint.partition(":")
-            parsed.append((endpoint, host, int(raw_port) if raw_port else 80))
+            host, port = parse_endpoint(endpoint)
+            parsed.append((endpoint, host, port))
         self.instances: tuple[tuple[str, str, int], ...] = tuple(parsed)
         self._count = len(self.instances)
         self._cursor = 0

@@ -122,10 +122,18 @@ class ProxyWorkerPool(HttpServer):
         sticky_capacity: int = 100_000,
         sticky_ttl: float | None = None,
         shadow_max_pending: int = 1024,
+        stream_bodies: bool = True,
+        max_body_bytes: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
-        super().__init__(host=host, port=port, name=f"proxy-pool-{service}")
+        super().__init__(
+            host=host,
+            port=port,
+            name=f"proxy-pool-{service}",
+            stream_bodies=stream_bodies,
+            max_body_bytes=max_body_bytes,
+        )
         self.service = service
         self.default_upstream = default_upstream
         self.seed = seed
@@ -144,6 +152,8 @@ class ProxyWorkerPool(HttpServer):
                 sticky_capacity=sticky_capacity,
                 sticky_ttl=sticky_ttl,
                 shadow_max_pending=shadow_max_pending,
+                stream_bodies=stream_bodies,
+                max_body_bytes=max_body_bytes,
             )
             member.name = f"proxy-{service}-w{index}"
             members.append(member)
@@ -206,6 +216,7 @@ class ProxyWorkerPool(HttpServer):
             target=request.target,
             headers=Headers.from_raw(items),
             body=request.body,
+            stream=request.stream,
         )
 
     async def _handle_proxy(self, request: Request) -> Response:
@@ -235,7 +246,7 @@ class ProxyWorkerPool(HttpServer):
     # -- admin --------------------------------------------------------------
 
     async def _handle_put_config(self, request: Request) -> Response:
-        payload = request.json()
+        payload = await request.ajson()
         try:
             config = RoutingConfig.from_wire(payload.get("routing", {}))
             endpoints = payload.get("endpoints", {})
@@ -384,7 +395,7 @@ class _PoolMemberProxy(BifrostProxy):
         self.worker_id = index
 
     async def _handle_put_config(self, request: Request) -> Response:
-        payload = request.json()
+        payload = await request.ajson()
         try:
             config = RoutingConfig.from_wire(payload.get("routing", {}))
             endpoints = payload.get("endpoints", {})
@@ -450,6 +461,8 @@ class ReuseportProxyPool:
         sticky_capacity: int = 100_000,
         sticky_ttl: float | None = None,
         shadow_max_pending: int = 1024,
+        stream_bodies: bool = True,
+        max_body_bytes: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -464,6 +477,8 @@ class ReuseportProxyPool:
             sticky_capacity=sticky_capacity,
             sticky_ttl=sticky_ttl,
             shadow_max_pending=shadow_max_pending,
+            stream_bodies=stream_bodies,
+            max_body_bytes=max_body_bytes,
         )
         self.workers: list[_PoolMemberProxy] = []
         self._loops: list[asyncio.AbstractEventLoop] = []

@@ -65,10 +65,19 @@ class BifrostProxy(HttpServer):
         sticky_capacity: int = 100_000,
         sticky_ttl: float | None = None,
         shadow_max_pending: int = 1024,
+        shadow_target_delay: float = 0.25,
+        shadow_tee_capacity: int = 16,
         reuse_port: bool = False,
+        stream_bodies: bool = True,
+        max_body_bytes: int | None = None,
     ):
         super().__init__(
-            host=host, port=port, name=f"proxy-{service}", reuse_port=reuse_port
+            host=host,
+            port=port,
+            name=f"proxy-{service}",
+            reuse_port=reuse_port,
+            stream_bodies=stream_bodies,
+            max_body_bytes=max_body_bytes,
         )
         self.service = service
         self.default_upstream = default_upstream
@@ -77,7 +86,6 @@ class BifrostProxy(HttpServer):
         self._client = client or HttpClient(pool_size=64)
         self._owns_client = client is None
         self.sticky_store = StickyStore(capacity=sticky_capacity, ttl=sticky_ttl)
-        self.shadower = Shadower(self._client, max_pending=shadow_max_pending)
         self._chain: FilterChain | None = None
         self._endpoints: dict[str, list[str]] = {}
         self._rings: dict[str, EndpointRing] = {}
@@ -98,6 +106,15 @@ class BifrostProxy(HttpServer):
         # other service, so the engine (or an operator) can put checks on
         # the middleware itself.
         self.registry = Registry()
+        # Built after the registry so the shadower's adaptive-backpressure
+        # metrics ride the same /metrics exposition.
+        self.shadower = Shadower(
+            self._client,
+            max_pending=shadow_max_pending,
+            target_delay=shadow_target_delay,
+            tee_capacity=shadow_tee_capacity,
+            registry=self.registry,
+        )
         self._m_forwarded = self.registry.counter(
             "proxy_requests_total",
             "Requests forwarded, by version served",
@@ -224,8 +241,7 @@ class BifrostProxy(HttpServer):
 
         decision = self._chain.decide(request)
         if decision.shadows:
-            for shadow in decision.shadows:
-                self._dispatch_shadow(request, shadow, decision.client_id)
+            self._dispatch_shadows(request, decision)
 
         response = await self._forward(
             request,
@@ -239,11 +255,30 @@ class BifrostProxy(HttpServer):
             )
         return response
 
-    def _dispatch_shadow(self, request, shadow, client_id) -> None:
+    def _dispatch_shadows(self, request: Request, decision: RoutingDecision) -> None:
+        shadows = decision.shadows
+        if request.stream is None:
+            for shadow in shadows:
+                self._dispatch_shadow(request, shadow, decision.client_id)
+            return
+        # A streamed body can be teed exactly once without double-buffering:
+        # the primary keeps stream ownership (its reads drive the tee), the
+        # first shadow rides the bounded branch, and any further shadows for
+        # the same request are dropped with accounting rather than buffered.
+        tee = self.shadower.tee(request.stream)
+        request.stream = tee.primary
+        self._dispatch_shadow(
+            request, shadows[0], decision.client_id, stream=tee.branch
+        )
+        for _ in shadows[1:]:
+            self.shadower.note_drop()
+
+    def _dispatch_shadow(self, request, shadow, client_id, stream=None) -> None:
         """Duplicate *request* to the shadow target's next instance.
 
         Builds a dedicated request sharing the (immutable) body bytes with
-        the primary — the only allocation is the overlaid header list.
+        the primary — the only allocation is the overlaid header list.  A
+        streamed duplicate instead carries a tee *branch* as its body.
         """
         endpoint, host, port = self._rings[shadow.target_version].next()
         items = self._overlay_items(request, client_id)
@@ -255,6 +290,7 @@ class BifrostProxy(HttpServer):
             target=request.target,
             headers=Headers.from_raw(items),
             body=request.body,
+            stream=stream,
         )
         if self.shadower.shadow(shadow_request, endpoint, host, port):
             self._m_shadow_sent.inc()
@@ -313,10 +349,21 @@ class BifrostProxy(HttpServer):
             target=request.target,
             headers=Headers.from_raw(items),
             body=request.body,
+            stream=request.stream,
         )
         started = time.monotonic()
         try:
-            response = await self._client.send(upstream_request, host, port)
+            if self.stream_bodies:
+                # End-to-end relay: the request body streams up as it
+                # arrives, and the response returns at head-parse time —
+                # its body flows back through ``response.stream`` while the
+                # server relays it to the client.  First upstream bytes can
+                # reach the client before the last client bytes arrive.
+                response = await self._client.send(
+                    upstream_request, host, port, stream=True
+                )
+            else:
+                response = await self._client.send(upstream_request, host, port)
         except (HttpError, ConnectionError, OSError) as exc:
             self.upstream_errors += 1
             self._m_upstream_errors.inc()
@@ -339,7 +386,7 @@ class BifrostProxy(HttpServer):
     # -- admin API ---------------------------------------------------------
 
     async def _handle_put_config(self, request: Request) -> Response:
-        payload = request.json()
+        payload = await request.ajson()
         try:
             config = RoutingConfig.from_wire(payload.get("routing", {}))
             endpoints = payload.get("endpoints", {})
@@ -403,6 +450,7 @@ class BifrostProxy(HttpServer):
             "shadow_failed": self.shadower.failed,
             "shadow_dropped": self.shadower.dropped,
             "shadow_in_flight": self.shadower.in_flight,
+            "shadow_effective_pending": self.shadower.effective_pending,
             "upstream_errors": self.upstream_errors,
             "sticky_sessions": len(self.sticky_store),
             "sticky_evictions": self.sticky_store.evictions,
@@ -440,6 +488,10 @@ class BifrostProxy(HttpServer):
                     },
                     "shadow": {
                         "max_pending": self.shadower.max_pending,
+                        "effective_pending": self.shadower.effective_pending,
+                        "target_delay": self.shadower.target_delay,
+                        "latency_ewma": self.shadower.latency_ewma,
+                        "queue_delay_ewma": self.shadower.queue_delay_ewma,
                         "in_flight": self.shadower.in_flight,
                         "dropped": self.shadower.dropped,
                     },

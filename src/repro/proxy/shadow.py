@@ -6,18 +6,35 @@ shadower fires a copy of the request at the shadow version and discards
 the response — the user only ever sees the primary reply.  Duplication is
 fire-and-forget: shadow failures are counted, never surfaced.
 
-The seed implementation spawned one asyncio task per shadow, so a slow
-shadow target let in-flight duplicates (and their request bodies) grow
-without bound.  Dispatch now goes through a **bounded queue** drained by a
-fixed pool of worker tasks:
+Dispatch goes through a **bounded queue** drained by a fixed pool of
+worker tasks.  The bound is no longer a static ``max_pending``: it
+adapts to what the shadow upstream can actually absorb.
 
-* at most ``max_pending`` shadows wait in the queue and ``concurrency``
-  are in flight — memory is O(max_pending), not O(traffic);
-* when the queue is full, the backpressure policy decides: ``drop-newest``
-  (default — the incoming duplicate is discarded) or ``drop-oldest`` (the
-  stalest queued duplicate is displaced, keeping traffic fresh);
-* every discarded duplicate increments the visible ``dropped`` counter —
-  overload is observable, never silent.
+* An EWMA of observed shadow-upstream send latency sizes the queue so
+  that the *expected queue delay* stays near ``target_delay``: with
+  ``concurrency`` sends in flight, admitting more than
+  ``concurrency * target_delay / latency`` duplicates would leave the
+  excess waiting longer than the target.
+* An AIMD bound backs that up where latency lags reality: every drop
+  halves it (multiplicative decrease), every clean send adds one back
+  (additive increase), both clamped to ``[min_pending, max_pending]``.
+* ``max_pending`` remains the hard ceiling (memory bound); the
+  **effective** bound at any instant is the minimum of the three.
+
+When the queue is at the effective bound, the backpressure policy
+decides: ``drop-newest`` (default — the incoming duplicate is discarded)
+or ``drop-oldest`` (the stalest queued duplicate is displaced, keeping
+traffic fresh).  Every discarded duplicate increments the visible
+``dropped`` counter — overload is observable, never silent — and is
+exported as ``bifrost_shadow_dropped_total`` alongside the
+``bifrost_shadow_queue_delay_seconds`` histogram, so a strategy check
+can gate on the proxy's own shadow capacity.
+
+**Streamed duplicates** never double-buffer: the primary path owns the
+request stream, and a :class:`~repro.httpcore.stream.StreamTee` fans its
+chunks into a bounded branch that the shadow send consumes.  A shadow
+upstream too slow to keep within the tee's capacity is aborted and
+counted as a drop — it can never stall or bloat the primary relay.
 
 The caller transfers ownership of the request it passes to
 :meth:`Shadower.shadow`; the shadower does not copy it again.
@@ -27,8 +44,11 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 
-from ..httpcore import HttpClient, Request
+from ..httpcore import HttpClient, Request, StreamAborted
+from ..httpcore.stream import BodyStream, StreamTee
+from .plan import parse_endpoint
 
 logger = logging.getLogger(__name__)
 
@@ -36,9 +56,16 @@ logger = logging.getLogger(__name__)
 DROP_NEWEST = "drop-newest"
 DROP_OLDEST = "drop-oldest"
 
+#: Smoothing factor for the shadow-upstream latency EWMA.
+EWMA_ALPHA = 0.2
+
+#: Queue-delay histogram buckets: shadow queues live in the 1 ms – 10 s
+#: range; the default request-latency buckets are too fine at the bottom.
+QUEUE_DELAY_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
 
 class Shadower:
-    """Sends shadow requests through a bounded queue of worker tasks."""
+    """Sends shadow requests through an adaptively bounded queue."""
 
     def __init__(
         self,
@@ -46,6 +73,10 @@ class Shadower:
         max_pending: int = 1024,
         concurrency: int = 8,
         policy: str = DROP_NEWEST,
+        target_delay: float = 0.25,
+        min_pending: int = 1,
+        tee_capacity: int = 16,
+        registry=None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
@@ -53,16 +84,95 @@ class Shadower:
             raise ValueError("concurrency must be at least 1")
         if policy not in (DROP_NEWEST, DROP_OLDEST):
             raise ValueError(f"unknown backpressure policy {policy!r}")
+        if not 1 <= min_pending <= max_pending:
+            raise ValueError("need 1 <= min_pending <= max_pending")
+        if target_delay <= 0:
+            raise ValueError("target_delay must be positive")
         self._client = client
         self.max_pending = max_pending
         self.concurrency = concurrency
         self.policy = policy
-        self._queue: asyncio.Queue[tuple[Request, str, str, int]] = asyncio.Queue()
+        self.target_delay = target_delay
+        self.min_pending = min_pending
+        self.tee_capacity = tee_capacity
+        self._queue: asyncio.Queue[
+            tuple[Request, str, str, int, float]
+        ] = asyncio.Queue()
         self._workers: list[asyncio.Task[None]] = []
         #: Counters for observability and tests.
         self.sent = 0
         self.failed = 0
         self.dropped = 0
+        #: EWMA of shadow-upstream send latency (seconds); None until the
+        #: first completed send.
+        self.latency_ewma: float | None = None
+        #: EWMA of time duplicates spend queued (seconds).
+        self.queue_delay_ewma: float | None = None
+        self._aimd = max_pending
+        # Exported metrics, when a registry is wired in (the proxy passes
+        # its own, so these ride the existing /metrics exposition).
+        self._m_dropped = None
+        self._m_queue_delay = None
+        self._m_bound = None
+        if registry is not None:
+            self._m_dropped = registry.counter(
+                "bifrost_shadow_dropped_total",
+                "Shadow duplicates dropped by queue or tee backpressure",
+            )
+            self._m_queue_delay = registry.histogram(
+                "bifrost_shadow_queue_delay_seconds",
+                "Time shadow duplicates spent queued before dispatch",
+                buckets=QUEUE_DELAY_BUCKETS,
+            )
+            self._m_bound = registry.gauge(
+                "bifrost_shadow_effective_pending",
+                "Current adaptive bound on queued shadow duplicates",
+            )
+
+    # -- adaptive bound ----------------------------------------------------
+
+    @property
+    def effective_pending(self) -> int:
+        """The adaptive admission bound, recomputed from current signals."""
+        bound = self._aimd
+        ewma = self.latency_ewma
+        if ewma is not None and ewma > 0:
+            latency_bound = int(self.concurrency * self.target_delay / ewma)
+            bound = min(bound, latency_bound)
+        return max(self.min_pending, min(self.max_pending, bound))
+
+    def note_drop(self) -> None:
+        """Account one discarded duplicate and shrink the AIMD bound."""
+        self.dropped += 1
+        self._aimd = max(self.min_pending, self.effective_pending // 2)
+        if self._m_dropped is not None:
+            self._m_dropped.inc()
+        if self._m_bound is not None:
+            self._m_bound.set(float(self.effective_pending))
+
+    def _note_sent(self, latency: float) -> None:
+        """Fold one completed send into the EWMA and recover additively."""
+        self.sent += 1
+        ewma = self.latency_ewma
+        self.latency_ewma = (
+            latency
+            if ewma is None
+            else ewma + EWMA_ALPHA * (latency - ewma)
+        )
+        self._aimd = min(self.max_pending, self._aimd + 1)
+        if self._m_bound is not None:
+            self._m_bound.set(float(self.effective_pending))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def tee(self, stream: BodyStream) -> StreamTee:
+        """Fan *stream* out for one shadow duplicate (primary keeps owning).
+
+        The returned tee's ``primary`` replaces the caller's stream; its
+        ``branch`` becomes the duplicate's body.  Overflow aborts the
+        branch and is accounted as a drop here.
+        """
+        return StreamTee(stream, capacity=self.tee_capacity, on_drop=self.note_drop)
 
     def shadow(
         self,
@@ -76,27 +186,36 @@ class Shadower:
         Never blocks and never raises on overload — the proxy's primary
         path must not stall because a shadow target is slow.  Callers that
         already hold the parsed ``host``/``port`` (the proxy's endpoint
-        rings) pass them along; otherwise *endpoint* is split here.
+        rings) pass them along; otherwise *endpoint* is split here by the
+        same parser the rings use.
         """
         queue = self._queue
-        if queue.qsize() >= self.max_pending:
-            self.dropped += 1
+        if queue.qsize() >= self.effective_pending:
             if self.policy == DROP_NEWEST:
+                self.note_drop()
+                self._discard(request)
                 return False
             # drop-oldest: displace the stalest queued duplicate.
-            queue.get_nowait()
+            stale = queue.get_nowait()
             queue.task_done()
+            self.note_drop()
+            self._discard(stale[0])
         if host is None or port is None:
-            host, _, raw_port = endpoint.partition(":")
-            port = int(raw_port) if raw_port else 80
+            host, port = parse_endpoint(endpoint)
         if request.headers.get("Host") != endpoint:
             request.headers.set("Host", endpoint)
         if request.headers.get("X-Bifrost-Shadow") is None:
             request.headers.set("X-Bifrost-Shadow", "true")
-        queue.put_nowait((request, endpoint, host, port))
+        queue.put_nowait((request, endpoint, host, port, time.monotonic()))
         if len(self._workers) < self.concurrency:
             self._spawn_worker()
         return True
+
+    @staticmethod
+    def _discard(request: Request) -> None:
+        """Release a dropped duplicate's tee branch so it stops buffering."""
+        if request.stream is not None:
+            request.stream.abort()
 
     def _spawn_worker(self) -> None:
         task = asyncio.get_running_loop().create_task(self._work())
@@ -107,9 +226,16 @@ class Shadower:
         queue = self._queue
         while True:
             try:
-                request, endpoint, host, port = queue.get_nowait()
+                request, endpoint, host, port, enqueued = queue.get_nowait()
             except asyncio.QueueEmpty:
                 return  # workers are ephemeral: die when the queue drains
+            delay = time.monotonic() - enqueued
+            ewma = self.queue_delay_ewma
+            self.queue_delay_ewma = (
+                delay if ewma is None else ewma + EWMA_ALPHA * (delay - ewma)
+            )
+            if self._m_queue_delay is not None:
+                self._m_queue_delay.observe(delay)
             try:
                 await self._send(request, endpoint, host, port)
             finally:
@@ -118,13 +244,18 @@ class Shadower:
     async def _send(
         self, request: Request, endpoint: str, host: str, port: int
     ) -> None:
+        started = time.monotonic()
         try:
             # send() adopts the request as-is — the headers built for this
             # duplicate go to the wire without another copy.
             await self._client.send(request, host, port)
-            self.sent += 1
+            self._note_sent(time.monotonic() - started)
         except asyncio.CancelledError:
             raise
+        except StreamAborted:
+            # Tee overflow mid-send: already accounted as a drop by the
+            # tee's on_drop hook; not an upstream failure.
+            logger.debug("shadow duplicate to %s aborted by tee overflow", endpoint)
         except Exception as exc:
             self.failed += 1
             logger.debug("shadow request to %s failed: %s", endpoint, exc)

@@ -335,7 +335,7 @@ class FaultyUpstream:
     def _matches(self, host: str, port: int) -> bool:
         return self.endpoints is None or f"{host}:{port}" in self.endpoints
 
-    async def send(self, request, host: str, port: int):
+    async def send(self, request, host: str, port: int, **kwargs):
         self.calls += 1
         if self._matches(host, port):
             fault = self.schedule.fault_for(self.calls, self.clock.now())
@@ -345,7 +345,9 @@ class FaultyUpstream:
                 self.injected.append((self.calls, fault))
                 await _notify(self.on_inject, self.calls, fault)
                 await fault.apply(self.clock)
-        return await self.inner.send(request, host, port)
+        # kwargs (timeout, stream) pass through untouched: the wrapper must
+        # not change how a streaming proxy talks to its upstream.
+        return await self.inner.send(request, host, port, **kwargs)
 
     async def close(self) -> None:
         await self.inner.close()

@@ -1,0 +1,376 @@
+"""Streaming bodies: chunked framing, BodyStream, tee, end-to-end relay."""
+
+import asyncio
+
+import pytest
+
+from repro.httpcore import (
+    BodyStream,
+    HttpClient,
+    HttpServer,
+    ProtocolError,
+    Request,
+    Response,
+    StreamAborted,
+    StreamTee,
+    encode_chunk,
+)
+from repro.httpcore.errors import BodyTooLarge, IncompleteMessage
+from repro.httpcore.stream import CHUNKED_EOF, iter_chunked, relay_body
+
+
+def reader_for(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+async def collect(iterator) -> bytes:
+    return b"".join([chunk async for chunk in iterator])
+
+
+# -- chunked wire framing ---------------------------------------------------
+
+
+async def test_chunked_decode_basic():
+    wire = encode_chunk(b"hello ") + encode_chunk(b"world") + CHUNKED_EOF
+    assert await collect(iter_chunked(reader_for(wire))) == b"hello world"
+
+
+async def test_chunked_decode_ignores_extensions_and_trailers():
+    wire = (
+        b"6;ext=1\r\nhello \r\n"
+        b"5\r\nworld\r\n"
+        b"0\r\nTrailer: ignored\r\nAnother: one\r\n\r\n"
+    )
+    assert await collect(iter_chunked(reader_for(wire))) == b"hello world"
+
+
+async def test_chunked_decode_rejects_bad_size():
+    with pytest.raises(ProtocolError):
+        await collect(iter_chunked(reader_for(b"zz\r\n")))
+
+
+async def test_chunked_decode_rejects_missing_crlf():
+    wire = b"5\r\nhelloXX" + CHUNKED_EOF
+    with pytest.raises(ProtocolError):
+        await collect(iter_chunked(reader_for(wire)))
+
+
+async def test_chunked_decode_truncated_body():
+    with pytest.raises(IncompleteMessage):
+        await collect(iter_chunked(reader_for(b"10\r\nonly-this")))
+
+
+async def test_giant_chunk_is_resplit():
+    wire = encode_chunk(b"x" * 100) + CHUNKED_EOF
+    pieces = [chunk async for chunk in iter_chunked(reader_for(wire), chunk_size=32)]
+    assert b"".join(pieces) == b"x" * 100
+    assert all(len(piece) <= 32 for piece in pieces)
+
+
+# -- BodyStream -------------------------------------------------------------
+
+
+async def test_body_stream_read_and_flags():
+    stream = BodyStream.from_bytes(b"payload")
+    assert stream.length == 7
+    assert not stream.started
+    assert await stream.read() == b"payload"
+    assert stream.started and stream.consumed
+
+
+async def test_body_stream_max_buffer_enforced_on_read():
+    stream = BodyStream.from_iterable([b"x" * 10] * 10)
+    stream.max_buffer = 50
+    with pytest.raises(BodyTooLarge):
+        await stream.read()
+
+
+async def test_body_stream_on_complete_clean_and_abort():
+    outcomes = []
+    stream = BodyStream.from_bytes(b"data")
+    stream.set_on_complete(outcomes.append)
+    await stream.drain()
+    assert outcomes == [True]
+
+    aborted = BodyStream.from_bytes(b"data")
+    aborted.set_on_complete(outcomes.append)
+    aborted.abort()
+    aborted.abort()  # idempotent: the hook fires exactly once
+    assert outcomes == [True, False]
+
+
+# -- StreamTee --------------------------------------------------------------
+
+
+async def test_tee_duplicates_chunks_to_branch():
+    tee = StreamTee(BodyStream.from_iterable([b"one", b"two", b"three"]))
+    primary = await collect(tee.primary)
+    branch = await collect(tee.branch)
+    assert primary == b"onetwothree"
+    assert branch == b"onetwothree"
+
+
+async def test_tee_overflow_aborts_branch_not_primary():
+    drops = []
+    chunks = [b"c%d" % i for i in range(10)]
+    tee = StreamTee(
+        BodyStream.from_iterable(chunks), capacity=2, on_drop=lambda: drops.append(1)
+    )
+    # Consume the primary without touching the branch: it must never block
+    # and must see every byte.
+    assert await collect(tee.primary) == b"".join(chunks)
+    assert drops == [1]
+    with pytest.raises(StreamAborted):
+        await collect(tee.branch)
+
+
+async def test_tee_finalized_branch_stops_buffering_silently():
+    drops = []
+    tee = StreamTee(
+        BodyStream.from_iterable([b"x"] * 10),
+        capacity=2,
+        on_drop=lambda: drops.append(1),
+    )
+    tee.branch.abort()  # the duplicate was dropped before sending
+    assert await collect(tee.primary) == b"x" * 10
+    assert drops == []  # a consumer-side abandon is not a tee drop
+
+
+# -- relay_body -------------------------------------------------------------
+
+
+class _SinkWriter:
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self.data += data
+
+    async def drain(self) -> None:
+        await asyncio.sleep(0)
+
+
+async def test_relay_known_length_is_raw():
+    writer = _SinkWriter()
+    await relay_body(writer, BodyStream.from_bytes(b"abcdef"))
+    assert bytes(writer.data) == b"abcdef"
+
+
+async def test_relay_unknown_length_is_chunk_encoded():
+    writer = _SinkWriter()
+    await relay_body(writer, BodyStream.from_iterable([b"ab", b"cd"]))
+    assert await collect(iter_chunked(reader_for(bytes(writer.data)))) == b"abcd"
+
+
+async def test_relay_length_mismatch_raises():
+    writer = _SinkWriter()
+    stream = BodyStream.from_iterable([b"ab"], length=5)
+    with pytest.raises(IncompleteMessage):
+        await relay_body(writer, stream)
+
+
+# -- end-to-end: streaming server + client ----------------------------------
+
+
+def make_streaming_server(**kwargs) -> HttpServer:
+    server = HttpServer(name="streaming", stream_bodies=True, **kwargs)
+
+    @server.router.post("/echo")
+    async def echo(request):
+        return Response(body=await request.aread())
+
+    @server.router.post("/relay")
+    async def relay(request):
+        # True relay: the response body is the request stream itself.
+        return Response.streaming(request.iter_body())
+
+    @server.router.get("/ignore-body")
+    async def ignore(request):
+        return Response.text("ignored")
+
+    return server
+
+
+async def test_streamed_request_buffered_by_handler():
+    async with make_streaming_server() as server, HttpClient() as client:
+        response = await client.post(f"http://{server.address}/echo", body=b"hi" * 500)
+        assert response.body == b"hi" * 500
+
+
+async def test_chunked_request_end_to_end():
+    async with make_streaming_server() as server, HttpClient() as client:
+        chunks = [b"alpha-", b"beta-", b"gamma"]
+        request = Request(
+            method="POST",
+            target="/echo",
+            stream=BodyStream.from_iterable(chunks),  # unknown length -> chunked
+        )
+        request.headers.set("Host", server.address)
+        response = await client.send(request, server.host, server.port)
+        assert response.body == b"alpha-beta-gamma"
+
+
+async def test_streamed_response_end_to_end_keeps_connection():
+    async with make_streaming_server() as server, HttpClient() as client:
+        request = Request(
+            method="POST",
+            target="/relay",
+            stream=BodyStream.from_iterable([b"x" * 100] * 8),
+        )
+        request.headers.set("Host", server.address)
+        response = await client.send(request, server.host, server.port, stream=True)
+        assert response.stream is not None
+        assert await response.aread() == b"x" * 800
+        # Drain rule satisfied on both sides: the connection is pooled again.
+        assert client.idle_connections(server.address) == 1
+        again = await client.post(f"http://{server.address}/echo", body=b"ok")
+        assert again.body == b"ok"
+
+
+async def test_first_response_bytes_before_last_request_bytes():
+    """The relay pipeline property: duplex streaming through one request."""
+    fed: asyncio.Queue = asyncio.Queue()
+    got_first = asyncio.Event()
+
+    async def producer():
+        yield b"head"
+        await got_first.wait()  # only produce the tail after the response began
+        yield b"tail"
+
+    async with make_streaming_server() as server, HttpClient() as client:
+        request = Request(
+            method="POST", target="/relay", stream=BodyStream.from_iterable(producer())
+        )
+        request.headers.set("Host", server.address)
+        response = await client.send(request, server.host, server.port, stream=True)
+        first = await response.stream.__anext__()
+        assert first == b"head"
+        got_first.set()
+        rest = await response.aread()
+        assert rest == b"tail"
+        del fed
+
+
+async def test_unconsumed_request_stream_is_drained_for_keepalive():
+    async with make_streaming_server() as server, HttpClient() as client:
+        # The handler never reads the body; the server must drain it before
+        # parsing the next request off the same connection.
+        first = await client.request(
+            "GET", f"http://{server.address}/ignore-body", body=b"leftover" * 100
+        )
+        assert first.body == b"ignored"
+        assert client.idle_connections(server.address) == 1
+        second = await client.post(f"http://{server.address}/echo", body=b"next")
+        assert second.body == b"next"
+
+
+async def test_buffered_chunked_message_reserializes_length_framed():
+    """A chunked message buffered by a hop must not re-emit the stale
+    Transfer-Encoding header next to its new Content-Length — a reader
+    would trust TE (RFC 7230 section 3.3.3) and wait for framing that is
+    not there."""
+    response = Response(body=b"decoded")
+    response.headers.set("Transfer-Encoding", "chunked")
+    wire = response.serialize()
+    assert b"Transfer-Encoding" not in wire
+    assert b"Content-Length: 7" in wire
+
+    request = Request(method="POST", target="/x", body=b"decoded")
+    request.headers.set("Transfer-Encoding", "chunked")
+    wire = request.serialize()
+    assert b"Transfer-Encoding" not in wire
+
+
+async def test_buffered_proxy_hop_relays_chunked_upstream():
+    """End-to-end shape of the bug above: streaming upstream answers
+    chunked, a buffered hop re-serializes, a streaming reader consumes."""
+    async with make_streaming_server() as origin:
+        hop = HttpServer(name="hop")  # buffered middle hop
+
+        @hop.router.post("/via")
+        async def via(request):
+            async with HttpClient() as client:
+                inner = Request(
+                    method="POST",
+                    target="/relay",
+                    stream=BodyStream.from_iterable([request.body]),
+                )
+                inner.headers.set("Host", origin.address)
+                # Buffered read of the chunked reply: TE decoded away.
+                upstream = await client.send(inner, origin.host, origin.port)
+            return Response(status=upstream.status, headers=upstream.headers,
+                            body=upstream.body)
+
+        async with hop:
+            async with HttpClient() as client:
+                request = Request(method="POST", target="/via")
+                request.headers.set("Host", hop.address)
+                request.body = b"through-the-hop"
+                request.headers.set("Content-Length", "15")
+                response = await client.send(
+                    request, hop.host, hop.port, stream=True
+                )
+                assert await response.aread() == b"through-the-hop"
+
+
+# -- max-body limits --------------------------------------------------------
+
+
+async def test_server_answers_413_when_handler_buffers_too_much():
+    async with make_streaming_server(max_body_bytes=64) as server:
+        async with HttpClient() as client:
+            response = await client.post(
+                f"http://{server.address}/echo", body=b"x" * 1000
+            )
+            assert response.status == 413
+            # The oversized connection was closed, not reused.
+            assert client.idle_connections(server.address) == 0
+
+
+async def test_buffered_server_rejects_declared_oversize():
+    server = HttpServer(name="buffered", max_body_bytes=64)
+
+    @server.router.post("/echo")
+    async def echo(request):
+        return Response(body=request.body)
+
+    async with server, HttpClient() as client:
+        response = await client.post(f"http://{server.address}/echo", body=b"y" * 100)
+        assert response.status == 413
+
+
+async def test_client_rejects_oversized_buffered_response():
+    server = HttpServer(name="big")
+
+    @server.router.get("/big")
+    async def big(request):
+        return Response(body=b"z" * 1000)
+
+    async with server:
+        async with HttpClient(max_body_bytes=100) as client:
+            with pytest.raises(BodyTooLarge):
+                await client.get(f"http://{server.address}/big")
+
+
+async def test_client_streams_oversized_response_but_caps_aread():
+    server = HttpServer(name="big-stream")
+
+    @server.router.get("/big")
+    async def big(request):
+        return Response(body=b"z" * 1000)
+
+    async with server:
+        async with HttpClient(max_body_bytes=100) as client:
+            request = Request(method="GET", target="/big")
+            request.headers.set("Host", server.address)
+            response = await client.send(
+                request, server.host, server.port, stream=True
+            )
+            # Relaying (iterating) is fine at any size...
+            total = 0
+            async for chunk in response.iter_body():
+                total += len(chunk)
+            assert total == 1000

@@ -78,7 +78,7 @@ def test_upstream_trace_is_per_worker_deterministic(seed, workers):
     per-worker call counts over 1 or N workers yields the same traces."""
 
     class _Client:
-        async def send(self, request, host, port):
+        async def send(self, request, host, port, timeout=None, stream=False):
             return "ok"
 
         async def close(self):

@@ -44,7 +44,7 @@ def test_worker_index_varies_with_seed(client_id, count):
 class InstantStubClient:
     """Upstream stub answering immediately; records nothing."""
 
-    async def send(self, request, host, port, timeout=None):
+    async def send(self, request, host, port, timeout=None, stream=False):
         return Response(
             status=200,
             headers=Headers.from_raw([("Content-Type", "application/json")]),

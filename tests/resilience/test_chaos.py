@@ -309,7 +309,7 @@ class _ScriptedClient:
     def __init__(self):
         self.sent = []
 
-    async def send(self, request, host, port):
+    async def send(self, request, host, port, timeout=None, stream=False):
         self.sent.append((host, port))
         return "ok"
 

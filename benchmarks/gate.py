@@ -1,0 +1,222 @@
+"""Perf-trajectory regression gate over ``benchmarks/output/history.jsonl``.
+
+Every benchmark appends one ``{"benchmark", "at", "git_sha", "data"}`` line
+per run (see ``history_appender`` in :mod:`benchmarks.conftest`).  This
+script reads that append-only log and flags any key metric whose latest
+value regressed more than a threshold (default 20%) against the median of
+its previous runs (up to the last 5) — a trend check, so one noisy run
+neither hides nor fakes a regression.
+
+Metric direction is inferred from the name: throughput-flavored metrics
+(``*speedup*``, ``*_pps``, ``*_rps``, ``*_qps``, ...) regress by going
+*down*; cost-flavored metrics (``*_ms*``, ``*_us*``, ``*_seconds*``,
+``*_peak_mb``, ...) regress by going *up*.  Metrics whose direction cannot
+be inferred are reported as skipped rather than guessed.
+
+Usage::
+
+    python benchmarks/gate.py                # report; exit 1 on regression
+    python benchmarks/gate.py --report-only  # always exit 0 (non-blocking)
+    python benchmarks/gate.py --threshold 0.1
+
+The CI job runs this with ``continue-on-error`` so a regression annotates
+the build without blocking merges; the exit code still makes the failure
+visible in the job list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+HISTORY_FILE = Path(__file__).parent / "output" / "history.jsonl"
+
+#: Name fragments marking a metric where *bigger* is better.
+_HIGHER_IS_BETTER = (
+    "speedup",
+    "_pps",
+    "_rps",
+    "_qps",
+    "throughput",
+    "saved",
+    "hits",
+    "ratio",
+)
+#: Metrics measuring the *reference* implementation (the "before" side of a
+#: before/after benchmark).  They move when the workload is rescaled, not
+#: when the shipped path regresses, so the gate ignores them.
+_BASELINE_MARKERS = (
+    "baseline",
+    "buffered_",
+    "per_point",
+    "budget",
+)
+#: Name fragments marking a metric where *smaller* is better.
+_LOWER_IS_BETTER = (
+    "_us",
+    "_ms",
+    "_s_",
+    "seconds",
+    "latency",
+    "delay",
+    "_mb",
+    "ttfb",
+    "per_tick",
+    "fallbacks",
+    "misses",
+)
+
+
+def metric_direction(name: str) -> int:
+    """+1 if higher is better, -1 if lower is better, 0 if unknown.
+
+    Higher-is-better fragments win ties: ``incremental_ms_per_tick``
+    contains both ``_ms`` and ``per_tick`` (lower), while a name like
+    ``speedup`` never carries a cost suffix.
+    """
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _HIGHER_IS_BETTER):
+        return 1
+    if any(fragment in lowered for fragment in _LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def _flatten(data: dict, prefix: str = "") -> dict[str, float]:
+    """Dotted-key scalar view of a possibly nested ``data`` payload."""
+    flat: dict[str, float] = {}
+    for key, value in data.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{path}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[path] = float(value)
+    return flat
+
+
+def load_history(path: Path) -> dict[str, list[dict[str, float]]]:
+    """Per-benchmark chronological list of flattened metric snapshots."""
+    series: dict[str, list[dict[str, float]]] = {}
+    if not path.exists():
+        return series
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a torn write must not break the gate
+        benchmark = entry.get("benchmark")
+        data = entry.get("data")
+        if not isinstance(benchmark, str) or not isinstance(data, dict):
+            continue
+        series.setdefault(benchmark, []).append(_flatten(data))
+    return series
+
+
+def check_history(
+    series: dict[str, list[dict[str, float]]],
+    threshold: float = 0.20,
+    baseline_runs: int = 5,
+) -> tuple[list[str], list[str]]:
+    """Returns ``(regressions, skipped)`` report lines.
+
+    The latest run of each benchmark is compared metric-by-metric against
+    the median of up to *baseline_runs* prior runs.  Metrics with fewer
+    than 2 prior data points have no trend and are skipped, as are metrics
+    with unknown direction or a zero baseline.
+    """
+    regressions: list[str] = []
+    skipped: list[str] = []
+    for benchmark, runs in sorted(series.items()):
+        if len(runs) < 2:
+            skipped.append(f"{benchmark}: only {len(runs)} run(s), no trend yet")
+            continue
+        latest = runs[-1]
+        history = runs[:-1][-baseline_runs:]
+        for metric in sorted(latest):
+            lowered = metric.lower()
+            if any(marker in lowered for marker in _BASELINE_MARKERS):
+                skipped.append(f"{benchmark}.{metric}: baseline reference")
+                continue
+            points = [run[metric] for run in history if metric in run]
+            if len(points) < 1:
+                skipped.append(f"{benchmark}.{metric}: no prior data")
+                continue
+            direction = metric_direction(metric)
+            if direction == 0:
+                skipped.append(f"{benchmark}.{metric}: unknown direction")
+                continue
+            baseline = statistics.median(points)
+            if baseline == 0:
+                skipped.append(f"{benchmark}.{metric}: zero baseline")
+                continue
+            value = latest[metric]
+            # Signed relative change in the *good* direction.
+            change = direction * (value - baseline) / abs(baseline)
+            if change < -threshold:
+                arrow = "fell" if direction > 0 else "rose"
+                regressions.append(
+                    f"{benchmark}.{metric}: {arrow} {abs(change):.0%} "
+                    f"(latest {value:g} vs median-of-{len(points)} {baseline:g})"
+                )
+    return regressions, skipped
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history", type=Path, default=HISTORY_FILE, help="history.jsonl path"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative regression tolerance (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--baseline-runs",
+        type=int,
+        default=5,
+        help="how many prior runs feed the median baseline (default 5)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="always exit 0, even when regressions are found",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also list skipped metrics"
+    )
+    args = parser.parse_args(argv)
+
+    series = load_history(args.history)
+    if not series:
+        print(f"perf gate: no history at {args.history}; nothing to check")
+        return 0
+    regressions, skipped = check_history(
+        series, threshold=args.threshold, baseline_runs=args.baseline_runs
+    )
+    runs = sum(len(entries) for entries in series.values())
+    print(
+        f"perf gate: {len(series)} benchmark(s), {runs} run(s), "
+        f"threshold {args.threshold:.0%}"
+    )
+    if args.verbose:
+        for line in skipped:
+            print(f"  skip: {line}")
+    if regressions:
+        print(f"REGRESSIONS ({len(regressions)}):")
+        for line in regressions:
+            print(f"  {line}")
+        return 0 if args.report_only else 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -234,6 +234,23 @@ class MetricCondition:
             validator=Validator.parse(validator),
         )
 
+    def subscribe(self, providers: dict[str, MetricsProvider]) -> None:
+        """Pre-register this condition's queries with plan-aware providers.
+
+        Providers exposing a ``subscribe(query)`` hook (currently
+        :class:`~repro.metrics.provider.LocalPrometheusProvider`) intern the
+        query into their store's shared evaluation plan and warm streaming
+        window aggregates, so the check's first tick already evaluates
+        incrementally and shares subexpressions with every other subscribed
+        check.  Providers without the hook are untouched; a missing
+        provider is reported at evaluation time, not here.
+        """
+        for query in self.queries:
+            provider = providers.get(query.provider)
+            register = getattr(provider, "subscribe", None)
+            if register is not None:
+                register(query.query)
+
     async def evaluate(self, providers: dict[str, MetricsProvider]) -> int:
         """One execution of f_ci: fetch every query, then decide 0 or 1."""
         return (await self.evaluate_detailed(providers)).result

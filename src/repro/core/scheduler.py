@@ -95,6 +95,11 @@ class CheckScheduler:
         self._active: set[_Entry] = set()
         self._wake = asyncio.Event()
         self._driver: asyncio.Task[None] | None = None
+        #: How many dispatches grouped 2+ same-deadline checks into one
+        #: evaluation wave, and the size of the latest wave (observability
+        #: for the shared-evaluation-plan path).
+        self.tick_waves = 0
+        self.last_wave_size = 0
 
     def schedule(
         self,
@@ -115,6 +120,11 @@ class CheckScheduler:
             asyncio.get_running_loop().create_future()
         )
         entry = _Entry(check, providers, observer, on_complete, future)
+        # Arming a check subscribes its queries to any plan-aware provider:
+        # subexpressions shared with other scheduled checks intern into one
+        # evaluation-plan node, and their range windows get streaming
+        # aggregates before the first tick fires.
+        check.condition.subscribe(providers)
         self._active.add(entry)
         future.add_done_callback(
             lambda done, entry=entry: self._on_future_done(entry, done)
@@ -153,15 +163,30 @@ class CheckScheduler:
                 await self._wait_for_wake(deadline - now)
 
     def _dispatch_due(self) -> None:
+        """Dispatch every due check as one evaluation wave.
+
+        Due entries are drained from the heap *before* any task is
+        created, so checks sharing a deadline evaluate at the same clock
+        instant — against a shared store their plan nodes carry the same
+        ``(tick, generation)`` stamp and each distinct subexpression runs
+        once for the whole wave (see :mod:`repro.metrics.plan`).
+        """
         now = self.clock.now()
         heap = self._heap
+        due: list[_Entry] = []
         while heap and heap[0][0] <= now:
             _, _, entry = heapq.heappop(heap)
             if entry.future.done() or entry.eval_task is not None:
                 continue
-            entry.eval_task = asyncio.get_running_loop().create_task(
-                self._evaluate(entry)
-            )
+            due.append(entry)
+        if not due:
+            return
+        if len(due) > 1:
+            self.tick_waves += 1
+            self.last_wave_size = len(due)
+        loop = asyncio.get_running_loop()
+        for entry in due:
+            entry.eval_task = loop.create_task(self._evaluate(entry))
 
     async def _wait_for_wake(self, timeout: float | None) -> None:
         """Park until the next deadline or until new/changed work arrives."""

@@ -5,11 +5,14 @@ exposition, pull-based scraper, resource sampler, HTTP metrics server, and
 the provider interface the Bifrost engine queries.
 """
 
+from .aggregate import aggregate_cache_info
 from .cadvisor import CpuMeter, ResourceSampler, process_cpu_seconds, process_rss_bytes
 from .compile import compile_query
 from .exposition import parse as parse_exposition
+from .exposition import parse_tolerant as parse_exposition_tolerant
 from .exposition import render as render_exposition
 from .exposition import render_lines as render_exposition_lines
+from .plan import EvaluationPlan, plan_cache_info, planner_for
 from .provider import (
     HealthProvider,
     HttpPrometheusProvider,
@@ -34,11 +37,13 @@ from .server import MetricsServer
 from .store import LabelMatcher, MetricStore, ShardedMetricStore, shard_index_for
 
 __all__ = [
+    "aggregate_cache_info",
     "compile_query",
     "Counter",
     "CpuMeter",
     "evaluate",
     "evaluate_scalar",
+    "EvaluationPlan",
     "expression_generation",
     "Gauge",
     "HealthProvider",
@@ -53,6 +58,9 @@ __all__ = [
     "MetricStore",
     "parse",
     "parse_exposition",
+    "parse_exposition_tolerant",
+    "plan_cache_info",
+    "planner_for",
     "process_cpu_seconds",
     "process_rss_bytes",
     "ProviderError",

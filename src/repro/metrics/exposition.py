@@ -46,23 +46,54 @@ def render(points: list[MetricPoint] | Registry) -> str:
 
 
 def parse(text: str) -> list[MetricPoint]:
-    """Parse exposition text into points; comments and blanks are skipped."""
-    points = []
+    """Parse exposition text into points; comments and blanks are skipped.
+
+    Strict: the first malformed line raises :class:`ValueError`.  Scrapers
+    ingesting third-party payloads should prefer :func:`parse_tolerant`,
+    which skips bad lines instead of discarding the whole payload.
+    """
+    points, errors = _parse_lines(text, strict=True)
+    assert not errors  # strict mode raised instead
+    return points
+
+
+def parse_tolerant(text: str) -> tuple[list[MetricPoint], list[str]]:
+    """Parse exposition text, skipping malformed lines.
+
+    Returns ``(points, bad_lines)``: every well-formed sample plus the
+    raw text of each line that failed to parse, so callers can count and
+    log them (see ``Scraper.parse_errors``) without losing the rest of a
+    target's payload to one corrupt line.
+    """
+    return _parse_lines(text, strict=False)
+
+
+def _parse_lines(text: str, strict: bool) -> tuple[list[MetricPoint], list[str]]:
+    points: list[MetricPoint] = []
+    errors: list[str] = []
     for raw_line in text.splitlines():
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
         match = _LINE.match(line)
         if match is None:
-            raise ValueError(f"malformed exposition line: {line!r}")
+            if strict:
+                raise ValueError(f"malformed exposition line: {line!r}")
+            errors.append(line)
+            continue
         labels = {}
         if match.group("labels"):
             for name, value in _LABEL.findall(match.group("labels")):
                 labels[name] = value.replace('\\"', '"').replace("\\\\", "\\")
-        points.append(
-            MetricPoint(match.group("name"), labels, _parse_value(match.group("value")))
-        )
-    return points
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            if strict:
+                raise ValueError(f"malformed exposition line: {line!r}") from None
+            errors.append(line)
+            continue
+        points.append(MetricPoint(match.group("name"), labels, value))
+    return points, errors
 
 
 def _escape(value: str) -> str:

@@ -21,8 +21,9 @@ from urllib.parse import quote
 
 from ..clock import Clock, RealClock
 from ..httpcore import HttpClient
+from . import plan
 from .compile import compile_query
-from .query import evaluate_scalar, expression_generation
+from .query import QueryError, expression_generation
 from .store import MetricStore
 
 
@@ -75,6 +76,27 @@ class LocalPrometheusProvider(MetricsProvider):
         self.cache_hits = 0
         self.cache_misses = 0
 
+    @property
+    def planner(self) -> "plan.Planner":
+        """The store's shared evaluation planner (one per store)."""
+        return plan.planner_for(self.store)
+
+    def subscribe(self, query: str) -> None:
+        """Pre-register *query* with the shared evaluation plan.
+
+        Called by the check scheduler when a check is armed
+        (:meth:`~repro.core.checks.MetricCondition.subscribe`): the query's
+        subexpressions are interned into the store's plan DAG and its range
+        windows get streaming aggregates, so the first tick already runs
+        incrementally.  A malformed query is ignored here — evaluation
+        surfaces the error through the normal no-data path.
+        """
+        try:
+            expression = compile_query(query)
+        except QueryError:
+            return
+        plan.subscribe(self.store, expression)
+
     async def query(self, query: str) -> float | None:
         now = self.clock.now()
         expression = compile_query(query)
@@ -84,7 +106,7 @@ class LocalPrometheusProvider(MetricsProvider):
             self.cache_hits += 1
             return entry[1]
         self.cache_misses += 1
-        value = evaluate_scalar(self.store, expression, now)
+        value = plan.evaluate_shared_scalar(self.store, expression, now)
         if len(self._instant_cache) >= _INSTANT_CACHE_LIMIT:
             self._instant_cache.clear()
         self._instant_cache[query] = (stamp, value)

@@ -29,6 +29,8 @@ from functools import lru_cache
 from typing import Callable
 from weakref import WeakKeyDictionary
 
+from . import aggregate
+from .aggregate import RANGE_REFERENCE, _rate  # noqa: F401  (re-exported reference)
 from .series import TimeSeries
 from .store import LabelMatcher, MetricStore
 
@@ -362,52 +364,10 @@ def expression_generation(store: MetricStore, expression: Expression) -> int:
     return sum(shard_for(name).generation for name in names)
 
 
-def _rate(timestamps: list[float], values: list[float], window: float) -> float | None:
-    """Per-second increase of a counter over *window* (2+ samples needed).
-
-    Counter resets (value decreasing) are compensated the way Prometheus
-    does: each drop adds the previous value to the accumulated increase.
-    Operates on parallel timestamp/value arrays — the range functions never
-    see per-point objects.
-    """
-    if len(values) < 2:
-        return None
-    increase = 0.0
-    previous = values[0]
-    for current in values[1:]:
-        if current >= previous:
-            increase += current - previous
-        else:  # counter reset
-            increase += current
-        previous = current
-    elapsed = timestamps[-1] - timestamps[0]
-    if elapsed <= 0:
-        return None
-    return increase / elapsed
-
-
-_RANGE_IMPL: dict[str, Callable[[list[float], list[float], float], float | None]] = {
-    "rate": _rate,
-    "increase": lambda timestamps, values, window: (
-        None if (value := _rate(timestamps, values, window)) is None
-        else value * (timestamps[-1] - timestamps[0])
-    ),
-    "avg_over_time": lambda _t, values, _w: (
-        sum(values) / len(values) if values else None
-    ),
-    "min_over_time": lambda _t, values, _w: (
-        min(values) if values else None
-    ),
-    "max_over_time": lambda _t, values, _w: (
-        max(values) if values else None
-    ),
-    "sum_over_time": lambda _t, values, _w: (
-        sum(values) if values else None
-    ),
-    "count_over_time": lambda _t, values, _w: (
-        float(len(values)) if values else None
-    ),
-}
+#: The rescanning reference reductions now live in
+#: :mod:`repro.metrics.aggregate` next to the streaming states they verify;
+#: the historical name is kept for callers that reach for it directly.
+_RANGE_IMPL = RANGE_REFERENCE
 
 
 def evaluate(store: MetricStore, expression: Expression | str, at: float) -> list[VectorSample]:
@@ -450,32 +410,26 @@ def _eval(store: MetricStore, node: Expression, at: float) -> list[VectorSample]
     if isinstance(node, FunctionCall):
         selector = node.argument
         window = selector.window or 0.0
-        implementation = _RANGE_IMPL[node.function]
-        result = []
-        for series in resolve_shard(store, selector.name).select(
+        matched = resolve_shard(store, selector.name).select(
             selector.name, selector.matchers
-        ):
+        )
+        result = []
+        if aggregate.enabled():
+            function = node.function
+            for series in matched:
+                value = aggregate.range_value(series, function, window, at)
+                if value is not None:
+                    result.append(VectorSample(series.key.label_dict(), value))
+            return result
+        implementation = _RANGE_IMPL[node.function]
+        for series in matched:
             timestamps, values = series.window_arrays(at - window, at)
             value = implementation(timestamps, values, window)
             if value is not None:
                 result.append(VectorSample(series.key.label_dict(), value))
         return result
     if isinstance(node, Aggregation):
-        vector = _eval(store, node.argument, at)
-        if not vector:
-            return []
-        values = [sample.value for sample in vector]
-        if node.op == "sum":
-            value = sum(values)
-        elif node.op == "avg":
-            value = sum(values) / len(values)
-        elif node.op == "min":
-            value = min(values)
-        elif node.op == "max":
-            value = max(values)
-        else:
-            value = float(len(values))
-        return [VectorSample({}, value)]
+        return _reduce(node.op, _eval(store, node.argument, at))
     if isinstance(node, HistogramQuantile):
         return _histogram_quantile(store, node, at)
     if isinstance(node, BinaryOp):
@@ -483,6 +437,29 @@ def _eval(store: MetricStore, node: Expression, at: float) -> list[VectorSample]
         right = _eval(store, node.right, at)
         return _combine(node.op, left, right)
     raise QueryError(f"cannot evaluate node {node!r}")
+
+
+def _reduce(op: str, vector: list[VectorSample]) -> list[VectorSample]:
+    """Collapse a vector through an aggregation operator.
+
+    Shared by :func:`_eval` and the plan evaluator
+    (:mod:`repro.metrics.plan`), which reduces memoized child vectors
+    without re-entering the recursive walk.
+    """
+    if not vector:
+        return []
+    values = [sample.value for sample in vector]
+    if op == "sum":
+        value = sum(values)
+    elif op == "avg":
+        value = sum(values) / len(values)
+    elif op == "min":
+        value = min(values)
+    elif op == "max":
+        value = max(values)
+    else:
+        value = float(len(values))
+    return [VectorSample({}, value)]
 
 
 #: Grouped/sorted histogram bucket layouts, cached per store and selector.

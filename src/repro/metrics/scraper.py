@@ -66,6 +66,14 @@ class Scraper:
         self._tasks: list[asyncio.Task[None]] = []
         #: Consecutive failures per instance, for observability and tests.
         self.failures: dict[str, int] = {}
+        #: Cumulative malformed exposition lines per instance.  A bad line
+        #: is skipped, not fatal: the rest of the target's payload still
+        #: ingests (see :func:`repro.metrics.exposition.parse_tolerant`).
+        self.parse_errors: dict[str, int] = {}
+        #: Memoized ``{"instance": ...}`` label maps, one per instance —
+        #: the common unlabeled point reuses this dict instead of building
+        #: a fresh one per point per scrape.
+        self._instance_labels: dict[str, dict[str, str]] = {}
 
     def add_target(self, instance: str, url: str) -> None:
         """Scrape *url* and label its series with ``instance=<instance>``."""
@@ -104,27 +112,115 @@ class Scraper:
         return ingested
 
     async def scrape_partition(self, partition: int) -> int:
-        """Scrape one partition's targets once; returns ingested points."""
-        timestamp = self.clock.now()
+        """Scrape one partition's targets once; returns ingested points.
+
+        HTTP targets are fetched *concurrently*: each target's response
+        is timestamped and ingested as soon as its own fetch completes, so
+        a slow target delays neither its partition peers' fetches nor
+        their ingest timestamps.  Each target's points land through one
+        :meth:`~repro.metrics.store.MetricStore.record_batch` call — one
+        generation bump and one cache-invalidation wave per target per
+        scrape instead of one per point.
+        """
         ingested = 0
         local_targets, http_targets = self.partition_targets(partition)
-        for instance, registry in local_targets:
-            for point in registry.collect():
-                self._ingest(point.name, point.value, timestamp, point.labels, instance)
-                ingested += 1
-        for target in http_targets:
-            try:
-                response = await self._client.get(target.url)
-                points = exposition.parse(response.body.decode("utf-8"))
-            except Exception as exc:
-                self.failures[target.instance] = self.failures.get(target.instance, 0) + 1
-                logger.warning("scrape of %s failed: %s", target.instance, exc)
-                continue
-            self.failures[target.instance] = 0
-            for point in points:
-                self._ingest(point.name, point.value, timestamp, point.labels, target.instance)
-                ingested += 1
+        if local_targets:
+            timestamp = self.clock.now()
+            for instance, registry in local_targets:
+                batch = [
+                    (
+                        point.name,
+                        point.value,
+                        timestamp,
+                        self._merged_labels(point.labels, instance),
+                    )
+                    for point in registry.collect()
+                ]
+                ingested += self._record_batch(batch, instance)
+        if http_targets:
+            if len(http_targets) == 1:
+                ingested += await self._scrape_http_target(http_targets[0])
+            else:
+                ingested += sum(
+                    await asyncio.gather(
+                        *(
+                            self._scrape_http_target(target)
+                            for target in http_targets
+                        )
+                    )
+                )
         return ingested
+
+    async def _scrape_http_target(self, target: ScrapeTarget) -> int:
+        """Fetch, parse, and batch-ingest one HTTP target."""
+        try:
+            response = await self._client.get(target.url)
+            points, bad_lines = exposition.parse_tolerant(
+                response.body.decode("utf-8")
+            )
+        except Exception as exc:
+            self.failures[target.instance] = self.failures.get(target.instance, 0) + 1
+            logger.warning("scrape of %s failed: %s", target.instance, exc)
+            return 0
+        self.failures[target.instance] = 0
+        if bad_lines:
+            self.parse_errors[target.instance] = (
+                self.parse_errors.get(target.instance, 0) + len(bad_lines)
+            )
+            logger.warning(
+                "scrape of %s skipped %d malformed exposition lines",
+                target.instance,
+                len(bad_lines),
+            )
+        # Timestamp after the fetch resolves: concurrent partition peers
+        # each stamp their own arrival time, so a stalled target cannot
+        # skew the samples of targets that answered promptly.
+        timestamp = self.clock.now()
+        batch = [
+            (
+                point.name,
+                point.value,
+                timestamp,
+                self._merged_labels(point.labels, target.instance),
+            )
+            for point in points
+        ]
+        return self._record_batch(batch, target.instance)
+
+    def _record_batch(
+        self, batch: list[tuple[str, float, float, dict[str, str]]], instance: str
+    ) -> int:
+        try:
+            return self.store.record_batch(batch)
+        except ValueError as exc:
+            # The whole batch is rejected (record_batch is atomic), so a
+            # target replaying stale timestamps counts as a failed scrape.
+            self.failures[instance] = self.failures.get(instance, 0) + 1
+            logger.warning("ingest of %s failed: %s", instance, exc)
+            return 0
+
+    def _merged_labels(
+        self, labels: dict[str, str], instance: str
+    ) -> dict[str, str]:
+        """The point's labels with ``instance`` attached, copying lazily.
+
+        Unlabeled points — the common case — share one memoized
+        ``{"instance": ...}`` dict per target, and points already carrying
+        an ``instance`` label are passed through untouched; only the
+        labeled-without-instance case pays for a fresh dict.  Safe because
+        the store never mutates or retains the label map (it is collapsed
+        into a :class:`~repro.metrics.series.SeriesKey` tuple).
+        """
+        if not labels:
+            cached = self._instance_labels.get(instance)
+            if cached is None:
+                cached = self._instance_labels[instance] = {"instance": instance}
+            return cached
+        if "instance" in labels:
+            return labels
+        merged = dict(labels)
+        merged["instance"] = instance
+        return merged
 
     def _ingest(
         self,
@@ -134,9 +230,9 @@ class Scraper:
         labels: dict[str, str],
         instance: str,
     ) -> None:
-        merged = dict(labels)
-        merged.setdefault("instance", instance)
-        self.store.record(name, value, timestamp, merged)
+        self.store.record(
+            name, value, timestamp, self._merged_labels(labels, instance)
+        )
 
     async def _run(self, partition: int) -> None:
         while True:

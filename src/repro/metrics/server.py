@@ -19,12 +19,13 @@ from __future__ import annotations
 
 from ..clock import Clock, RealClock
 from ..httpcore import HttpClient, HttpServer, Request, Response
+from .aggregate import cache_info as aggregate_cache_info
 from .compile import cache_info as compiled_query_cache_info
 from .exposition import render_lines
-from .query import QueryError, evaluate, layout_cache_info
+from .plan import planner_for
+from .query import QueryError, layout_cache_info
 from .registry import Registry
 from .scraper import Scraper
-from .series import SeriesKey
 from .store import MetricStore, ShardedMetricStore
 
 
@@ -120,7 +121,10 @@ class MetricsServer(HttpServer):
         if body is None:
             self.query_cache_misses += 1
             try:
-                vector = evaluate(self.store, query, now)
+                # Shared-plan evaluation: distinct subexpressions across
+                # every query hitting this server (and any local provider
+                # on the same store) evaluate once per tick.
+                vector = planner_for(self.store).evaluate(self.store, query, now)
             except QueryError as exc:
                 return Response.from_json(
                     {"status": "error", "error": str(exc)}, 400
@@ -167,8 +171,7 @@ class MetricsServer(HttpServer):
                 {"status": "error", "error": "expected a JSON list"}, 400
             )
         now = self.clock.now()
-        validated: list[tuple[str, float, float, dict]] = []
-        last_seen: dict[SeriesKey, float] = {}
+        batch: list[tuple[str, float, float, dict]] = []
         for sample in samples:
             try:
                 name = sample["name"]
@@ -179,25 +182,22 @@ class MetricsServer(HttpServer):
                     raise TypeError(f"labels must be an object, got {labels!r}")
                 value = float(sample["value"])
                 timestamp = float(sample.get("timestamp", now))
-                key = SeriesKey.make(name, labels)
-                floor = last_seen.get(key)
-                if floor is None:
-                    series = self.store.series(key)
-                    latest = series.latest() if series is not None else None
-                    floor = latest.timestamp if latest is not None else None
-                if floor is not None and timestamp < floor:
-                    raise ValueError(
-                        f"out-of-order sample: {timestamp} < {floor}"
-                    )
-                last_seen[key] = timestamp
             except (KeyError, TypeError, ValueError) as exc:
                 return Response.from_json(
                     {"status": "error", "error": f"bad sample {sample!r}: {exc}"}, 400
                 )
-            validated.append((name, value, timestamp, labels))
-        for name, value, timestamp, labels in validated:
-            self.store.record(name, value, timestamp, labels)
-        return Response.from_json({"status": "success", "ingested": len(samples)})
+            batch.append((name, value, timestamp, labels))
+        try:
+            # record_batch plans (validating timestamp ordering against
+            # both store floors and earlier samples in this batch, across
+            # every shard) before applying anything, giving the
+            # all-or-nothing guarantee directly.
+            ingested = self.store.record_batch(batch)
+        except ValueError as exc:
+            return Response.from_json(
+                {"status": "error", "error": str(exc)}, 400
+            )
+        return Response.from_json({"status": "success", "ingested": ingested})
 
     async def _handle_series(self, request: Request) -> Response:
         names = sorted(self.store.names())
@@ -206,6 +206,8 @@ class MetricsServer(HttpServer):
     async def _handle_self_metrics(self, request: Request) -> Response:
         compiled = compiled_query_cache_info()
         layout = layout_cache_info()
+        planner = planner_for(self.store)
+        aggregates = aggregate_cache_info()
         tallies = {
             ("query_memo", "hit"): self.query_cache_hits,
             ("query_memo", "miss"): self.query_cache_misses,
@@ -213,6 +215,10 @@ class MetricsServer(HttpServer):
             ("compiled_query", "miss"): compiled.misses,
             ("histogram_layout", "hit"): layout["hits"],
             ("histogram_layout", "miss"): layout["misses"],
+            ("evaluation_plan", "hit"): planner.node_hits,
+            ("evaluation_plan", "miss"): planner.node_misses,
+            ("window_aggregate", "hit"): aggregates["hits"],
+            ("window_aggregate", "miss"): aggregates["fallbacks"],
         }
         for (cache, event), value in tallies.items():
             self._m_cache.labels(cache=cache, event=event).set(float(value))
@@ -226,6 +232,7 @@ class MetricsServer(HttpServer):
     async def _handle_health(self, request: Request) -> Response:
         compiled = compiled_query_cache_info()
         layout = layout_cache_info()
+        planner = planner_for(self.store)
         shards = getattr(self.store, "shards", None)
         shard_view = (
             {
@@ -263,6 +270,10 @@ class MetricsServer(HttpServer):
                         "size": compiled.currsize,
                     },
                     "histogram_layout": layout,
+                    "evaluation_plan": planner.cache_info(),
+                    "window_aggregates": aggregate_cache_info(),
                 },
+                "plan_shared_nodes": planner.shared_nodes,
+                "plan_evaluations_saved": planner.evaluations_saved,
             }
         )

@@ -101,6 +101,90 @@ class MetricStore:
                 series.drop_before(timestamp - self.retention)
         self.generation += 1
 
+    def record_batch(
+        self,
+        samples: Sequence[tuple[str, float, float, dict[str, str] | None]],
+    ) -> int:
+        """Append many ``(name, value, timestamp, labels)`` samples at once.
+
+        The batch is atomic: every sample is validated against the store's
+        current floors *and* earlier samples in the batch before anything
+        is recorded, so an out-of-order sample mid-list raises
+        :class:`ValueError` and leaves the store untouched.
+
+        The win over per-point :meth:`record` is amortization: series/name
+        lookup and selector-cache invalidation happen once per distinct
+        series, the retention guard runs once per touched series, and
+        :attr:`generation` bumps once for the whole batch — a scrape of M
+        points costs one cache invalidation wave instead of M.
+        """
+        plan = self._plan_batch(samples)
+        if not plan:
+            return 0
+        return self._apply_batch(plan)
+
+    def _plan_batch(
+        self,
+        samples: Sequence[tuple[str, float, float, dict[str, str] | None]],
+    ) -> dict[SeriesKey, list]:
+        """Validate *samples* and group them by series; mutates nothing.
+
+        Each plan entry is ``[key, last_timestamp, points]`` — one flat
+        record per series so the per-sample hot loop pays at most one
+        :class:`SeriesKey` hash, and none at all for runs of consecutive
+        samples hitting the same series (the shape scrape batches have).
+        """
+        plan: dict[SeriesKey, list] = {}
+        last_name: str | None = None
+        last_labels: dict[str, str] | None = None
+        entry: list | None = None
+        for name, value, timestamp, labels in samples:
+            if entry is None or name != last_name or labels != last_labels:
+                key = SeriesKey.make(name, labels)
+                entry = plan.get(key)
+                if entry is None:
+                    floor = None
+                    series = self._series.get(key)
+                    if series is not None:
+                        latest = series.latest()
+                        if latest is not None:
+                            floor = latest.timestamp
+                    entry = plan[key] = [key, floor, []]
+                last_name = name
+                last_labels = labels
+            floor = entry[1]
+            if floor is not None and timestamp < floor:
+                raise ValueError(
+                    f"out-of-order sample for {entry[0]}: {timestamp} < {floor}"
+                )
+            entry[1] = timestamp
+            entry[2].append((timestamp, value))
+        return plan
+
+    def _apply_batch(self, plan: dict[SeriesKey, list]) -> int:
+        """Apply a validated :meth:`_plan_batch` result; cannot fail."""
+        ingested = 0
+        retention = self.retention
+        for key, _, points in plan.values():
+            series = self._series.get(key)
+            if series is None:
+                series = TimeSeries(key)
+                self._series[key] = series
+                self._by_name.setdefault(key.name, []).append(series)
+                self._selector_cache.pop(key.name, None)
+                self.series_generation += 1
+            for timestamp, value in points:
+                series.append(timestamp, value)
+            ingested += len(points)
+            if retention is not None:
+                newest = points[-1][0]
+                oldest = series.oldest_timestamp
+                if oldest is not None and oldest < newest - retention:
+                    series.drop_before(newest - retention)
+        if ingested:
+            self.generation += 1
+        return ingested
+
     def series(self, key: SeriesKey) -> TimeSeries | None:
         return self._series.get(key)
 
@@ -219,6 +303,35 @@ class ShardedMetricStore:
         self.shards[shard_index_for(name, self.shard_count)].record(
             name, value, timestamp, labels
         )
+
+    def record_batch(
+        self,
+        samples: Sequence[tuple[str, float, float, dict[str, str] | None]],
+    ) -> int:
+        """Batched ingest with the same atomicity as the monolithic store.
+
+        Samples are routed by metric name, then *every* owning shard
+        validates its slice of the batch before *any* shard applies one —
+        a bad sample raises :class:`ValueError` with all shards' series
+        and generation counters untouched.  No await separates planning
+        from application, so under asyncio's single thread the cross-shard
+        batch is atomic.
+        """
+        shard_count = self.shard_count
+        by_shard: dict[int, list[tuple[str, float, float, dict[str, str] | None]]] = {}
+        for sample in samples:
+            by_shard.setdefault(
+                shard_index_for(sample[0], shard_count), []
+            ).append(sample)
+        plans = [
+            (self.shards[index], self.shards[index]._plan_batch(routed))
+            for index, routed in by_shard.items()
+        ]
+        ingested = 0
+        for shard, plan in plans:
+            if plan:
+                ingested += shard._apply_batch(plan)
+        return ingested
 
     def series(self, key: SeriesKey) -> TimeSeries | None:
         return self.shard_for(key.name).series(key)

@@ -172,3 +172,43 @@ async def test_observer_failure_fails_that_check():
     with pytest.raises(RuntimeError):
         await broken
     assert (await healthy).mapped == 1
+
+
+async def test_same_deadline_checks_dispatch_as_one_wave():
+    """Checks sharing a deadline drain from the heap as a single wave."""
+    clock = VirtualClock()
+    providers = {"static": StaticProvider({"q": 1.0})}
+    scheduler = CheckScheduler(clock)
+    futures = [
+        scheduler.schedule(make_check(name=f"c{i}", repetitions=2), providers)
+        for i in range(8)
+    ]
+    await asyncio.sleep(0)
+    await clock.advance(5.0)
+    assert scheduler.tick_waves >= 1
+    assert scheduler.last_wave_size == 8
+    await clock.advance(5.0)
+    results = await asyncio.gather(*futures)
+    assert all(result.mapped == 1 for result in results)
+
+
+async def test_schedule_subscribes_queries_to_plan_aware_providers():
+    """Arming a check pre-registers its queries with provider plans."""
+    from repro.metrics import LocalPrometheusProvider, MetricStore, planner_for
+
+    clock = VirtualClock(start=0.0)
+    store = MetricStore()
+    for t in range(30):
+        store.record("hits_total", float(t), float(t), {"instance": "a"})
+    provider = LocalPrometheusProvider(store, clock=clock)
+    scheduler = CheckScheduler(clock)
+    check = simple_basic_check(
+        "c", "rate(hits_total[10s])", "<5", interval=5.0, repetitions=1,
+        provider="prom",
+    )
+    roots_before = planner_for(store).cache_info()["roots"]
+    future = scheduler.schedule(check, {"prom": provider})
+    assert planner_for(store).cache_info()["roots"] == roots_before + 1
+    await asyncio.sleep(0)
+    await clock.advance(5.0)
+    await future

@@ -77,3 +77,35 @@ def test_render_lines_empty_registry():
 
     assert list(render_lines([])) == []
     assert render_exposition([]) == ""
+
+
+def test_parse_tolerant_skips_malformed_lines():
+    from repro.metrics import parse_exposition_tolerant
+
+    text = (
+        "# HELP hits_total Total hits.\n"
+        "hits_total 5\n"
+        "not a metric at all {{{\n"
+        'labeled_total{zone="z1"} 7\n'
+        "value_is_word nonsense_value\n"
+    )
+    points, bad_lines = parse_exposition_tolerant(text)
+    assert [point.name for point in points] == ["hits_total", "labeled_total"]
+    assert bad_lines == [
+        "not a metric at all {{{",
+        "value_is_word nonsense_value",
+    ]
+
+
+def test_parse_tolerant_matches_strict_on_clean_input():
+    from repro.metrics import parse_exposition_tolerant
+
+    text = 'a_total 1\nb_total{x="y"} 2.5\nc +Inf\n'
+    points, bad_lines = parse_exposition_tolerant(text)
+    assert bad_lines == []
+    assert points == parse_exposition(text)
+
+
+def test_strict_parse_still_rejects_bad_values():
+    with pytest.raises(ValueError):
+        parse_exposition("metric_name not_a_number\n")

@@ -320,8 +320,12 @@ async def test_metrics_server_health_reports_cache_counters():
                 "query_memo",
                 "compiled_query",
                 "histogram_layout",
+                "evaluation_plan",
+                "window_aggregates",
             }
             assert {"hits", "misses"} <= set(caches["histogram_layout"])
+            assert "plan_shared_nodes" in payload
+            assert "plan_evaluations_saved" in payload
     finally:
         await server.stop()
 

@@ -1,0 +1,124 @@
+"""Tests for batched ingest (``record_batch``) on both store shapes."""
+
+import pytest
+
+from repro.metrics import LabelMatcher, MetricStore, SeriesKey, ShardedMetricStore
+
+
+def _snapshot(store):
+    return {
+        str(key): list(zip(*series.window_arrays(float("-inf"), float("inf"))))
+        for key, series in (
+            (series.key, series)
+            for name in store.names()
+            for series in store.select(name)
+        )
+    }
+
+
+BATCH = [
+    ("hits_total", 1.0, 10.0, {"instance": "a"}),
+    ("hits_total", 2.0, 11.0, {"instance": "a"}),
+    ("hits_total", 5.0, 10.0, {"instance": "b"}),
+    ("errs_total", 0.0, 10.0, None),
+]
+
+
+def test_batch_equals_per_point_ingest():
+    batched, pointwise = MetricStore(), MetricStore()
+    assert batched.record_batch(BATCH) == len(BATCH)
+    for name, value, timestamp, labels in BATCH:
+        pointwise.record(name, value, timestamp, labels)
+    assert _snapshot(batched) == _snapshot(pointwise)
+    assert batched.series_generation == pointwise.series_generation
+
+
+def test_batch_bumps_generation_once():
+    store = MetricStore()
+    before = store.generation
+    store.record_batch(BATCH)
+    assert store.generation == before + 1
+    assert store.record_batch([]) == 0
+    assert store.generation == before + 1
+
+
+def test_batch_invalidates_selector_cache_for_new_series():
+    store = MetricStore()
+    store.record("hits_total", 1.0, 1.0, {"instance": "a"})
+    matcher = [LabelMatcher("instance", "=", "b")]
+    assert store.select("hits_total", matcher) == []
+    store.record_batch([("hits_total", 2.0, 2.0, {"instance": "b"})])
+    assert len(store.select("hits_total", matcher)) == 1
+
+
+def test_out_of_order_mid_batch_aborts_whole_batch():
+    store = MetricStore()
+    store.record("hits_total", 1.0, 50.0, {"instance": "a"})
+    generation = store.generation
+    bad = [
+        ("errs_total", 1.0, 60.0, None),  # would create a series
+        ("hits_total", 2.0, 40.0, {"instance": "a"}),  # behind the floor
+    ]
+    with pytest.raises(ValueError):
+        store.record_batch(bad)
+    assert store.generation == generation
+    assert store.names() == {"hits_total"}
+    assert len(store.select("hits_total")[0]) == 1
+
+
+def test_in_batch_ordering_violation_detected():
+    store = MetricStore()
+    with pytest.raises(ValueError):
+        store.record_batch(
+            [("m", 1.0, 10.0, None), ("m", 2.0, 9.0, None)]
+        )
+    assert len(store) == 0
+
+
+def test_equal_timestamps_in_batch_are_allowed():
+    store = MetricStore()
+    assert store.record_batch([("m", 1.0, 5.0, None), ("m", 2.0, 5.0, None)]) == 2
+
+
+def test_batch_applies_retention():
+    store = MetricStore(retention=10.0)
+    store.record_batch(
+        [("m", float(t), float(t), None) for t in range(0, 40, 5)]
+    )
+    series = store.select("m")[0]
+    assert series.oldest_timestamp >= 25.0
+
+
+def test_sharded_batch_equals_monolithic_batch():
+    sharded = ShardedMetricStore(shard_count=4)
+    flat = MetricStore()
+    batch = [
+        (f"metric_{i}_total", float(i), float(i % 7), {"instance": f"i{i % 3}"})
+        for i in range(40)
+    ]
+    assert sharded.record_batch(batch) == flat.record_batch(batch) == 40
+    assert _snapshot(sharded) == _snapshot(flat)
+
+
+def test_sharded_batch_atomic_across_shards():
+    store = ShardedMetricStore(shard_count=4)
+    store.record("hits_total", 1.0, 50.0, None)
+    # Find a name owned by a different shard and poison its sample; the
+    # hits_total shard must stay untouched even though its slice is valid.
+    other = next(
+        f"pad_total_{i}"
+        for i in range(64)
+        if store.shard_index(f"pad_total_{i}") != store.shard_index("hits_total")
+    )
+    generations = [shard.generation for shard in store.shards]
+    with pytest.raises(ValueError):
+        store.record_batch(
+            [
+                ("hits_total", 2.0, 51.0, None),
+                (other, 1.0, 60.0, None),
+                ("hits_total", 3.0, 40.0, None),  # behind the floor
+            ]
+        )
+    assert [shard.generation for shard in store.shards] == generations
+    assert store.names() == {"hits_total"}
+    assert store.series(SeriesKey.make("hits_total")).latest().timestamp == 50.0

@@ -1,0 +1,143 @@
+"""Tests for the perf-trajectory regression gate (benchmarks/gate.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "bench_gate", REPO_ROOT / "benchmarks" / "gate.py"
+)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def _write_history(tmp_path, entries):
+    path = tmp_path / "history.jsonl"
+    path.write_text(
+        "".join(json.dumps(entry) + "\n" for entry in entries),
+        encoding="utf-8",
+    )
+    return path
+
+
+def _entry(benchmark, data):
+    return {"benchmark": benchmark, "at": "t", "git_sha": "sha", "data": data}
+
+
+def test_metric_direction_heuristics():
+    assert gate.metric_direction("speedup") == 1
+    assert gate.metric_direction("batched_pps") == 1
+    assert gate.metric_direction("proxy_rps.4") == 1
+    assert gate.metric_direction("streamed_ttfb_ms") == -1
+    assert gate.metric_direction("incremental_ms_per_tick") == -1
+    assert gate.metric_direction("lint_seconds") == -1
+    assert gate.metric_direction("phases") == 0
+
+
+def test_flatten_nested_data_uses_dotted_keys():
+    flat = gate._flatten({"proxy_rps": {"1": 315, "4": 1228}, "speedup": 3.9})
+    assert flat == {"proxy_rps.1": 315.0, "proxy_rps.4": 1228.0, "speedup": 3.9}
+
+
+def test_throughput_drop_beyond_threshold_is_flagged(tmp_path):
+    path = _write_history(
+        tmp_path,
+        [_entry("bench", {"speedup": s}) for s in (5.0, 5.2, 4.9, 3.0)],
+    )
+    regressions, _ = gate.check_history(gate.load_history(path))
+    assert len(regressions) == 1
+    assert "bench.speedup" in regressions[0] and "fell" in regressions[0]
+    assert gate.main(["--history", str(path)]) == 1
+    assert gate.main(["--history", str(path), "--report-only"]) == 0
+
+
+def test_latency_rise_beyond_threshold_is_flagged(tmp_path):
+    path = _write_history(
+        tmp_path,
+        [_entry("bench", {"tick_ms": v}) for v in (6.0, 6.1, 5.9, 9.0)],
+    )
+    regressions, _ = gate.check_history(gate.load_history(path))
+    assert len(regressions) == 1
+    assert "rose" in regressions[0]
+
+
+def test_within_threshold_and_improvements_pass(tmp_path):
+    path = _write_history(
+        tmp_path,
+        [
+            _entry("bench", {"speedup": 5.0, "tick_ms": 6.0}),
+            _entry("bench", {"speedup": 5.1, "tick_ms": 6.2}),
+            # 10% slower speedup (within 20%) and faster ticks: both fine.
+            _entry("bench", {"speedup": 4.6, "tick_ms": 4.0}),
+        ],
+    )
+    regressions, _ = gate.check_history(gate.load_history(path))
+    assert regressions == []
+    assert gate.main(["--history", str(path)]) == 0
+
+
+def test_median_baseline_absorbs_one_noisy_run(tmp_path):
+    # One outlier run among the baselines must not fake a regression.
+    path = _write_history(
+        tmp_path,
+        [
+            _entry("bench", {"speedup": v})
+            for v in (5.0, 5.1, 25.0, 4.9, 5.2, 5.0)
+        ],
+    )
+    regressions, _ = gate.check_history(gate.load_history(path))
+    assert regressions == []
+
+
+def test_baseline_reference_metrics_are_skipped(tmp_path):
+    path = _write_history(
+        tmp_path,
+        [
+            _entry("bench", {"baseline_ms": 10.0, "per_point_pps": 400000.0}),
+            _entry("bench", {"baseline_ms": 99.0, "per_point_pps": 1000.0}),
+        ],
+    )
+    regressions, skipped = gate.check_history(gate.load_history(path))
+    assert regressions == []
+    assert any("baseline reference" in line for line in skipped)
+
+
+def test_single_run_and_unknown_direction_are_skipped(tmp_path):
+    path = _write_history(
+        tmp_path,
+        [
+            _entry("new_bench", {"speedup": 5.0}),
+            _entry("other", {"phases": 10.0}),
+            _entry("other", {"phases": 1.0}),
+        ],
+    )
+    regressions, skipped = gate.check_history(gate.load_history(path))
+    assert regressions == []
+    assert any("no trend yet" in line for line in skipped)
+    assert any("unknown direction" in line for line in skipped)
+
+
+def test_torn_or_malformed_lines_are_ignored(tmp_path):
+    path = tmp_path / "history.jsonl"
+    path.write_text(
+        json.dumps(_entry("bench", {"speedup": 5.0}))
+        + "\n{torn json...\n"
+        + json.dumps({"benchmark": 3, "data": {"x": 1}})
+        + "\n"
+        + json.dumps(_entry("bench", {"speedup": 5.1}))
+        + "\n",
+        encoding="utf-8",
+    )
+    series = gate.load_history(path)
+    assert len(series) == 1 and len(series["bench"]) == 2
+
+
+def test_missing_history_file_is_a_clean_pass(tmp_path):
+    assert gate.main(["--history", str(tmp_path / "absent.jsonl")]) == 0
+
+
+def test_gate_passes_on_repo_history():
+    # The tracked history must always satisfy the gate at HEAD.
+    assert gate.main([]) == 0
